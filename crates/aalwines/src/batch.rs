@@ -1,0 +1,113 @@
+//! Batch verification: answer many queries against one network in
+//! parallel.
+//!
+//! The paper's case study verifies thousands of operator queries per
+//! snapshot (6 000 on NORDUnet); queries are independent, so this is
+//! embarrassingly parallel. Workers pull indices from a shared atomic
+//! counter — no per-query allocation of thread resources, deterministic
+//! output order.
+
+use crate::engine::{Answer, Verifier, VerifyOptions};
+use netmodel::Network;
+use query::Query;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Verify `queries` against `net` using up to `threads` worker threads
+/// (0 or 1 runs inline). Results are returned in query order.
+pub fn verify_batch(
+    net: &Network,
+    queries: &[Query],
+    opts: &VerifyOptions,
+    threads: usize,
+) -> Vec<Answer> {
+    if threads <= 1 || queries.len() <= 1 {
+        let verifier = Verifier::new(net);
+        return queries.iter().map(|q| verifier.verify(q, opts)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Answer>>> =
+        (0..queries.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(queries.len()) {
+            scope.spawn(|| {
+                let verifier = Verifier::new(net);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let answer = verifier.verify(&queries[i], opts);
+                    *results[i].lock().expect("result slot") = Some(answer);
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("every query answered")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_network;
+    use crate::Outcome;
+    use query::parse_query;
+
+    fn queries() -> Vec<Query> {
+        [
+            "<ip> [.#v0] .* [v3#.] <ip> 0",
+            "<ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2",
+            "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0",
+            "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1",
+            "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",
+            "<ip> [.#v3] .* [v0#.] <ip> 2",
+        ]
+        .iter()
+        .map(|q| parse_query(q).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let net = paper_network();
+        let qs = queries();
+        let opts = VerifyOptions::default();
+        let sequential = verify_batch(&net, &qs, &opts, 1);
+        for threads in [2, 4, 8] {
+            let parallel = verify_batch(&net, &qs, &opts, threads);
+            assert_eq!(sequential.len(), parallel.len());
+            for (i, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+                assert_eq!(
+                    a.outcome.is_satisfied(),
+                    b.outcome.is_satisfied(),
+                    "query {i} differs at {threads} threads"
+                );
+                assert_eq!(
+                    matches!(a.outcome, Outcome::Unsatisfied),
+                    matches!(b.outcome, Outcome::Unsatisfied),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let net = paper_network();
+        assert!(verify_batch(&net, &[], &VerifyOptions::default(), 4).is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_queries_is_fine() {
+        let net = paper_network();
+        let qs = queries();
+        let out = verify_batch(&net, &qs[..2], &VerifyOptions::default(), 32);
+        assert_eq!(out.len(), 2);
+    }
+}

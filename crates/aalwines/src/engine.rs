@@ -1,0 +1,264 @@
+//! The dual over/under-approximation verification engine
+//! (paper Section 4.2).
+
+use crate::construction::{self, ApproxMode, Construction};
+use crate::lift::{lift_run, trace_pairs};
+use crate::quantities::{StepMeasure, WeightSpec};
+use netmodel::{feasible_failures, LinkId, Network, Trace};
+use pdaal::poststar::post_star_with_stats;
+use pdaal::reduction::reduce;
+use pdaal::shortest::shortest_accepted;
+use pdaal::witness::reconstruct_run;
+use pdaal::{MinTotal, MinVector, StateId, Unweighted, Weight};
+use query::{compile, CompiledQuery, Query};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Options controlling a verification run.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyOptions {
+    /// Minimize witness traces by this weight specification
+    /// (lexicographic vector of linear expressions). `None` runs the
+    /// unweighted `Dual` engine.
+    pub weights: Option<WeightSpec>,
+    /// Apply the static reductions before solving (on by default; turning
+    /// them off exists for the ablation benchmarks).
+    pub no_reduction: bool,
+}
+
+/// A satisfied query's witness.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// The witness trace.
+    pub trace: Trace,
+    /// A minimal failure set making the trace valid.
+    pub failed_links: HashSet<LinkId>,
+    /// The weight vector of the trace, when running weighted.
+    pub weight: Option<Vec<u64>>,
+}
+
+/// The verification verdict.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// A witness trace exists (conclusive yes).
+    Satisfied(Box<Witness>),
+    /// No trace exists even in the over-approximation (conclusive no).
+    Unsatisfied,
+    /// Over-approximation satisfied, under-approximation not — the
+    /// polynomial analysis cannot decide (paper: 0.13–0.57 % of queries).
+    Inconclusive,
+}
+
+impl Outcome {
+    /// Whether the outcome is `Satisfied`.
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, Outcome::Satisfied(_))
+    }
+}
+
+/// Statistics and phase timings of one verification.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Rules in the over-approximating PDS before reduction.
+    pub rules_over: usize,
+    /// Rules removed by the static reductions.
+    pub rules_removed: usize,
+    /// Transitions in the saturated over-approximation automaton.
+    pub sat_transitions: usize,
+    /// Whether the under-approximation had to run.
+    pub used_under: bool,
+    /// Rules in the under-approximating PDS (if it ran).
+    pub rules_under: usize,
+    /// Time spent building PDSs.
+    pub t_construct: Duration,
+    /// Time spent in the static reductions.
+    pub t_reduce: Duration,
+    /// Time spent saturating + extracting (both phases).
+    pub t_solve: Duration,
+}
+
+/// The result of verifying one query.
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Solver statistics.
+    pub stats: EngineStats,
+}
+
+/// Result of a single approximation phase.
+enum Phase {
+    /// The approximation accepts no configuration: conclusive "no" when
+    /// it is the over-approximation.
+    Empty,
+    /// A feasible witness within the failure budget.
+    Witness(Box<Witness>),
+    /// A configuration was reachable but no feasible witness could be
+    /// extracted from the minimal accepting path.
+    Infeasible,
+}
+
+/// Run one approximation phase with weight domain `W`.
+fn run_phase<W: Weight>(
+    net: &Network,
+    cq: &CompiledQuery,
+    mode: ApproxMode,
+    opts: &VerifyOptions,
+    weigh: &dyn Fn(&StepMeasure) -> W,
+    weight_vec: &dyn Fn(&W) -> Option<Vec<u64>>,
+    stats: &mut EngineStats,
+) -> Phase {
+    let t0 = Instant::now();
+    let cons: Construction<W> = construction::build(net, cq, mode, weigh);
+    stats.t_construct += t0.elapsed();
+    if mode == ApproxMode::Over {
+        stats.rules_over = cons.pds.num_rules();
+    } else {
+        stats.rules_under = cons.pds.num_rules();
+    }
+
+    let t0 = Instant::now();
+    let pds = if opts.no_reduction {
+        cons.pds.clone()
+    } else {
+        let (reduced, removed) = reduce(&cons.pds, &cons.initial, &cons.finals);
+        if mode == ApproxMode::Over {
+            stats.rules_removed = removed;
+        }
+        reduced
+    };
+    stats.t_reduce += t0.elapsed();
+
+    let t0 = Instant::now();
+    let (sat, sstats) = post_star_with_stats(&pds, &cons.initial);
+    if mode == ApproxMode::Over {
+        stats.sat_transitions = sstats.transitions;
+    }
+    let starts: Vec<(StateId, W)> = cons.finals.iter().map(|s| (*s, W::one())).collect();
+    let found = shortest_accepted(&sat, &starts, &cq.final_);
+    stats.t_solve += t0.elapsed();
+
+    let Some(path) = found else {
+        return Phase::Empty;
+    };
+    let witness = reconstruct_run(&pds, &sat, &path.transitions, &path.word)
+        .ok()
+        .and_then(|run| lift_run(net, &pds, &cons.meta, &run).ok())
+        .and_then(|trace| {
+            feasible_failures(net, &trace_pairs(&trace)).map(|failed| (trace, failed))
+        })
+        .filter(|(_, failed)| failed.len() as u32 <= cq.max_failures);
+    match witness {
+        Some((trace, failed)) => Phase::Witness(Box::new(Witness {
+            trace,
+            failed_links: failed,
+            weight: weight_vec(&path.weight),
+        })),
+        None => Phase::Infeasible,
+    }
+}
+
+/// The AalWiNes verification engine bound to a network.
+pub struct Verifier<'a> {
+    net: &'a Network,
+}
+
+impl<'a> Verifier<'a> {
+    /// A verifier for `net`.
+    pub fn new(net: &'a Network) -> Self {
+        Verifier { net }
+    }
+
+    /// Verify a parsed query.
+    pub fn verify(&self, q: &Query, opts: &VerifyOptions) -> Answer {
+        let cq = compile(q, self.net);
+        self.verify_compiled(&cq, opts)
+    }
+
+    /// Verify an already-compiled query.
+    pub fn verify_compiled(&self, cq: &CompiledQuery, opts: &VerifyOptions) -> Answer {
+        let mut stats = EngineStats::default();
+
+        // ---- over-approximation --------------------------------------
+        let over = match &opts.weights {
+            None => run_phase::<Unweighted>(
+                self.net,
+                cq,
+                ApproxMode::Over,
+                opts,
+                &|_| Unweighted,
+                &|_| None,
+                &mut stats,
+            ),
+            Some(spec) => {
+                let spec = spec.clone();
+                run_phase::<MinVector>(
+                    self.net,
+                    cq,
+                    ApproxMode::Over,
+                    opts,
+                    &move |m| spec.weigh(m),
+                    &|w| Some(w.0.clone()),
+                    &mut stats,
+                )
+            }
+        };
+        match over {
+            Phase::Empty => {
+                return Answer {
+                    outcome: Outcome::Unsatisfied,
+                    stats,
+                }
+            }
+            Phase::Witness(w) => {
+                return Answer {
+                    outcome: Outcome::Satisfied(w),
+                    stats,
+                }
+            }
+            Phase::Infeasible => {}
+        }
+
+        // ---- under-approximation ---------------------------------------
+        // The unweighted engine still guides the under-approximating
+        // search by failure count: among the traces the global counter
+        // admits, the failure-minimal one is the most likely to pass the
+        // concrete feasibility check (e.g. a 0-failure primary trace is
+        // feasible by construction). The weighted engine minimizes the
+        // user's specification instead, as the paper prescribes.
+        stats.used_under = true;
+        let under = match &opts.weights {
+            None => run_phase::<MinTotal>(
+                self.net,
+                cq,
+                ApproxMode::Under,
+                opts,
+                &|m| MinTotal(m.failures),
+                &|_| None,
+                &mut stats,
+            ),
+            Some(spec) => {
+                let spec = spec.clone();
+                run_phase::<MinVector>(
+                    self.net,
+                    cq,
+                    ApproxMode::Under,
+                    opts,
+                    &move |m| spec.weigh(m),
+                    &|w| Some(w.0.clone()),
+                    &mut stats,
+                )
+            }
+        };
+        match under {
+            Phase::Witness(w) => Answer {
+                outcome: Outcome::Satisfied(w),
+                stats,
+            },
+            _ => Answer {
+                outcome: Outcome::Inconclusive,
+                stats,
+            },
+        }
+    }
+}

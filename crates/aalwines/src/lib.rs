@@ -1,0 +1,64 @@
+//! # aalwines — fast and quantitative what-if analysis for MPLS networks
+//!
+//! This crate is the core of a from-scratch Rust reproduction of
+//! *AalWiNes: A Fast and Quantitative What-If Analysis Tool for MPLS
+//! Networks* (CoNEXT 2020). Given an MPLS data plane
+//! ([`netmodel::Network`]), a reachability query
+//! ([`query::Query`], `<a> b <c> k`), and optionally a vector of linear
+//! expressions over atomic trace quantities, it decides query
+//! satisfiability under up to `k` link failures and produces a
+//! (minimum-weight) witness trace.
+//!
+//! ## Pipeline (paper Section 4.2)
+//!
+//! 1. [`construction`] compiles network × query into a weighted pushdown
+//!    system by **over-approximation**: a backup forwarding rule of local
+//!    priority `j` is admitted whenever the links of all higher-priority
+//!    groups (≤ `k` of them) *could* have failed at that router.
+//! 2. [`pdaal::reduction`] prunes rules via top-of-stack analysis.
+//! 3. `post*` saturation + shortest-path extraction answer reachability;
+//!    an unsatisfied over-approximation is a conclusive **no**.
+//! 4. A candidate witness is lifted back to a network trace and checked
+//!    for **feasibility** (is there a concrete failure set of size ≤ `k`
+//!    making it valid?). Feasible ⇒ conclusive **yes** with witness.
+//! 5. Otherwise the **under-approximation** (a global failure counter in
+//!    the control state, double-counting on loops) runs; a witness there
+//!    is also a conclusive yes, else the answer is *inconclusive*.
+//!
+//! ## Engines
+//!
+//! * [`engine::Verifier`] — the dual over/under engine, unweighted
+//!   (`Dual` in the paper's Table 1) or weighted by any
+//!   [`quantities::WeightSpec`] (`Failures` column).
+//! * [`moped`] — a baseline that mimics how the paper used the Moped
+//!   model checker: plain unweighted `post*` on the *unreduced* PDS with
+//!   no dual refinement and no shortest-trace guidance.
+//!
+//! ## Example
+//!
+//! ```
+//! use aalwines::{Verifier, VerifyOptions, Outcome};
+//! use query::parse_query;
+//!
+//! // The paper's running example network (Figure 1).
+//! let net = aalwines::examples::paper_network();
+//! let q = parse_query("<ip> [.#v0] .* [v3#.] <ip> 0").unwrap();
+//! let verifier = Verifier::new(&net);
+//! let answer = verifier.verify(&q, &VerifyOptions::default());
+//! assert!(matches!(answer.outcome, Outcome::Satisfied(_)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod construction;
+pub mod engine;
+pub mod examples;
+pub mod lift;
+pub mod moped;
+pub mod quantities;
+
+pub use batch::verify_batch;
+pub use engine::{Answer, EngineStats, Outcome, Verifier, VerifyOptions, Witness};
+pub use quantities::{AtomicQuantity, LinearExpr, WeightSpec};

@@ -1,0 +1,191 @@
+//! Lifting PDS witness runs back to MPLS network traces.
+//!
+//! The PDS construction tags every rule that *completes* a forwarding
+//! step with the traversed link (see
+//! [`construction::tag_for_link`](crate::construction::tag_for_link));
+//! intermediate chain rules carry tag 0. Replaying a reconstructed run
+//! over the stack and emitting a `(link, header)` pair at every tagged
+//! rule yields exactly the paper's notion of a trace.
+
+use crate::construction::{link_of_tag, StateMeta};
+use netmodel::{Header, LabelId, LinkId, Network, Trace, TraceStep};
+use pdaal::witness::Run;
+use pdaal::{Pds, RuleOp, SymbolId, Weight};
+
+/// Errors while lifting a run to a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// The run starts in a chain state (internal invariant violation).
+    StartNotReal,
+    /// A rule did not apply to the replayed stack (internal invariant
+    /// violation).
+    RuleMismatch,
+}
+
+impl std::fmt::Display for LiftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiftError::StartNotReal => write!(f, "witness run starts in an intermediate state"),
+            LiftError::RuleMismatch => write!(f, "witness run does not replay on its stack"),
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+fn header_of(stack: &[SymbolId]) -> Header {
+    Header::from_top_first(stack.iter().map(|s| LabelId(s.0)).collect())
+}
+
+/// Replay `run` and produce the network trace it encodes.
+///
+/// `pds` must be the pushdown system the run was reconstructed against
+/// (the reduced one if reductions were applied), and `meta` the state
+/// metadata from the construction (reductions preserve the state space).
+pub fn lift_run<W: Weight>(
+    _net: &Network,
+    pds: &Pds<W>,
+    meta: &[StateMeta],
+    run: &Run,
+) -> Result<Trace, LiftError> {
+    let StateMeta::Real { link, .. } = meta
+        .get(run.start_state.index())
+        .ok_or(LiftError::StartNotReal)?
+    else {
+        return Err(LiftError::StartNotReal);
+    };
+    let mut stack: Vec<SymbolId> = run.start_stack.clone();
+    let mut steps: Vec<TraceStep> = vec![TraceStep {
+        link: *link,
+        header: header_of(&stack),
+    }];
+    for &rid in &run.rules {
+        let r = pds.rule(rid);
+        if stack.first() != Some(&r.sym) {
+            return Err(LiftError::RuleMismatch);
+        }
+        match r.op {
+            RuleOp::Pop => {
+                stack.remove(0);
+            }
+            RuleOp::Swap(g) => stack[0] = g,
+            RuleOp::Push(g1, g2) => {
+                stack[0] = g2;
+                stack.insert(0, g1);
+            }
+        }
+        if let Some(step_link) = link_of_tag(r.tag) {
+            steps.push(TraceStep {
+                link: step_link,
+                header: header_of(&stack),
+            });
+        }
+    }
+    Ok(Trace::new(steps))
+}
+
+/// A trace as raw `(link, header)` pairs, for the feasibility check.
+pub fn trace_pairs(trace: &Trace) -> Vec<(LinkId, Header)> {
+    trace
+        .steps
+        .iter()
+        .map(|s| (s.link, s.header.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::{tag_for_link, StateMeta};
+    use pdaal::witness::Run;
+    use pdaal::{Pds, RuleOp, StateId, SymbolId, Unweighted};
+
+    /// A hand-built two-rule chain: state 0 is real (on link 3); rule A
+    /// is an intermediate chain rule (tag 0), rule B completes the step
+    /// onto link 7.
+    fn setup() -> (Pds<Unweighted>, Vec<StateMeta>) {
+        let mut pds = Pds::new(3, 4);
+        let meta = vec![
+            StateMeta::Real {
+                link: LinkId(3),
+                qb: 0,
+                failures: 0,
+            },
+            StateMeta::Chain,
+            StateMeta::Real {
+                link: LinkId(7),
+                qb: 1,
+                failures: 0,
+            },
+        ];
+        // <p0, g0> -> <p1, g1 g0>  (intermediate)
+        pds.add_rule(
+            StateId(0),
+            SymbolId(0),
+            StateId(1),
+            RuleOp::Push(SymbolId(1), SymbolId(0)),
+            Unweighted,
+            0,
+        );
+        // <p1, g1> -> <p2, g2>  (completes the hop onto link 7)
+        pds.add_rule(
+            StateId(1),
+            SymbolId(1),
+            StateId(2),
+            RuleOp::Swap(SymbolId(2)),
+            Unweighted,
+            tag_for_link(LinkId(7)),
+        );
+        (pds, meta)
+    }
+
+    #[test]
+    fn lift_emits_steps_only_on_tagged_rules() {
+        let (pds, meta) = setup();
+        let net = crate::examples::paper_network(); // unused by lift_run
+        let run = Run {
+            start_state: StateId(0),
+            start_stack: vec![SymbolId(0), SymbolId(3)],
+            rules: vec![pdaal::RuleId(0), pdaal::RuleId(1)],
+        };
+        let trace = lift_run(&net, &pds, &meta, &run).expect("lifts");
+        assert_eq!(trace.steps.len(), 2, "initial pair + one tagged hop");
+        assert_eq!(trace.steps[0].link, LinkId(3));
+        assert_eq!(trace.steps[1].link, LinkId(7));
+        // Header after both rules: g2 g0 g3 (top first).
+        assert_eq!(
+            trace.steps[1].header.0,
+            vec![LabelId(2), LabelId(0), LabelId(3)]
+        );
+    }
+
+    #[test]
+    fn lift_rejects_chain_start() {
+        let (pds, meta) = setup();
+        let net = crate::examples::paper_network();
+        let run = Run {
+            start_state: StateId(1), // a chain state
+            start_stack: vec![SymbolId(1)],
+            rules: vec![],
+        };
+        assert_eq!(
+            lift_run(&net, &pds, &meta, &run),
+            Err(LiftError::StartNotReal)
+        );
+    }
+
+    #[test]
+    fn lift_rejects_mismatched_rule() {
+        let (pds, meta) = setup();
+        let net = crate::examples::paper_network();
+        let run = Run {
+            start_state: StateId(0),
+            start_stack: vec![SymbolId(2)], // rule 0 consumes g0, not g2
+            rules: vec![pdaal::RuleId(0)],
+        };
+        assert_eq!(
+            lift_run(&net, &pds, &meta, &run),
+            Err(LiftError::RuleMismatch)
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Integration tests for the verification core: deep header rewrites
+//! (the `pop∘swap` fan-out path of the PDS construction), forced backup
+//! paths, multi-level failover, and approximation behaviour.
+
+use aalwines::construction::{build, ApproxMode};
+use aalwines::{AtomicQuantity, Outcome, Verifier, VerifyOptions, WeightSpec};
+use netmodel::{LabelTable, LinkId, Network, Op, RoutingEntry, Topology};
+use pdaal::Unweighted;
+use query::{compile, parse_query};
+
+fn verify(net: &Network, q: &str) -> aalwines::Answer {
+    let parsed = parse_query(q).unwrap_or_else(|e| panic!("{q}: {e}"));
+    Verifier::new(net).verify(&parsed, &VerifyOptions::default())
+}
+
+/// A line network whose middle router applies `pop ∘ swap(x)` — the
+/// operation shape that forces the construction's per-symbol fan-out
+/// (rewriting below the consumed top symbol).
+fn deep_rewrite_network() -> Network {
+    let mut t = Topology::new();
+    let x0 = t.add_router("x0", None);
+    let r1 = t.add_router("r1", None);
+    let r2 = t.add_router("r2", None);
+    let x3 = t.add_router("x3", None);
+    let e0 = t.add_link(x0, "o", r1, "i", 1);
+    let e1 = t.add_link(r1, "o", r2, "i", 1);
+    let e2 = t.add_link(r2, "o", x3, "i", 1);
+
+    let mut labels = LabelTable::new();
+    let m30 = labels.mpls("30");
+    let s20 = labels.mpls_bos("s20");
+    let s21 = labels.mpls_bos("s21");
+    let _s22 = labels.mpls_bos("s22");
+    labels.ip("ip1");
+
+    let mut net = Network::new(t, labels);
+    // r1: pop the tunnel label AND rewrite the exposed service label in
+    // one rule — H(30∘s20∘ip1, pop∘swap(s21)) = s21∘ip1.
+    net.add_rule(
+        e0,
+        m30,
+        1,
+        RoutingEntry {
+            out: e1,
+            ops: vec![Op::Pop, Op::Swap(s21)],
+        },
+    );
+    // r2 forwards the rewritten service label out.
+    net.add_rule(
+        e1,
+        s21,
+        1,
+        RoutingEntry {
+            out: e2,
+            ops: vec![],
+        },
+    );
+    // A decoy: had the swap targeted s20 the packet would be dropped.
+    net.add_rule(
+        e1,
+        s20,
+        1,
+        RoutingEntry {
+            out: e2,
+            ops: vec![Op::Pop],
+        },
+    );
+    net
+}
+
+#[test]
+fn pop_swap_rewrites_below_top() {
+    let net = deep_rewrite_network();
+    // The packet enters with 30∘s20∘ip1 and must leave r2 as s21∘ip1.
+    let ans = verify(&net, "<30 s20 ip> [.#r1] . . <s21 ip> 0");
+    let Outcome::Satisfied(w) = ans.outcome else {
+        panic!("deep rewrite must be verifiable, got {:?}", ans.outcome);
+    };
+    assert_eq!(w.trace.steps.len(), 3);
+    let last = w.trace.steps.last().unwrap();
+    assert_eq!(net.labels.name(last.header.top().unwrap()), "s21");
+    assert!(w.trace.is_valid(&net, &w.failed_links));
+}
+
+#[test]
+fn pop_swap_does_not_leak_wrong_symbol() {
+    let net = deep_rewrite_network();
+    // The exposed label after the pop is s20, but the swap replaces it:
+    // no trace can leave r2 still carrying s20 on top of ip.
+    let ans = verify(&net, "<30 s20 ip> [.#r1] . . <s20 ip> 0");
+    assert!(matches!(ans.outcome, Outcome::Unsatisfied));
+}
+
+/// Paper network with the path constraint forced through the backup
+/// tunnel: satisfiable only when a failure is allowed.
+#[test]
+fn forced_backup_needs_failure_budget() {
+    let net = aalwines::examples::paper_network();
+    // Route via v4 (the bypass) while carrying the IP traffic that is
+    // primarily routed over e4: only possible if e4 may fail.
+    let q1 = "<ip> [.#v0] [v0#v2] [v2#v4] .* [v3#.] <ip> 1";
+    let q0 = "<ip> [.#v0] [v0#v2] [v2#v4] .* [v3#.] <ip> 0";
+    let with_budget = verify(&net, q1);
+    let Outcome::Satisfied(w) = with_budget.outcome else {
+        panic!("backup path must exist with k=1, got {:?}", with_budget.outcome);
+    };
+    assert_eq!(w.failed_links.len(), 1, "exactly the protected link fails");
+    let without = verify(&net, q0);
+    assert!(
+        matches!(without.outcome, Outcome::Unsatisfied),
+        "without failures the backup group is never active"
+    );
+}
+
+/// Three-deep priority groups: the engine must count 2 locally-required
+/// failures for the tertiary route.
+#[test]
+fn multi_level_failover_counts_failures() {
+    let mut t = Topology::new();
+    let x0 = t.add_router("x0", None);
+    let r1 = t.add_router("r1", None);
+    let r2 = t.add_router("r2", None);
+    let x3 = t.add_router("x3", None);
+    let e0 = t.add_link(x0, "o", r1, "i", 1);
+    let a = t.add_link(r1, "a", r2, "a", 1);
+    let b = t.add_link(r1, "b", r2, "b", 1);
+    let c = t.add_link(r1, "c", r2, "c", 1);
+    let e2 = t.add_link(r2, "o", x3, "i", 1);
+    let mut labels = LabelTable::new();
+    let s0 = labels.mpls_bos("s0");
+    let (sa, sb, sc) = (
+        labels.mpls_bos("sa"),
+        labels.mpls_bos("sb"),
+        labels.mpls_bos("sc"),
+    );
+    labels.ip("ip1");
+    let mut net = Network::new(t, labels);
+    for (prio, out, lab) in [(1, a, sa), (2, b, sb), (3, c, sc)] {
+        net.add_rule(
+            e0,
+            s0,
+            prio,
+            RoutingEntry {
+                out,
+                ops: vec![Op::Swap(lab)],
+            },
+        );
+    }
+    for lab in [sa, sb, sc] {
+        for link in [a, b, c] {
+            net.add_rule(
+                link,
+                lab,
+                1,
+                RoutingEntry {
+                    out: e2,
+                    ops: vec![],
+                },
+            );
+        }
+    }
+
+    // The tertiary label sc is only seen if BOTH a and b fail.
+    let sat2 = verify(&net, "<s0 ip> [.#r1] . . <sc ip> 2");
+    let Outcome::Satisfied(w) = sat2.outcome else {
+        panic!("tertiary path needs k=2, got {:?}", sat2.outcome);
+    };
+    assert_eq!(w.failed_links.len(), 2);
+    let unsat1 = verify(&net, "<s0 ip> [.#r1] . . <sc ip> 1");
+    assert!(matches!(unsat1.outcome, Outcome::Unsatisfied));
+    // The weighted engine reports the failure count as the weight.
+    let parsed = parse_query("<s0 ip> [.#r1] . . <sc ip> 2").unwrap();
+    let weighted = Verifier::new(&net).verify(
+        &parsed,
+        &VerifyOptions {
+            weights: Some(WeightSpec::single(AtomicQuantity::Failures)),
+            ..Default::default()
+        },
+    );
+    let Outcome::Satisfied(w) = weighted.outcome else {
+        panic!("weighted run must agree");
+    };
+    assert_eq!(w.weight.as_deref(), Some(&[2][..]));
+}
+
+#[test]
+fn under_approximation_threads_failure_budget() {
+    // Structure check on the under-approximating construction: it must
+    // create distinct control states per consumed-failure count and gate
+    // rules by the remaining budget.
+    let net = aalwines::examples::paper_network();
+    let q = parse_query("<ip> [.#v0] .* [v3#.] <ip> 1").unwrap();
+    let cq = compile(&q, &net);
+    let over = build(&net, &cq, ApproxMode::Over, &|_| Unweighted);
+    let under = build(&net, &cq, ApproxMode::Under, &|_| Unweighted);
+    // The under-approximation duplicates states across budget levels.
+    assert!(under.pds.num_states() > over.pds.num_states());
+    // Failure metadata is populated.
+    let has_budget_state = under.meta.iter().any(
+        |m| matches!(m, aalwines::construction::StateMeta::Real { failures, .. } if *failures > 0),
+    );
+    assert!(has_budget_state, "some state must carry a consumed failure");
+}
+
+#[test]
+fn stats_reflect_pipeline() {
+    let net = aalwines::examples::paper_network();
+    let ans = verify(&net, "<ip> [.#v0] .* [v3#.] <ip> 0");
+    let s = &ans.stats;
+    assert!(s.rules_over > 0);
+    assert!(s.sat_transitions > 0);
+    assert!(!s.used_under, "conclusive over-approximation skips under");
+    assert!(s.t_construct.as_nanos() > 0);
+}
+
+#[test]
+fn distance_weight_uses_link_distances() {
+    // Two routes with different distances; the Distance-minimal witness
+    // must take the short one.
+    let mut t = Topology::new();
+    let x0 = t.add_router("x0", None);
+    let r1 = t.add_router("r1", None);
+    let r2 = t.add_router("r2", None);
+    let x3 = t.add_router("x3", None);
+    let e0 = t.add_link(x0, "o", r1, "i", 1);
+    let short = t.add_link(r1, "s", r2, "s", 10);
+    let long = t.add_link(r1, "l", r2, "l", 500);
+    let e2 = t.add_link(r2, "o", x3, "i", 1);
+    let mut labels = LabelTable::new();
+    let ip = labels.ip("ip1");
+    let mut net = Network::new(t, labels);
+    for out in [short, long] {
+        net.add_rule(e0, ip, 1, RoutingEntry { out, ops: vec![] });
+        net.add_rule(out, ip, 1, RoutingEntry { out: e2, ops: vec![] });
+    }
+    let parsed = parse_query("<ip> [.#r1] . . <ip> 0").unwrap();
+    let ans = Verifier::new(&net).verify(
+        &parsed,
+        &VerifyOptions {
+            weights: Some(WeightSpec::single(AtomicQuantity::Distance)),
+            ..Default::default()
+        },
+    );
+    let Outcome::Satisfied(w) = ans.outcome else {
+        panic!("must be satisfiable");
+    };
+    // 1 (e0) + 10 (short) + 1 (e2) = 12.
+    assert_eq!(w.weight.as_deref(), Some(&[12][..]));
+    assert!(w.trace.steps.iter().any(|s| s.link == short));
+    assert!(w.trace.steps.iter().all(|s| s.link != long));
+}
+
+#[test]
+fn links_vs_hops_on_self_loops() {
+    // A self-loop counts for Links but not for Hops.
+    let mut t = Topology::new();
+    let x0 = t.add_router("x0", None);
+    let r1 = t.add_router("r1", None);
+    let x2 = t.add_router("x2", None);
+    let e0 = t.add_link(x0, "o", r1, "i", 1);
+    let loopy = t.add_link(r1, "lo", r1, "li", 1);
+    let e2 = t.add_link(r1, "o", x2, "i", 1);
+    let mut labels = LabelTable::new();
+    let ip = labels.ip("ip1");
+    let s = labels.mpls_bos("s");
+    let mut net = Network::new(t, labels);
+    // e0 → loop (swap to s) → out.
+    net.add_rule(
+        e0,
+        ip,
+        1,
+        RoutingEntry {
+            out: loopy,
+            ops: vec![Op::Push(s)],
+        },
+    );
+    net.add_rule(
+        loopy,
+        s,
+        1,
+        RoutingEntry {
+            out: e2,
+            ops: vec![Op::Pop],
+        },
+    );
+    let q = parse_query("<ip> [.#r1] . . <ip> 0").unwrap();
+    let links = Verifier::new(&net).verify(
+        &q,
+        &VerifyOptions {
+            weights: Some(WeightSpec::single(AtomicQuantity::Links)),
+            ..Default::default()
+        },
+    );
+    let hops = Verifier::new(&net).verify(
+        &q,
+        &VerifyOptions {
+            weights: Some(WeightSpec::single(AtomicQuantity::Hops)),
+            ..Default::default()
+        },
+    );
+    let (Outcome::Satisfied(wl), Outcome::Satisfied(wh)) = (links.outcome, hops.outcome) else {
+        panic!("both runs must be satisfiable");
+    };
+    assert_eq!(wl.weight.as_deref(), Some(&[3][..]), "3 links traversed");
+    assert_eq!(wh.weight.as_deref(), Some(&[2][..]), "self-loop not a hop");
+}

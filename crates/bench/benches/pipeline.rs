@@ -1,0 +1,140 @@
+//! Criterion benchmarks for the full verification pipeline and its
+//! design-choice ablations on a Zoo-like network:
+//!
+//! * reductions on vs off (the paper's "series of reductions"),
+//! * the Dual engine vs the Moped-style baseline,
+//! * the weighted engine's overhead per quantity,
+//! * the Moped filter-expansion cost in isolation.
+
+use aalwines::moped::{expand_filters, verify_moped_compiled};
+use aalwines::{AtomicQuantity, Verifier, VerifyOptions, WeightSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pdaal::Unweighted;
+use query::{compile, parse_query};
+use topogen::lsp::{build_mpls_dataplane, Dataplane, LspConfig};
+use topogen::zoo::{zoo_like, ZooConfig};
+
+fn workload() -> (Dataplane, Vec<query::Query>) {
+    let topo = zoo_like(&ZooConfig {
+        routers: 40,
+        avg_degree: 3.0,
+        seed: 0xBE,
+    });
+    let dp = build_mpls_dataplane(
+        topo,
+        &LspConfig {
+            edge_routers: 8,
+            max_pairs: 56,
+            protect: true,
+            service_chains: 60,
+            seed: 0xBF,
+        },
+    );
+    let queries = topogen::queries::figure4_queries(&dp, 6, 0xC0)
+        .iter()
+        .map(|q| parse_query(q).expect("generated queries parse"))
+        .collect();
+    (dp, queries)
+}
+
+fn bench_reductions_ablation(c: &mut Criterion) {
+    let (dp, queries) = workload();
+    let verifier = Verifier::new(&dp.net);
+    let mut group = c.benchmark_group("reductions");
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            for q in &queries {
+                verifier.verify(q, &VerifyOptions::default());
+            }
+        })
+    });
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            for q in &queries {
+                verifier.verify(
+                    q,
+                    &VerifyOptions {
+                        no_reduction: true,
+                        ..Default::default()
+                    },
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let (dp, queries) = workload();
+    let verifier = Verifier::new(&dp.net);
+    let mut group = c.benchmark_group("engine");
+    group.bench_function("dual", |b| {
+        b.iter(|| {
+            for q in &queries {
+                verifier.verify(q, &VerifyOptions::default());
+            }
+        })
+    });
+    group.bench_function("moped", |b| {
+        b.iter(|| {
+            for q in &queries {
+                let cq = compile(q, &dp.net);
+                verify_moped_compiled(&dp.net, &cq);
+            }
+        })
+    });
+    for quantity in [
+        AtomicQuantity::Failures,
+        AtomicQuantity::Hops,
+        AtomicQuantity::Distance,
+        AtomicQuantity::Tunnels,
+    ] {
+        group.bench_function(format!("weighted_{quantity}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    verifier.verify(
+                        q,
+                        &VerifyOptions {
+                            weights: Some(WeightSpec::single(quantity)),
+                            ..Default::default()
+                        },
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_moped_expansion(c: &mut Criterion) {
+    let (dp, queries) = workload();
+    // Build the initial automaton once per query; measure only the
+    // symbolic→explicit expansion that the Moped boundary requires.
+    let automata: Vec<pdaal::PAutomaton<Unweighted>> = queries
+        .iter()
+        .map(|q| {
+            let cq = compile(q, &dp.net);
+            aalwines::construction::build(
+                &dp.net,
+                &cq,
+                aalwines::construction::ApproxMode::Over,
+                &|_| Unweighted,
+            )
+            .initial
+        })
+        .collect();
+    c.bench_function("moped/filter_expansion", |b| {
+        b.iter(|| {
+            for aut in &automata {
+                expand_filters(aut);
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_reductions_ablation, bench_engines, bench_moped_expansion
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the pdaal saturation engines:
+//! `post*` vs `pre*`, and the overhead of the weight domains
+//! (unweighted / scalar min-plus / lexicographic vectors) on the same
+//! pushdown systems — the "weighted extension only entails a moderate
+//! overhead" claim at the engine level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pdaal::poststar::post_star;
+use pdaal::prestar::pre_star;
+use pdaal::{
+    AutState, MinTotal, MinVector, PAutomaton, Pds, RuleOp, StateId, SymbolId, Unweighted, Weight,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random sparse PDS shaped like the verification workloads: mostly
+/// swaps, some pushes/pops, ~4 rules per (state, symbol) head.
+fn random_pds<W: Weight>(
+    states: u32,
+    symbols: u32,
+    rules: usize,
+    seed: u64,
+    mk: impl Fn(u64) -> W,
+) -> Pds<W> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pds = Pds::new(states, symbols);
+    for i in 0..rules {
+        let from = StateId(rng.gen_range(0..states));
+        let sym = SymbolId(rng.gen_range(0..symbols));
+        let to = StateId(rng.gen_range(0..states));
+        let op = match rng.gen_range(0..10) {
+            0 | 1 => RuleOp::Pop,
+            2 | 3 => RuleOp::Push(
+                SymbolId(rng.gen_range(0..symbols)),
+                SymbolId(rng.gen_range(0..symbols)),
+            ),
+            _ => RuleOp::Swap(SymbolId(rng.gen_range(0..symbols))),
+        };
+        pds.add_rule(from, sym, to, op, mk(i as u64 % 7), i as u64);
+    }
+    pds
+}
+
+fn single_config<W: Weight>(pds: &Pds<W>, word_len: usize) -> PAutomaton<W> {
+    let mut aut = PAutomaton::new(pds);
+    let mut prev = AutState(0);
+    for i in 0..word_len {
+        let next = aut.add_state();
+        aut.add_edge(prev, SymbolId((i as u32) % pds.num_symbols()), next, W::one());
+        prev = next;
+    }
+    aut.set_final(prev);
+    aut
+}
+
+fn bench_poststar_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poststar/rules");
+    for &rules in &[1_000usize, 5_000, 20_000] {
+        let pds = random_pds(200, 50, rules, 42, |_| Unweighted);
+        let init = single_config(&pds, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &rules, |b, _| {
+            b.iter(|| post_star(&pds, &init))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prestar_vs_poststar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("direction");
+    let pds = random_pds(200, 50, 5_000, 43, |_| Unweighted);
+    let init = single_config(&pds, 3);
+    group.bench_function("post_star", |b| b.iter(|| post_star(&pds, &init)));
+    group.bench_function("pre_star", |b| b.iter(|| pre_star(&pds, &init)));
+    group.finish();
+}
+
+fn bench_weight_domains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weights");
+    let unweighted = random_pds(200, 50, 5_000, 44, |_| Unweighted);
+    let scalar = random_pds(200, 50, 5_000, 44, MinTotal);
+    let vector = random_pds(200, 50, 5_000, 44, |w| MinVector(vec![w, w % 3, w % 5]));
+    let i0 = single_config(&unweighted, 3);
+    let i1 = single_config(&scalar, 3);
+    let i2 = single_config(&vector, 3);
+    group.bench_function("unweighted", |b| b.iter(|| post_star(&unweighted, &i0)));
+    group.bench_function("min_total", |b| b.iter(|| post_star(&scalar, &i1)));
+    group.bench_function("min_vector3", |b| b.iter(|| post_star(&vector, &i2)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_poststar_scaling, bench_prestar_vs_poststar, bench_weight_domains
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! # aalwines-bench — the reproduction's benchmark harness
+//!
+//! One binary per paper artefact:
+//!
+//! * `table1` — regenerates Table 1 (six operator queries on the
+//!   NORDUnet-like network; columns Moped / Dual / Failures-weighted),
+//! * `figure4` — regenerates Figure 4 (cactus plot over Zoo-like
+//!   networks; sorted per-instance verification times for the three
+//!   engines, plus inconclusive-rate accounting),
+//!
+//! plus Criterion micro-benchmarks for the engine internals (saturation,
+//! reductions on/off, `pre*` vs `post*`, weight-domain overhead).
+//!
+//! All harness code uses wall-clock timing of the same code paths the
+//! library exposes publicly; workloads are seeded and deterministic.
+
+use aalwines::moped::verify_moped_compiled;
+use aalwines::{Answer, AtomicQuantity, Outcome, Verifier, VerifyOptions, WeightSpec};
+use query::{compile, parse_query};
+use std::time::{Duration, Instant};
+use topogen::lsp::Dataplane;
+
+/// Which engine to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Engine {
+    /// The Moped-style baseline backend.
+    Moped,
+    /// AalWiNes' unweighted dual engine.
+    Dual,
+    /// AalWiNes' weighted engine minimizing `Failures`.
+    WeightedFailures,
+}
+
+impl Engine {
+    /// Column label as in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Moped => "Moped",
+            Engine::Dual => "Dual",
+            Engine::WeightedFailures => "Failures",
+        }
+    }
+
+    /// All three engines in paper column order.
+    pub fn all() -> [Engine; 3] {
+        [Engine::Moped, Engine::Dual, Engine::WeightedFailures]
+    }
+}
+
+/// Result of one timed verification.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Wall-clock time of the full pipeline (compile → construct →
+    /// reduce → solve → validate).
+    pub time: Duration,
+    /// The engine's answer.
+    pub answer: Answer,
+}
+
+/// Time one query on one engine.
+pub fn run_one(dp: &Dataplane, query_text: &str, engine: Engine) -> Measurement {
+    let q = parse_query(query_text).unwrap_or_else(|e| panic!("{query_text}: {e}"));
+    let t0 = Instant::now();
+    let answer = match engine {
+        Engine::Moped => {
+            let cq = compile(&q, &dp.net);
+            verify_moped_compiled(&dp.net, &cq)
+        }
+        Engine::Dual => Verifier::new(&dp.net).verify(&q, &VerifyOptions::default()),
+        Engine::WeightedFailures => Verifier::new(&dp.net).verify(
+            &q,
+            &VerifyOptions {
+                weights: Some(WeightSpec::single(AtomicQuantity::Failures)),
+                ..Default::default()
+            },
+        ),
+    };
+    Measurement {
+        time: t0.elapsed(),
+        answer,
+    }
+}
+
+/// Render an outcome as a short cell.
+pub fn outcome_cell(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::Satisfied(_) => "sat",
+        Outcome::Unsatisfied => "unsat",
+        Outcome::Inconclusive => "inconcl",
+    }
+}
+
+/// Format a duration in seconds with paper-style precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}

@@ -1,0 +1,338 @@
+//! A minimal JSON parser/writer for the location-mapping file
+//! (objects, arrays, strings, numbers, booleans, null).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (sorted keys for deterministic output).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object member access.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serialize (compact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Value::String(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                out.push('{');
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Value::String(k.clone()).write_into(out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A JSON parse error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct P<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            pos: self.i,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && (self.s[self.i] as char).is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.s.get(self.i).map(|&b| b as char)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {c:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some('{') => self.object(),
+            Some('[') => self.array(),
+            Some('"') => Ok(Value::String(self.string()?)),
+            Some('t') => self.literal("true", Value::Bool(true)),
+            Some('f') => self.literal("false", Value::Bool(false)),
+            Some('n') => self.literal("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            other => Err(self.err(format!("unexpected {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Value) -> Result<Value, JsonError> {
+        if self.s[self.i..].starts_with(text.as_bytes()) {
+            self.i += text.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected {text}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.i;
+        while self.i < self.s.len() {
+            let c = self.s[self.i] as char;
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .unwrap()
+            .parse::<f64>()
+            .map(Value::Number)
+            .map_err(|e| self.err(format!("bad number: {e}")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        while self.i < self.s.len() {
+            let c = self.s[self.i] as char;
+            self.i += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let e = *self
+                        .s
+                        .get(self.i)
+                        .ok_or_else(|| self.err("unterminated escape"))?
+                        as char;
+                    self.i += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'u' => {
+                            let hex = std::str::from_utf8(
+                                self.s
+                                    .get(self.i..self.i + 4)
+                                    .ok_or_else(|| self.err("truncated \\u escape"))?,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(self.err(format!("bad escape \\{other}"))),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(']') {
+            self.i += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(',') => {
+                    self.i += 1;
+                }
+                Some(']') => {
+                    self.i += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(self.err(format!("expected ',' or ']', got {other:?}"))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect('{')?;
+        let mut m = BTreeMap::new();
+        if self.peek() == Some('}') {
+            self.i += 1;
+            return Ok(Value::Object(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(':')?;
+            let v = self.value()?;
+            m.insert(key, v);
+            match self.peek() {
+                Some(',') => {
+                    self.i += 1;
+                }
+                Some('}') => {
+                    self.i += 1;
+                    return Ok(Value::Object(m));
+                }
+                other => return Err(self.err(format!("expected ',' or '}}', got {other:?}"))),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse(doc: &str) -> Result<Value, JsonError> {
+    let mut p = P {
+        s: doc.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_location_shape() {
+        let doc = r#"{ "R0": { "lat": 46.5, "lng": 7.3 }, "R1": { "lat": -1.25, "lng": 36.8 } }"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("R0").unwrap().get("lat").unwrap().as_f64(), Some(46.5));
+        assert_eq!(v.get("R1").unwrap().get("lng").unwrap().as_f64(), Some(36.8));
+    }
+
+    #[test]
+    fn round_trips() {
+        let doc = r#"{"a":[1,2.5,"x",true,null],"b":{"c":"d\ne"}}"#;
+        let v = parse(doc).unwrap();
+        let v2 = parse(&v.to_json()).unwrap();
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse(r#""\u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("é"));
+    }
+}

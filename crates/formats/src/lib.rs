@@ -1,0 +1,55 @@
+//! # formats — AalWiNes' vendor-agnostic input formats (Appendix A)
+//!
+//! The original tool consumes a *topology* XML file, a *routing* XML
+//! file, and a JSON file with router coordinates:
+//!
+//! ```xml
+//! <network>
+//!   <routers>
+//!     <router name="R0"> <interfaces> <interface name="ae1.11"/> … </interfaces> </router>
+//!   </routers>
+//!   <links>
+//!     <sides>
+//!       <shared_interface interface="et-3/0/0.2" router="R0"/>
+//!       <shared_interface interface="et-1/3/0.2" router="R3"/>
+//!     </sides>
+//!   </links>
+//! </network>
+//! ```
+//!
+//! ```xml
+//! <routes>
+//!   <routings>
+//!     <routing for="R0">
+//!       <destinations>
+//!         <destination from="ae1.11" label="$300292">
+//!           <te-groups> <te-group priority="1">
+//!             <route to="ae5.0"> <actions> <action type="swap" label="$300293"/> </actions> </route>
+//!           </te-group> </te-groups>
+//!         </destination>
+//!       </destinations>
+//!     </routing>
+//!   </routings>
+//! </routes>
+//! ```
+//!
+//! No XML or JSON crate is on this project's offline dependency list, so
+//! [`xml`] and [`json`] implement the small, strict subsets these
+//! documents need (elements, attributes, self-closing tags, comments;
+//! JSON objects/arrays/strings/numbers). Both reject input they do not
+//! understand rather than guessing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod isis;
+pub mod json;
+pub mod locations;
+pub mod route_xml;
+pub mod topo_xml;
+pub mod xml;
+
+pub use isis::{network_from_isis, parse_mapping, write_isis_snapshot};
+pub use locations::{parse_locations, write_locations};
+pub use route_xml::{parse_routes, write_routes};
+pub use topo_xml::{parse_topology, write_topology};

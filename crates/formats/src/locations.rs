@@ -1,0 +1,94 @@
+//! The location-mapping JSON format (Appendix A.2):
+//! `{ "R0": { "lat": 46.5, "lng": 7.3 }, … }`.
+
+use crate::json::{parse as parse_json, JsonError, Value};
+use netmodel::Topology;
+use std::collections::BTreeMap;
+
+/// Serialize every router's coordinates (routers without coordinates are
+/// omitted, as in the original format).
+pub fn write_locations(topo: &Topology) -> String {
+    let mut obj = BTreeMap::new();
+    for r in topo.routers() {
+        if let Some((lat, lng)) = topo.router(r).coord {
+            let mut coords = BTreeMap::new();
+            coords.insert("lat".to_string(), Value::Number(lat));
+            coords.insert("lng".to_string(), Value::Number(lng));
+            obj.insert(topo.router(r).name.clone(), Value::Object(coords));
+        }
+    }
+    Value::Object(obj).to_json()
+}
+
+/// Apply a location mapping to a topology. Unknown routers are ignored
+/// (mapping files are often shared across snapshot versions).
+pub fn parse_locations(doc: &str, topo: &mut Topology) -> Result<(), JsonError> {
+    let v = parse_json(doc)?;
+    let Value::Object(map) = v else {
+        return Err(JsonError {
+            pos: 0,
+            msg: "location mapping must be a JSON object".into(),
+        });
+    };
+    for (name, coords) in map {
+        let Some(r) = topo.router_by_name(&name) else {
+            continue;
+        };
+        let (Some(lat), Some(lng)) = (
+            coords.get("lat").and_then(Value::as_f64),
+            coords.get("lng").and_then(Value::as_f64),
+        ) else {
+            return Err(JsonError {
+                pos: 0,
+                msg: format!("router {name:?} needs numeric lat/lng"),
+            });
+        };
+        topo.set_coord(r, (lat, lng));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_coordinates() {
+        let mut t = Topology::new();
+        t.add_router("R0", Some((46.5, 7.3)));
+        t.add_router("R1", None);
+        let text = write_locations(&t);
+        assert!(text.contains("R0"));
+        assert!(!text.contains("R1"));
+
+        let mut t2 = Topology::new();
+        t2.add_router("R0", None);
+        t2.add_router("R1", None);
+        parse_locations(&text, &mut t2).unwrap();
+        assert_eq!(t2.router(netmodel::RouterId(0)).coord, Some((46.5, 7.3)));
+        assert_eq!(t2.router(netmodel::RouterId(1)).coord, None);
+    }
+
+    #[test]
+    fn parses_appendix_example() {
+        let mut t = Topology::new();
+        t.add_router("R0", None);
+        parse_locations(r#"{ "R0": { "lat": 46.5, "lng": 7.3 } }"#, &mut t).unwrap();
+        assert_eq!(t.router(netmodel::RouterId(0)).coord, Some((46.5, 7.3)));
+    }
+
+    #[test]
+    fn unknown_router_ignored() {
+        let mut t = Topology::new();
+        t.add_router("R0", None);
+        parse_locations(r#"{ "GHOST": { "lat": 1, "lng": 2 } }"#, &mut t).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mut t = Topology::new();
+        t.add_router("R0", None);
+        assert!(parse_locations(r#"[1,2]"#, &mut t).is_err());
+        assert!(parse_locations(r#"{ "R0": { "lat": "north" } }"#, &mut t).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Valid MPLS headers and the header-rewrite function `H` (Definitions
+//! 2–3).
+//!
+//! A valid header is either a bare IP label, or an arbitrary tower of
+//! plain MPLS labels on top of exactly one bottom-of-stack label on top
+//! of an IP label:
+//!
+//! ```text
+//! H = L_IP ∪ { α ℓ₁ ℓ₀ | α ∈ L_M*, ℓ₁ ∈ L_M⊥, ℓ₀ ∈ L_IP }
+//! ```
+//!
+//! [`Header::apply`] implements the partial rewrite function `H(h, ω)`:
+//! it returns `None` exactly where the paper's function is undefined
+//! (swapping/pushing to an invalid header, or popping an IP label).
+
+use crate::label::{LabelId, LabelKind, LabelTable};
+use crate::routing::Op;
+
+/// An MPLS packet header: a label stack with the **top label first**.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Header(pub Vec<LabelId>);
+
+impl Header {
+    /// A header consisting of a single label (normally an IP label).
+    pub fn single(l: LabelId) -> Self {
+        Header(vec![l])
+    }
+
+    /// Construct from top-first labels.
+    pub fn from_top_first(labels: Vec<LabelId>) -> Self {
+        Header(labels)
+    }
+
+    /// The top (left-most) label, `head(h)`.
+    pub fn top(&self) -> Option<LabelId> {
+        self.0.first().copied()
+    }
+
+    /// Header height `|h|`.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the header has no labels (never valid, but representable
+    /// mid-rewrite).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether the header is *valid*, i.e. a member of `H`.
+    pub fn is_valid(&self, labels: &LabelTable) -> bool {
+        match self.0.len() {
+            0 => false,
+            1 => labels.kind(self.0[0]) == LabelKind::Ip,
+            n => {
+                labels.kind(self.0[n - 1]) == LabelKind::Ip
+                    && labels.kind(self.0[n - 2]) == LabelKind::MplsBos
+                    && self.0[..n - 2]
+                        .iter()
+                        .all(|&l| labels.kind(l) == LabelKind::Mpls)
+            }
+        }
+    }
+
+    /// Apply a sequence of MPLS operations; `None` where `H` is
+    /// undefined. The input header must itself be valid.
+    pub fn apply(&self, ops: &[Op], labels: &LabelTable) -> Option<Header> {
+        debug_assert!(self.is_valid(labels), "rewriting an invalid header");
+        let mut cur = self.clone();
+        for op in ops {
+            match *op {
+                Op::Swap(l) => {
+                    if cur.is_empty() {
+                        return None;
+                    }
+                    cur.0[0] = l;
+                    if !cur.is_valid(labels) {
+                        return None;
+                    }
+                }
+                Op::Push(l) => {
+                    cur.0.insert(0, l);
+                    if !cur.is_valid(labels) {
+                        return None;
+                    }
+                }
+                Op::Pop => {
+                    let top = cur.top()?;
+                    if labels.kind(top) == LabelKind::Ip {
+                        return None;
+                    }
+                    cur.0.remove(0);
+                    if !cur.is_valid(labels) {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(cur)
+    }
+
+    /// Render the header as `l1 ∘ l2 ∘ …` (top first), matching the
+    /// paper's trace notation.
+    pub fn display(&self, labels: &LabelTable) -> String {
+        self.0
+            .iter()
+            .map(|&l| labels.name(l).to_string())
+            .collect::<Vec<_>>()
+            .join(" ∘ ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixture {
+        labels: LabelTable,
+        m30: LabelId,
+        m31: LabelId,
+        s20: LabelId,
+        s21: LabelId,
+        ip1: LabelId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut labels = LabelTable::new();
+        let m30 = labels.mpls("30");
+        let m31 = labels.mpls("31");
+        let s20 = labels.mpls_bos("s20");
+        let s21 = labels.mpls_bos("s21");
+        let ip1 = labels.ip("ip1");
+        Fixture {
+            labels,
+            m30,
+            m31,
+            s20,
+            s21,
+            ip1,
+        }
+    }
+
+    #[test]
+    fn validity_of_forms() {
+        let f = fixture();
+        assert!(Header(vec![f.ip1]).is_valid(&f.labels));
+        assert!(Header(vec![f.s20, f.ip1]).is_valid(&f.labels));
+        assert!(Header(vec![f.m30, f.s20, f.ip1]).is_valid(&f.labels));
+        assert!(Header(vec![f.m30, f.m31, f.s20, f.ip1]).is_valid(&f.labels));
+        // Invalid: missing BOS, doubled BOS, bare MPLS, empty.
+        assert!(!Header(vec![f.m30, f.ip1]).is_valid(&f.labels));
+        assert!(!Header(vec![f.s20, f.s21, f.ip1]).is_valid(&f.labels));
+        assert!(!Header(vec![f.m30]).is_valid(&f.labels));
+        assert!(!Header(vec![]).is_valid(&f.labels));
+        assert!(!Header(vec![f.ip1, f.ip1]).is_valid(&f.labels));
+    }
+
+    #[test]
+    fn paper_example_rewrite() {
+        // H(30 ∘ s20 ∘ ip1, pop ∘ swap(s21) ∘ push(31)) = 31 ∘ s21 ∘ ip1
+        let f = fixture();
+        let h = Header(vec![f.m30, f.s20, f.ip1]);
+        let out = h
+            .apply(
+                &[Op::Pop, Op::Swap(f.s21), Op::Push(f.m31)],
+                &f.labels,
+            )
+            .expect("defined");
+        assert_eq!(out, Header(vec![f.m31, f.s21, f.ip1]));
+    }
+
+    #[test]
+    fn pop_of_ip_is_undefined() {
+        let f = fixture();
+        let h = Header(vec![f.ip1]);
+        assert_eq!(h.apply(&[Op::Pop], &f.labels), None);
+    }
+
+    #[test]
+    fn push_plain_onto_ip_is_undefined() {
+        // pushing a plain MPLS label directly on IP skips the BOS label.
+        let f = fixture();
+        let h = Header(vec![f.ip1]);
+        assert_eq!(h.apply(&[Op::Push(f.m30)], &f.labels), None);
+        // but pushing a BOS label is fine:
+        assert_eq!(
+            h.apply(&[Op::Push(f.s20)], &f.labels),
+            Some(Header(vec![f.s20, f.ip1]))
+        );
+    }
+
+    #[test]
+    fn swap_must_preserve_position_kind() {
+        let f = fixture();
+        let h = Header(vec![f.s20, f.ip1]);
+        // swapping BOS to BOS: ok
+        assert!(h.apply(&[Op::Swap(f.s21)], &f.labels).is_some());
+        // swapping BOS to plain MPLS: invalid header
+        assert!(h.apply(&[Op::Swap(f.m30)], &f.labels).is_none());
+        // swapping the lone IP label to another IP label: ok
+        let ip_only = Header(vec![f.ip1]);
+        assert!(ip_only.apply(&[Op::Swap(f.ip1)], &f.labels).is_some());
+    }
+
+    #[test]
+    fn empty_op_sequence_is_identity() {
+        let f = fixture();
+        let h = Header(vec![f.s20, f.ip1]);
+        assert_eq!(h.apply(&[], &f.labels), Some(h.clone()));
+    }
+
+    #[test]
+    fn tunnels_grow_by_push() {
+        let f = fixture();
+        let h = Header(vec![f.s20, f.ip1]);
+        let out = h.apply(&[Op::Push(f.m30)], &f.labels).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.top(), Some(f.m30));
+    }
+}

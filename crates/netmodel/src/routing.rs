@@ -1,0 +1,228 @@
+//! MPLS networks: topology + label table + routing table `τ`
+//! (Definition 2).
+//!
+//! The routing table maps `(incoming link, top label)` to a
+//! priority-ordered sequence of *traffic-engineering groups*. Each group
+//! is a set of `(outgoing link, operation sequence)` pairs; a router
+//! nondeterministically forwards over any *active* link of the
+//! highest-priority group that has one (Section 2.4). Lower group index
+//! means higher priority, matching `O₁ O₂ … Oₙ` in the paper.
+
+use crate::label::{LabelId, LabelTable};
+use crate::topology::{LinkId, Topology};
+use std::collections::HashMap;
+
+/// A single MPLS stack operation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Replace the top label.
+    Swap(LabelId),
+    /// Push a new top label.
+    Push(LabelId),
+    /// Remove the top label.
+    Pop,
+}
+
+/// One forwarding alternative: send over `out` applying `ops`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RoutingEntry {
+    /// Outgoing link (must leave the router the incoming link enters).
+    pub out: LinkId,
+    /// Header operations applied while forwarding.
+    pub ops: Vec<Op>,
+}
+
+/// A traffic-engineering group: a set of equally preferred alternatives.
+pub type TeGroup = Vec<RoutingEntry>;
+
+/// An MPLS network: topology, labels, and the routing function `τ`.
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    /// The underlying multigraph.
+    pub topology: Topology,
+    /// The label universe.
+    pub labels: LabelTable,
+    table: HashMap<(LinkId, LabelId), Vec<TeGroup>>,
+}
+
+impl Network {
+    /// A network over the given topology and labels, with an empty
+    /// routing table.
+    pub fn new(topology: Topology, labels: LabelTable) -> Self {
+        Network {
+            topology,
+            labels,
+            table: HashMap::new(),
+        }
+    }
+
+    /// Add a forwarding rule: packets arriving on `in_link` with top
+    /// label `label` may be forwarded over `entry.out` applying
+    /// `entry.ops`, at the given `priority` (1 = highest, matching the
+    /// paper's tables).
+    ///
+    /// # Panics
+    /// If `entry.out` does not leave the router that `in_link` enters
+    /// (the well-formedness condition `t(e) = s(e_j)` of Definition 2).
+    pub fn add_rule(&mut self, in_link: LinkId, label: LabelId, priority: usize, entry: RoutingEntry) {
+        assert!(priority >= 1, "priorities are 1-based");
+        assert_eq!(
+            self.topology.dst(in_link),
+            self.topology.src(entry.out),
+            "outgoing link must leave the router the incoming link enters"
+        );
+        let groups = self.table.entry((in_link, label)).or_default();
+        if groups.len() < priority {
+            groups.resize(priority, TeGroup::new());
+        }
+        groups[priority - 1].push(entry);
+    }
+
+    /// The full priority-ordered group sequence `τ(e, ℓ)`; empty slice if
+    /// no rule exists.
+    pub fn groups(&self, in_link: LinkId, label: LabelId) -> &[TeGroup] {
+        self.table
+            .get(&(in_link, label))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterate over all `(in_link, label)` keys with routing entries.
+    pub fn routing_keys(&self) -> impl Iterator<Item = (LinkId, LabelId)> + '_ {
+        self.table.keys().copied()
+    }
+
+    /// Total number of forwarding rules (entries across all groups), the
+    /// measure the paper reports for NORDUnet (>250k).
+    pub fn num_rules(&self) -> usize {
+        self.table
+            .values()
+            .map(|gs| gs.iter().map(|g| g.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Validate internal consistency; returns human-readable problems.
+    ///
+    /// Checks: every outgoing link leaves the right router, every group
+    /// sequence is non-empty per group, and every operation's labels are
+    /// interned.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for ((in_link, label), groups) in &self.table {
+            if label.index() >= self.labels.len() {
+                problems.push(format!("rule for unknown label id {label:?}"));
+            }
+            for (gi, group) in groups.iter().enumerate() {
+                if group.is_empty() && gi + 1 != groups.len() {
+                    problems.push(format!(
+                        "empty priority group {} for ({}, {})",
+                        gi + 1,
+                        self.topology.link_name(*in_link),
+                        self.labels.name(*label),
+                    ));
+                }
+                for entry in group {
+                    if self.topology.dst(*in_link) != self.topology.src(entry.out) {
+                        problems.push(format!(
+                            "rule forwards from {} over non-adjacent {}",
+                            self.topology.link_name(*in_link),
+                            self.topology.link_name(entry.out),
+                        ));
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelTable;
+
+    fn line_topology() -> (Topology, Vec<LinkId>) {
+        // v0 -e0-> v1 -e1-> v2, plus v1 -e2-> v2 (parallel)
+        let mut t = Topology::new();
+        let v0 = t.add_router("v0", None);
+        let v1 = t.add_router("v1", None);
+        let v2 = t.add_router("v2", None);
+        let e0 = t.add_link(v0, "i0", v1, "i1", 1);
+        let e1 = t.add_link(v1, "i2", v2, "i3", 1);
+        let e2 = t.add_link(v1, "i4", v2, "i5", 1);
+        (t, vec![e0, e1, e2])
+    }
+
+    #[test]
+    fn rules_group_by_priority() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let mut net = Network::new(t, labels);
+        net.add_rule(
+            e[0],
+            ip,
+            1,
+            RoutingEntry {
+                out: e[1],
+                ops: vec![],
+            },
+        );
+        net.add_rule(
+            e[0],
+            ip,
+            2,
+            RoutingEntry {
+                out: e[2],
+                ops: vec![],
+            },
+        );
+        let groups = net.groups(e[0], ip);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0][0].out, e[1]);
+        assert_eq!(groups[1][0].out, e[2]);
+        assert_eq!(net.num_rules(), 2);
+        assert!(net.validate().is_empty());
+    }
+
+    #[test]
+    fn same_priority_entries_share_group() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let mut net = Network::new(t, labels);
+        for out in [e[1], e[2]] {
+            net.add_rule(e[0], ip, 1, RoutingEntry { out, ops: vec![] });
+        }
+        assert_eq!(net.groups(e[0], ip).len(), 1);
+        assert_eq!(net.groups(e[0], ip)[0].len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outgoing link must leave")]
+    fn non_adjacent_rule_rejected() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let mut net = Network::new(t, labels);
+        // e1 enters v2; e0 leaves v0 — not adjacent.
+        net.add_rule(
+            e[1],
+            ip,
+            1,
+            RoutingEntry {
+                out: e[0],
+                ops: vec![],
+            },
+        );
+    }
+
+    #[test]
+    fn missing_rule_yields_empty_groups() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let net = Network::new(t, labels);
+        assert!(net.groups(e[0], ip).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Network traces (Definition 4) and the atomic quantities of Section 3.
+//!
+//! A trace is a finite sequence of `(link, header)` pairs describing one
+//! possible routing of a packet; validity is relative to a set `F` of
+//! failed links. The atomic quantities `Links`, `Hops`, `Distance`,
+//! `Failures`, and `Tunnels` evaluate a trace to a natural number; the
+//! AalWiNes weight compiler turns linear combinations of them into
+//! semiring weights on PDS rules, and this module is the ground truth
+//! those weights are validated against.
+
+use crate::header::Header;
+use crate::routing::Network;
+use crate::sim::active_group_index;
+use crate::topology::LinkId;
+use std::collections::HashSet;
+
+/// One step of a trace: the packet traverses `link` carrying `header`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceStep {
+    /// The link traversed.
+    pub link: LinkId,
+    /// The header *while on that link* (after the previous router's
+    /// rewrite).
+    pub header: Header,
+}
+
+/// A network trace `(e₁,h₁)(e₂,h₂)…(eₙ,hₙ)`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Trace {
+    /// The steps, in order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Build a trace from `(link, header)` pairs.
+    pub fn new(steps: Vec<TraceStep>) -> Self {
+        Trace { steps }
+    }
+
+    /// `Links(σ) = n`: the length of the trace.
+    pub fn links(&self) -> u64 {
+        self.steps.len() as u64
+    }
+
+    /// `Hops(σ)`: distinct non-self-loop links traversed.
+    pub fn hops(&self, net: &Network) -> u64 {
+        let distinct: HashSet<LinkId> = self
+            .steps
+            .iter()
+            .map(|s| s.link)
+            .filter(|&l| !net.topology.is_self_loop(l))
+            .collect();
+        distinct.len() as u64
+    }
+
+    /// `Distance(σ) = Σ d(eᵢ)` for the topology's distance function.
+    pub fn distance(&self, net: &Network) -> u64 {
+        self.steps
+            .iter()
+            .map(|s| net.topology.link(s.link).distance)
+            .sum()
+    }
+
+    /// `Failures(σ)`: at every step, the number of links in traffic
+    /// engineering groups of strictly higher priority than the group
+    /// actually used — the links that must have failed locally to make
+    /// the step possible (summed over steps, so a link failing may be
+    /// counted more than once, exactly as in the paper).
+    ///
+    /// `F` must be a failure set under which the trace is valid; the
+    /// group actually used at each step is the highest-priority active
+    /// one.
+    pub fn failures(&self, net: &Network, failed: &HashSet<LinkId>) -> Option<u64> {
+        let mut total = 0u64;
+        for w in self.steps.windows(2) {
+            let (cur, _next) = (&w[0], &w[1]);
+            let top = cur.header.top()?;
+            let groups = net.groups(cur.link, top);
+            let j = active_group_index(groups, failed)?;
+            let mut blocked: HashSet<LinkId> = HashSet::new();
+            for g in &groups[..j] {
+                for entry in g {
+                    blocked.insert(entry.out);
+                }
+            }
+            total += blocked.len() as u64;
+        }
+        Some(total)
+    }
+
+    /// `Tunnels(σ) = Σ max(0, |hᵢ₊₁| − |hᵢ|)`: total growth of the label
+    /// stack, i.e. the number of tunnels entered.
+    pub fn tunnels(&self) -> u64 {
+        self.steps
+            .windows(2)
+            .map(|w| (w[1].header.len() as u64).saturating_sub(w[0].header.len() as u64))
+            .sum()
+    }
+
+    /// Validity per Definition 4: every step's link is active, and each
+    /// consecutive pair is justified by an entry of the highest-priority
+    /// active group for the current link and top label.
+    pub fn is_valid(&self, net: &Network, failed: &HashSet<LinkId>) -> bool {
+        for step in &self.steps {
+            if failed.contains(&step.link) {
+                return false;
+            }
+            if !step.header.is_valid(&net.labels) {
+                return false;
+            }
+        }
+        for w in self.steps.windows(2) {
+            let (cur, next) = (&w[0], &w[1]);
+            let Some(top) = cur.header.top() else {
+                return false;
+            };
+            let groups = net.groups(cur.link, top);
+            let Some(j) = active_group_index(groups, failed) else {
+                return false;
+            };
+            let justified = groups[j].iter().any(|entry| {
+                entry.out == next.link
+                    && !failed.contains(&entry.out)
+                    && cur.header.apply(&entry.ops, &net.labels).as_ref() == Some(&next.header)
+            });
+            if !justified {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Render the trace in the paper's `(e, h)(e, h)…` notation.
+    pub fn display(&self, net: &Network) -> String {
+        self.steps
+            .iter()
+            .map(|s| {
+                format!(
+                    "({}, {})",
+                    net.topology.link_name(s.link),
+                    s.header.display(&net.labels)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelTable;
+    use crate::routing::{Op, RoutingEntry};
+    use crate::topology::Topology;
+
+    /// v0 -e0-> v1 -e1-> v2 with a backup v1 -e2-> v2; label swap along
+    /// the way.
+    struct Fix {
+        net: Network,
+        e0: LinkId,
+        e1: LinkId,
+        e2: LinkId,
+        s1: crate::label::LabelId,
+        s2: crate::label::LabelId,
+        ip: crate::label::LabelId,
+    }
+
+    fn fix() -> Fix {
+        let mut t = Topology::new();
+        let v0 = t.add_router("v0", None);
+        let v1 = t.add_router("v1", None);
+        let v2 = t.add_router("v2", None);
+        let e0 = t.add_link(v0, "i0", v1, "i1", 3);
+        let e1 = t.add_link(v1, "i2", v2, "i3", 5);
+        let e2 = t.add_link(v1, "i4", v2, "i5", 7);
+        let mut labels = LabelTable::new();
+        let s1 = labels.mpls_bos("s1");
+        let s2 = labels.mpls_bos("s2");
+        let ip = labels.ip("ip1");
+        let mut net = Network::new(t, labels);
+        net.add_rule(
+            e0,
+            s1,
+            1,
+            RoutingEntry {
+                out: e1,
+                ops: vec![Op::Swap(s2)],
+            },
+        );
+        net.add_rule(
+            e0,
+            s1,
+            2,
+            RoutingEntry {
+                out: e2,
+                ops: vec![Op::Swap(s2)],
+            },
+        );
+        Fix {
+            net,
+            e0,
+            e1,
+            e2,
+            s1,
+            s2,
+            ip,
+        }
+    }
+
+    fn step(link: LinkId, labels: &[crate::label::LabelId]) -> TraceStep {
+        TraceStep {
+            link,
+            header: Header::from_top_first(labels.to_vec()),
+        }
+    }
+
+    #[test]
+    fn primary_trace_valid_without_failures() {
+        let f = fix();
+        let tr = Trace::new(vec![step(f.e0, &[f.s1, f.ip]), step(f.e1, &[f.s2, f.ip])]);
+        assert!(tr.is_valid(&f.net, &HashSet::new()));
+        assert_eq!(tr.failures(&f.net, &HashSet::new()), Some(0));
+    }
+
+    #[test]
+    fn backup_trace_needs_failure() {
+        let f = fix();
+        let tr = Trace::new(vec![step(f.e0, &[f.s1, f.ip]), step(f.e2, &[f.s2, f.ip])]);
+        // Without a failure the backup group is not the active one.
+        assert!(!tr.is_valid(&f.net, &HashSet::new()));
+        let failed: HashSet<LinkId> = [f.e1].into_iter().collect();
+        assert!(tr.is_valid(&f.net, &failed));
+        assert_eq!(tr.failures(&f.net, &failed), Some(1));
+    }
+
+    #[test]
+    fn traversing_failed_link_invalid() {
+        let f = fix();
+        let tr = Trace::new(vec![step(f.e0, &[f.s1, f.ip]), step(f.e1, &[f.s2, f.ip])]);
+        let failed: HashSet<LinkId> = [f.e0].into_iter().collect();
+        assert!(!tr.is_valid(&f.net, &failed));
+    }
+
+    #[test]
+    fn wrong_header_rewrite_invalid() {
+        let f = fix();
+        // claims the label stays s1 across the swap rule
+        let tr = Trace::new(vec![step(f.e0, &[f.s1, f.ip]), step(f.e1, &[f.s1, f.ip])]);
+        assert!(!tr.is_valid(&f.net, &HashSet::new()));
+    }
+
+    #[test]
+    fn quantities_compute() {
+        let f = fix();
+        let tr = Trace::new(vec![step(f.e0, &[f.s1, f.ip]), step(f.e1, &[f.s2, f.ip])]);
+        assert_eq!(tr.links(), 2);
+        assert_eq!(tr.hops(&f.net), 2);
+        assert_eq!(tr.distance(&f.net), 3 + 5);
+        assert_eq!(tr.tunnels(), 0);
+    }
+
+    #[test]
+    fn tunnels_count_stack_growth() {
+        let f = fix();
+        let tr = Trace::new(vec![
+            step(f.e0, &[f.ip]),
+            step(f.e1, &[f.s1, f.ip]),
+            step(f.e2, &[f.ip]),
+        ]);
+        // 0 -> +1 -> -1: one tunnel entered.
+        assert_eq!(tr.tunnels(), 1);
+    }
+
+    #[test]
+    fn empty_trace_is_valid_and_zero() {
+        let f = fix();
+        let tr = Trace::default();
+        assert!(tr.is_valid(&f.net, &HashSet::new()));
+        assert_eq!(tr.links(), 0);
+        assert_eq!(tr.hops(&f.net), 0);
+        assert_eq!(tr.tunnels(), 0);
+    }
+}

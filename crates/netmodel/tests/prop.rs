@@ -1,0 +1,171 @@
+//! Property-based tests for the MPLS model: header-rewrite invariants
+//! and trace validity against the forwarding semantics.
+
+use netmodel::{Header, LabelId, LabelKind, LabelTable, Op};
+use proptest::prelude::*;
+
+fn table() -> LabelTable {
+    let mut t = LabelTable::new();
+    for i in 0..4 {
+        t.mpls(&format!("m{i}"));
+    }
+    for i in 0..4 {
+        t.mpls_bos(&format!("s{i}"));
+    }
+    for i in 0..4 {
+        t.ip(&format!("ip{i}"));
+    }
+    t
+}
+
+/// ids: 0..4 plain MPLS, 4..8 BOS, 8..12 IP.
+fn mpls(i: u32) -> LabelId {
+    LabelId(i % 4)
+}
+fn bos(i: u32) -> LabelId {
+    LabelId(4 + i % 4)
+}
+fn ip(i: u32) -> LabelId {
+    LabelId(8 + i % 4)
+}
+
+fn valid_header_strategy() -> impl Strategy<Value = Vec<LabelId>> {
+    // α s ip | ip, with α of length 0..4
+    (
+        proptest::collection::vec(0..4u32, 0..4),
+        0..4u32,
+        0..4u32,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(alpha, b, i, bare)| {
+            if bare {
+                vec![ip(i)]
+            } else {
+                let mut h: Vec<LabelId> = alpha.into_iter().map(mpls).collect();
+                h.push(bos(b));
+                h.push(ip(i));
+                h
+            }
+        })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..3u32, 0..12u32).prop_map(|(kind, l)| match kind {
+        0 => Op::Swap(LabelId(l)),
+        1 => Op::Push(LabelId(l)),
+        _ => Op::Pop,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Whatever sequence of operations is applied, a defined result is a
+    /// valid header — the rewrite function never leaves `H`.
+    #[test]
+    fn rewrite_preserves_validity(
+        h in valid_header_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 0..6),
+    ) {
+        let t = table();
+        let header = Header::from_top_first(h);
+        prop_assert!(header.is_valid(&t));
+        if let Some(out) = header.apply(&ops, &t) {
+            prop_assert!(out.is_valid(&t), "ops {ops:?} produced invalid {out:?}");
+        }
+    }
+
+    /// Applying operations one at a time agrees with applying the whole
+    /// sequence (definedness and result).
+    #[test]
+    fn rewrite_is_compositional(
+        h in valid_header_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 0..6),
+    ) {
+        let t = table();
+        let whole = Header::from_top_first(h.clone()).apply(&ops, &t);
+        let mut step = Some(Header::from_top_first(h));
+        for op in &ops {
+            step = step.and_then(|cur| cur.apply(std::slice::from_ref(op), &t));
+        }
+        prop_assert_eq!(whole, step);
+    }
+
+    /// Push then pop is the identity whenever the push is defined.
+    #[test]
+    fn push_pop_identity(h in valid_header_strategy(), l in 0..12u32) {
+        let t = table();
+        let header = Header::from_top_first(h);
+        if let Some(pushed) = header.apply(&[Op::Push(LabelId(l))], &t) {
+            prop_assert_eq!(pushed.apply(&[Op::Pop], &t), Some(header));
+        }
+    }
+
+    /// A defined pop shrinks the header by one; a defined push grows it.
+    #[test]
+    fn ops_change_height_by_one(h in valid_header_strategy(), l in 0..12u32) {
+        let t = table();
+        let header = Header::from_top_first(h);
+        if let Some(out) = header.apply(&[Op::Pop], &t) {
+            prop_assert_eq!(out.len() + 1, header.len());
+        }
+        if let Some(out) = header.apply(&[Op::Push(LabelId(l))], &t) {
+            prop_assert_eq!(out.len(), header.len() + 1);
+        }
+        if let Some(out) = header.apply(&[Op::Swap(LabelId(l))], &t) {
+            prop_assert_eq!(out.len(), header.len());
+        }
+    }
+
+    /// The kind structure of headers pins what swaps are defined: the
+    /// replacement must have the same kind as the replaced label, except
+    /// on a bare IP header where only IP→IP works.
+    #[test]
+    fn swap_definedness_follows_kinds(h in valid_header_strategy(), l in 0..12u32) {
+        let t = table();
+        let header = Header::from_top_first(h);
+        let top = header.top().unwrap();
+        let defined = header.apply(&[Op::Swap(LabelId(l))], &t).is_some();
+        prop_assert_eq!(
+            defined,
+            t.kind(top) == t.kind(LabelId(l)),
+            "swap {:?}→{:?}",
+            t.kind(top),
+            t.kind(LabelId(l))
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `canonicalize` in the construction layer agrees with sequential
+    /// rewrite semantics on concrete headers: applying the canonical form
+    /// (pop 1+d, then push the replacement) gives the same stack as
+    /// applying the ops one by one, whenever the latter is defined.
+    #[test]
+    fn canonical_ops_agree_with_semantics(
+        h in valid_header_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 0..5),
+    ) {
+        let t = table();
+        let header = Header::from_top_first(h.clone());
+        let Some(expected) = header.apply(&ops, &t) else {
+            return Ok(());
+        };
+        let canon = aalwines::construction::canonicalize(h[0], &ops);
+        // Canonical application on the raw label stack.
+        let drop = 1 + canon.extra_pops;
+        if h.len() < drop {
+            // Canonicalization may over-approximate definedness when the
+            // ops dig below the concrete stack; sequential semantics
+            // already rejected those above.
+            return Ok(());
+        }
+        let mut stack: Vec<LabelId> = h[drop..].to_vec();
+        for &l in &canon.pushed {
+            stack.insert(0, l);
+        }
+        prop_assert_eq!(stack, expected.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Graphviz DOT export for pushdown systems and P-automata.
+//!
+//! Debugging aid mirroring the original PDAAAL's dump facilities: render
+//! the rule graph of a [`Pds`] or the transition structure of a
+//! [`PAutomaton`] (ε-transitions dashed, filter edges labelled by their
+//! predicate, final states double-circled, PDS control states boxed).
+
+use crate::nfa::SymFilter;
+use crate::pautomaton::{AutState, PAutomaton, TLabel};
+use crate::pds::{Pds, RuleOp};
+use crate::semiring::Weight;
+use std::fmt::Write as _;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render a PDS as a DOT digraph; `sym_name` maps stack symbols to
+/// labels (pass `|s| format!("g{}", s.0)` when no names exist).
+pub fn pds_to_dot<W: Weight + std::fmt::Debug>(
+    pds: &Pds<W>,
+    sym_name: &dyn Fn(crate::pds::SymbolId) -> String,
+) -> String {
+    let mut out = String::from("digraph pds {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for r in pds.rules() {
+        let op = match r.op {
+            RuleOp::Pop => "pop".to_string(),
+            RuleOp::Swap(g) => format!("swap {}", sym_name(g)),
+            RuleOp::Push(g1, g2) => {
+                format!("push {} {}", sym_name(g1), sym_name(g2))
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  p{} -> p{} [label=\"{}; {}\"];",
+            r.from.0,
+            r.to.0,
+            esc(&sym_name(r.sym)),
+            esc(&op),
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn filter_label(f: &SymFilter, sym_name: &dyn Fn(crate::pds::SymbolId) -> String) -> String {
+    match f {
+        SymFilter::Any => "*".into(),
+        SymFilter::In(set) => {
+            let mut names: Vec<String> = set.iter().map(|&s| sym_name(s)).collect();
+            names.sort();
+            if names.len() > 4 {
+                format!("{{{},… ({} syms)}}", names[..3].join(","), names.len())
+            } else {
+                format!("{{{}}}", names.join(","))
+            }
+        }
+        SymFilter::NotIn(set) => {
+            let mut names: Vec<String> = set.iter().map(|&s| sym_name(s)).collect();
+            names.sort();
+            format!("^{{{}}}", names.join(","))
+        }
+    }
+}
+
+/// Render a P-automaton as a DOT digraph.
+pub fn automaton_to_dot<W: Weight + std::fmt::Debug>(
+    aut: &PAutomaton<W>,
+    sym_name: &dyn Fn(crate::pds::SymbolId) -> String,
+) -> String {
+    let mut out = String::from("digraph pautomaton {\n  rankdir=LR;\n");
+    for i in 0..aut.num_states() {
+        let s = AutState(i);
+        let shape = if aut.is_pds_state(s) { "box" } else { "circle" };
+        let peripheries = if aut.is_final(s) { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  q{i} [shape={shape}, peripheries={peripheries}];"
+        );
+    }
+    for t in aut.transitions() {
+        let (label, style) = match t.label {
+            TLabel::Eps => ("ε".to_string(), ", style=dashed"),
+            TLabel::Sym(s) => (sym_name(s), ""),
+            TLabel::Filter(f) => (filter_label(aut.filter(f), sym_name), ""),
+        };
+        let _ = writeln!(
+            out,
+            "  q{} -> q{} [label=\"{} ({:?})\"{}];",
+            t.from.0,
+            t.to.0,
+            esc(&label),
+            t.weight,
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pds::{StateId, SymbolId};
+    use crate::semiring::Unweighted;
+
+    fn names(s: SymbolId) -> String {
+        format!("g{}", s.0)
+    }
+
+    #[test]
+    fn pds_dot_contains_rules() {
+        let mut pds = Pds::<Unweighted>::new(2, 2);
+        pds.add_rule(
+            StateId(0),
+            SymbolId(0),
+            StateId(1),
+            RuleOp::Push(SymbolId(1), SymbolId(0)),
+            Unweighted,
+            0,
+        );
+        let dot = pds_to_dot(&pds, &names);
+        assert!(dot.starts_with("digraph pds {"));
+        assert!(dot.contains("p0 -> p1"));
+        assert!(dot.contains("push g1 g0"));
+    }
+
+    #[test]
+    fn automaton_dot_marks_structure() {
+        let mut aut = PAutomaton::<Unweighted>::with_sizes(1, 3);
+        let q = aut.add_state();
+        let f = aut.add_state();
+        aut.set_final(f);
+        aut.add_edge(AutState(0), SymbolId(2), q, Unweighted);
+        let fid = aut.add_filter(SymFilter::Any);
+        aut.add_filter_edge(q, fid, f, Unweighted);
+        aut.insert_or_combine(
+            AutState(0),
+            TLabel::Eps,
+            f,
+            Unweighted,
+            crate::pautomaton::Provenance::Initial,
+        );
+        let dot = automaton_to_dot(&aut, &names);
+        assert!(dot.contains("q0 [shape=box"));
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains('*'));
+    }
+
+    #[test]
+    fn big_filters_are_abbreviated() {
+        let mut aut = PAutomaton::<Unweighted>::with_sizes(1, 100);
+        let f = aut.add_state();
+        aut.set_final(f);
+        let fid = aut.add_filter(SymFilter::In((0..50).map(SymbolId).collect()));
+        aut.add_filter_edge(AutState(0), fid, f, Unweighted);
+        let dot = automaton_to_dot(&aut, &names);
+        assert!(dot.contains("(50 syms)"));
+    }
+}

@@ -1,0 +1,243 @@
+//! ε-free NFAs over stack symbols, used to describe regular sets of stack
+//! words (AalWiNes' initial- and final-header constraints `a` and `c`).
+//!
+//! Edges are labeled with a [`SymFilter`] rather than a single symbol so
+//! that the large label alphabets of MPLS networks (`ip`, `mpls`, `smpls`,
+//! complemented sets) stay compact: one edge can match thousands of
+//! symbols without materializing them.
+
+use crate::pds::SymbolId;
+use std::collections::HashSet;
+
+/// A predicate over stack symbols carried by an NFA edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SymFilter {
+    /// Matches every symbol.
+    Any,
+    /// Matches exactly the listed symbols.
+    In(HashSet<SymbolId>),
+    /// Matches everything but the listed symbols.
+    NotIn(HashSet<SymbolId>),
+}
+
+impl SymFilter {
+    /// Whether the filter matches `sym`.
+    pub fn matches(&self, sym: SymbolId) -> bool {
+        match self {
+            SymFilter::Any => true,
+            SymFilter::In(set) => set.contains(&sym),
+            SymFilter::NotIn(set) => !set.contains(&sym),
+        }
+    }
+
+    /// A filter matching a single symbol.
+    pub fn one(sym: SymbolId) -> Self {
+        SymFilter::In([sym].into_iter().collect())
+    }
+
+    /// A filter matching no symbol at all (the empty set).
+    pub fn none() -> Self {
+        SymFilter::In(HashSet::new())
+    }
+
+    /// Pick some symbol matched by both `self` and `other`, given the
+    /// size of the symbol universe. Returns `None` iff the intersection
+    /// is empty.
+    ///
+    /// Used when an accepting path traverses a filter edge: the path must
+    /// commit to a concrete symbol to report a concrete stack word.
+    pub fn pick_common(&self, other: &SymFilter, n_symbols: u32) -> Option<SymbolId> {
+        let in_universe = |s: &SymbolId| s.0 < n_symbols;
+        match (self, other) {
+            (SymFilter::In(a), _) => a
+                .iter()
+                .filter(|s| in_universe(s))
+                .find(|&&s| other.matches(s))
+                .copied(),
+            (_, SymFilter::In(b)) => b
+                .iter()
+                .filter(|s| in_universe(s))
+                .find(|&&s| self.matches(s))
+                .copied(),
+            _ => (0..n_symbols)
+                .map(SymbolId)
+                .find(|&s| self.matches(s) && other.matches(s)),
+        }
+    }
+}
+
+/// An edge of a [`StackNfa`].
+#[derive(Clone, Debug)]
+pub struct NfaEdge {
+    /// Source state.
+    pub from: u32,
+    /// Symbol predicate.
+    pub filter: SymFilter,
+    /// Target state.
+    pub to: u32,
+}
+
+/// An ε-free NFA over stack symbols. States are dense `u32` indices.
+#[derive(Clone, Debug, Default)]
+pub struct StackNfa {
+    n_states: u32,
+    edges: Vec<NfaEdge>,
+    /// `out[s]` → indices into `edges`.
+    out: Vec<Vec<u32>>,
+    initial: Vec<u32>,
+    finals: Vec<bool>,
+}
+
+impl StackNfa {
+    /// An NFA with `n_states` states and no edges.
+    pub fn new(n_states: u32) -> Self {
+        StackNfa {
+            n_states,
+            edges: Vec::new(),
+            out: vec![Vec::new(); n_states as usize],
+            initial: Vec::new(),
+            finals: vec![false; n_states as usize],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> u32 {
+        self.n_states
+    }
+
+    /// Allocate a fresh state.
+    pub fn add_state(&mut self) -> u32 {
+        let id = self.n_states;
+        self.n_states += 1;
+        self.out.push(Vec::new());
+        self.finals.push(false);
+        id
+    }
+
+    /// Add an edge `from --filter--> to`.
+    pub fn add_edge(&mut self, from: u32, filter: SymFilter, to: u32) {
+        let idx = self.edges.len() as u32;
+        self.edges.push(NfaEdge { from, filter, to });
+        self.out[from as usize].push(idx);
+    }
+
+    /// Mark a state as initial.
+    pub fn add_initial(&mut self, s: u32) {
+        if !self.initial.contains(&s) {
+            self.initial.push(s);
+        }
+    }
+
+    /// Mark a state as final.
+    pub fn set_final(&mut self, s: u32) {
+        self.finals[s as usize] = true;
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> &[u32] {
+        &self.initial
+    }
+
+    /// Whether `s` is final.
+    pub fn is_final(&self, s: u32) -> bool {
+        self.finals[s as usize]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[NfaEdge] {
+        &self.edges
+    }
+
+    /// Edges leaving `s`.
+    pub fn edges_from(&self, s: u32) -> impl Iterator<Item = &NfaEdge> + '_ {
+        self.out[s as usize].iter().map(move |&i| &self.edges[i as usize])
+    }
+
+    /// Whether the NFA accepts `word`.
+    pub fn accepts(&self, word: &[SymbolId]) -> bool {
+        let mut cur: HashSet<u32> = self.initial.iter().copied().collect();
+        for &sym in word {
+            let mut next = HashSet::new();
+            for &s in &cur {
+                for e in self.edges_from(s) {
+                    if e.filter.matches(sym) {
+                        next.insert(e.to);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            cur = next;
+        }
+        cur.iter().any(|&s| self.is_final(s))
+    }
+
+    /// An NFA accepting exactly the single word `word`.
+    pub fn single_word(word: &[SymbolId]) -> Self {
+        let mut nfa = StackNfa::new(word.len() as u32 + 1);
+        nfa.add_initial(0);
+        for (i, &sym) in word.iter().enumerate() {
+            nfa.add_edge(i as u32, SymFilter::one(sym), i as u32 + 1);
+        }
+        nfa.set_final(word.len() as u32);
+        nfa
+    }
+
+    /// An NFA accepting every word (including the empty word).
+    pub fn universal() -> Self {
+        let mut nfa = StackNfa::new(1);
+        nfa.add_initial(0);
+        nfa.set_final(0);
+        nfa.add_edge(0, SymFilter::Any, 0);
+        nfa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+
+    #[test]
+    fn filters_match_as_expected() {
+        assert!(SymFilter::Any.matches(s(3)));
+        assert!(SymFilter::one(s(3)).matches(s(3)));
+        assert!(!SymFilter::one(s(3)).matches(s(4)));
+        let not = SymFilter::NotIn([s(1)].into_iter().collect());
+        assert!(not.matches(s(0)));
+        assert!(!not.matches(s(1)));
+        assert!(!SymFilter::none().matches(s(0)));
+    }
+
+    #[test]
+    fn single_word_accepts_only_that_word() {
+        let nfa = StackNfa::single_word(&[s(1), s(2)]);
+        assert!(nfa.accepts(&[s(1), s(2)]));
+        assert!(!nfa.accepts(&[s(1)]));
+        assert!(!nfa.accepts(&[s(2), s(1)]));
+        assert!(!nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn universal_accepts_everything() {
+        let nfa = StackNfa::universal();
+        assert!(nfa.accepts(&[]));
+        assert!(nfa.accepts(&[s(0), s(5), s(9)]));
+    }
+
+    #[test]
+    fn nondeterminism_is_respected() {
+        // Two edges on the same symbol; only one leads to acceptance.
+        let mut nfa = StackNfa::new(3);
+        nfa.add_initial(0);
+        nfa.add_edge(0, SymFilter::one(s(0)), 1);
+        nfa.add_edge(0, SymFilter::one(s(0)), 2);
+        nfa.set_final(2);
+        assert!(nfa.accepts(&[s(0)]));
+        assert!(!nfa.accepts(&[s(0), s(0)]));
+    }
+}

@@ -1,0 +1,259 @@
+//! (Weighted) pushdown systems in normal form.
+//!
+//! A pushdown system (PDS) is a transition system with a finite control and
+//! an unbounded stack. Every rule is in *normal form*: it consumes the
+//! top-of-stack symbol and replaces it with zero ([`RuleOp::Pop`]), one
+//! ([`RuleOp::Swap`]) or two ([`RuleOp::Push`]) symbols. Arbitrary
+//! finite-sequence rewritings are compiled down to chains of normal-form
+//! rules by the AalWiNes construction layer.
+
+use crate::semiring::Weight;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A control state of a pushdown system (a dense index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StateId(pub u32);
+
+/// A stack symbol of a pushdown system (a dense index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SymbolId(pub u32);
+
+/// Identifies a rule within its [`Pds`] (a dense index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RuleId(pub u32);
+
+impl StateId {
+    /// The dense index of this state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl SymbolId {
+    /// The dense index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RuleId {
+    /// The dense index of this rule.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a rule writes back in place of the consumed top-of-stack symbol.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RuleOp {
+    /// `<p, γ> → <p', ε>`: remove the top symbol.
+    Pop,
+    /// `<p, γ> → <p', γ'>`: replace the top symbol by `γ'`.
+    Swap(SymbolId),
+    /// `<p, γ> → <p', γ₁ γ₂>`: replace the top symbol by the two-symbol
+    /// word `γ₁ γ₂`, where `γ₁` becomes the new top of stack.
+    Push(SymbolId, SymbolId),
+}
+
+/// A single normal-form rule `<from, sym> → <to, op>` with weight and a
+/// client-supplied `tag` used to map witness runs back to domain objects
+/// (AalWiNes stores an index into its network-action table here).
+#[derive(Clone, Debug)]
+pub struct Rule<W> {
+    /// Source control state.
+    pub from: StateId,
+    /// Top-of-stack symbol consumed by the rule.
+    pub sym: SymbolId,
+    /// Target control state.
+    pub to: StateId,
+    /// Replacement for the consumed symbol.
+    pub op: RuleOp,
+    /// Semiring weight of firing this rule once.
+    pub weight: W,
+    /// Opaque client data carried into witness runs.
+    pub tag: u64,
+}
+
+/// A weighted pushdown system: a set of control states, a stack alphabet,
+/// and a list of normal-form rules indexed by `(from, sym)` for fast
+/// lookup during saturation.
+///
+/// The head index is sparse: AalWiNes-scale systems pair hundreds of
+/// thousands of control states with tens of thousands of stack symbols,
+/// so a dense `states × symbols` table is not an option.
+#[derive(Clone)]
+pub struct Pds<W> {
+    n_states: u32,
+    n_symbols: u32,
+    rules: Vec<Rule<W>>,
+    by_head: HashMap<(StateId, SymbolId), Vec<RuleId>>,
+}
+
+const NO_RULES: &[RuleId] = &[];
+
+impl<W: Weight> Pds<W> {
+    /// Create an empty PDS with `n_states` control states and `n_symbols`
+    /// stack symbols.
+    pub fn new(n_states: u32, n_symbols: u32) -> Self {
+        Pds {
+            n_states,
+            n_symbols,
+            rules: Vec::new(),
+            by_head: HashMap::new(),
+        }
+    }
+
+    /// Number of control states.
+    pub fn num_states(&self) -> u32 {
+        self.n_states
+    }
+
+    /// Number of stack symbols.
+    pub fn num_symbols(&self) -> u32 {
+        self.n_symbols
+    }
+
+    /// Number of rules.
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Allocate an additional control state and return its id.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId(self.n_states);
+        self.n_states += 1;
+        id
+    }
+
+    /// Add a rule `<from, sym> → <to, op>` and return its id.
+    pub fn add_rule(
+        &mut self,
+        from: StateId,
+        sym: SymbolId,
+        to: StateId,
+        op: RuleOp,
+        weight: W,
+        tag: u64,
+    ) -> RuleId {
+        debug_assert!(from.0 < self.n_states, "state out of range");
+        debug_assert!(sym.0 < self.n_symbols, "symbol out of range");
+        let id = RuleId(self.rules.len() as u32);
+        self.rules.push(Rule {
+            from,
+            sym,
+            to,
+            op,
+            weight,
+            tag,
+        });
+        self.by_head.entry((from, sym)).or_default().push(id);
+        id
+    }
+
+    /// The rule with the given id.
+    pub fn rule(&self, id: RuleId) -> &Rule<W> {
+        &self.rules[id.index()]
+    }
+
+    /// All rules, in insertion order.
+    pub fn rules(&self) -> &[Rule<W>] {
+        &self.rules
+    }
+
+    /// Ids of rules whose left-hand side is `<from, sym>`.
+    pub fn rules_for(&self, from: StateId, sym: SymbolId) -> &[RuleId] {
+        self.by_head
+            .get(&(from, sym))
+            .map(|v| v.as_slice())
+            .unwrap_or(NO_RULES)
+    }
+
+    /// Build a new PDS containing only the rules for which `keep` returns
+    /// true. State and symbol spaces are preserved (ids remain valid);
+    /// rule ids are *not* preserved.
+    pub fn filter_rules(&self, mut keep: impl FnMut(&Rule<W>) -> bool) -> Pds<W> {
+        let mut out = Pds::new(self.n_states, self.n_symbols);
+        for r in &self.rules {
+            if keep(r) {
+                out.add_rule(r.from, r.sym, r.to, r.op, r.weight.clone(), r.tag);
+            }
+        }
+        out
+    }
+}
+
+impl<W: fmt::Debug> fmt::Debug for Pds<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pds")
+            .field("n_states", &self.n_states)
+            .field("n_symbols", &self.n_symbols)
+            .field("n_rules", &self.rules.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::Unweighted;
+
+    #[test]
+    fn add_and_lookup_rules() {
+        let mut pds = Pds::<Unweighted>::new(2, 3);
+        let r0 = pds.add_rule(
+            StateId(0),
+            SymbolId(1),
+            StateId(1),
+            RuleOp::Pop,
+            Unweighted,
+            7,
+        );
+        let r1 = pds.add_rule(
+            StateId(0),
+            SymbolId(1),
+            StateId(0),
+            RuleOp::Swap(SymbolId(2)),
+            Unweighted,
+            8,
+        );
+        assert_eq!(pds.num_rules(), 2);
+        assert_eq!(pds.rules_for(StateId(0), SymbolId(1)), &[r0, r1]);
+        assert!(pds.rules_for(StateId(1), SymbolId(1)).is_empty());
+        assert_eq!(pds.rule(r0).tag, 7);
+        assert_eq!(pds.rule(r1).op, RuleOp::Swap(SymbolId(2)));
+    }
+
+    #[test]
+    fn add_state_grows_head_index() {
+        let mut pds = Pds::<Unweighted>::new(1, 2);
+        let s = pds.add_state();
+        assert_eq!(s, StateId(1));
+        let r = pds.add_rule(s, SymbolId(0), StateId(0), RuleOp::Pop, Unweighted, 0);
+        assert_eq!(pds.rules_for(s, SymbolId(0)), &[r]);
+    }
+
+    #[test]
+    fn filter_rules_preserves_kept() {
+        let mut pds = Pds::<Unweighted>::new(1, 2);
+        pds.add_rule(
+            StateId(0),
+            SymbolId(0),
+            StateId(0),
+            RuleOp::Pop,
+            Unweighted,
+            1,
+        );
+        pds.add_rule(
+            StateId(0),
+            SymbolId(1),
+            StateId(0),
+            RuleOp::Pop,
+            Unweighted,
+            2,
+        );
+        let kept = pds.filter_rules(|r| r.tag == 2);
+        assert_eq!(kept.num_rules(), 1);
+        assert_eq!(kept.rules()[0].sym, SymbolId(1));
+    }
+}

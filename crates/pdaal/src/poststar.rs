@@ -1,0 +1,445 @@
+//! Weighted `post*` saturation.
+//!
+//! Given a PDS and a P-automaton `A` accepting a set of *initial*
+//! configurations, `post*` computes a P-automaton accepting exactly the
+//! configurations reachable from them, with the weight of each accepted
+//! configuration equal to the combine over all runs of the extend of rule
+//! weights (for our totally ordered domains: the minimum run weight).
+//!
+//! The algorithm follows Schwoon's ε-transition formulation, generalized
+//! to weights in the style of Reps–Schwoon–Jha–Melski: each push rule
+//! `<p,γ> → <p',γ₁γ₂>` owns a *mid-state* `m(p',γ₁)`; firing the rule on a
+//! transition `(p,γ,q)` installs `(p',γ₁,m)` with weight 1 and
+//! `(m,γ₂,q)` with weight `f(r) ⊗ d(p,γ,q)`. Pop rules introduce
+//! ε-transitions which are eagerly composed with the transitions following
+//! them. Transitions are re-processed whenever their weight strictly
+//! improves; boundedness of the weight domain guarantees termination.
+//!
+//! Input transitions may be *filter* transitions standing for whole
+//! symbol classes; a rule `<p,γ> → …` fires on a filter transition from
+//! `p` whenever the filter matches `γ`. All derived transitions carry
+//! concrete symbols; ε-composition preserves the composed transition's
+//! label (concrete or filter), so filter edges deeper in the initial
+//! automaton keep working when pops expose them.
+
+use crate::pautomaton::{AutState, PAutomaton, Provenance, TLabel, TransId};
+use crate::pds::{Pds, RuleId, RuleOp, StateId, SymbolId};
+use crate::semiring::Weight;
+use std::collections::{HashMap, VecDeque};
+
+/// Statistics of a saturation run, used by the benchmark harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SaturationStats {
+    /// Transitions in the saturated automaton.
+    pub transitions: usize,
+    /// Number of worklist pops (including weight-improving re-processing).
+    pub worklist_pops: usize,
+    /// Mid-states allocated for push rules.
+    pub mid_states: usize,
+}
+
+/// Compute `post*` of the configurations accepted by `initial`.
+///
+/// Requirements on `initial` (checked, panicking on violation, since they
+/// are construction-layer invariants): no ε-transitions and no transitions
+/// whose target is a PDS control state.
+pub fn post_star<W: Weight>(pds: &Pds<W>, initial: &PAutomaton<W>) -> PAutomaton<W> {
+    post_star_with_stats(pds, initial).0
+}
+
+/// As [`post_star`] but also returning [`SaturationStats`].
+pub fn post_star_with_stats<W: Weight>(
+    pds: &Pds<W>,
+    initial: &PAutomaton<W>,
+) -> (PAutomaton<W>, SaturationStats) {
+    for t in initial.transitions() {
+        assert!(
+            t.label.reads(),
+            "post*: input automaton must be ε-free"
+        );
+        assert!(
+            !initial.is_pds_state(t.to),
+            "post*: input automaton must not have transitions into PDS states"
+        );
+    }
+
+    let mut aut = initial.clone();
+    let mut stats = SaturationStats::default();
+
+    // Rules grouped by source state, for firing on filter transitions.
+    let mut rules_of_state: HashMap<StateId, Vec<RuleId>> = HashMap::new();
+    for (i, r) in pds.rules().iter().enumerate() {
+        rules_of_state.entry(r.from).or_default().push(RuleId(i as u32));
+    }
+
+    // Mid-states per (target control state, first pushed symbol).
+    let mut mid: HashMap<(StateId, SymbolId), AutState> = HashMap::new();
+    // ε-transitions indexed by their target state.
+    let mut eps_into: HashMap<AutState, Vec<TransId>> = HashMap::new();
+
+    let mut worklist: VecDeque<TransId> = (0..aut.transitions().len() as u32)
+        .map(TransId)
+        .collect();
+
+    macro_rules! upd {
+        ($from:expr, $label:expr, $to:expr, $w:expr, $prov:expr, $wl:expr, $eps:expr) => {{
+            let label: TLabel = $label;
+            let (tid, improved) = aut.insert_or_combine($from, label, $to, $w, $prov);
+            if improved {
+                $wl.push_back(tid);
+                if !label.reads() {
+                    let list = $eps.entry($to).or_insert_with(Vec::new);
+                    if !list.contains(&tid) {
+                        list.push(tid);
+                    }
+                }
+            }
+            tid
+        }};
+    }
+
+    // Fire `rule` on transition `tid = (p, γ, to)` carrying weight `d`,
+    // where γ is the concrete symbol the rule consumes.
+    macro_rules! fire {
+        ($rid:expr, $tid:expr, $to:expr, $d:expr, $wl:expr, $eps:expr) => {{
+            let rule = pds.rule($rid);
+            let w = rule.weight.extend(&$d);
+            match rule.op {
+                RuleOp::Pop => {
+                    upd!(
+                        AutState(rule.to.0),
+                        TLabel::Eps,
+                        $to,
+                        w,
+                        Provenance::Pop { rule: $rid, from: $tid },
+                        $wl,
+                        $eps
+                    );
+                }
+                RuleOp::Swap(g2) => {
+                    upd!(
+                        AutState(rule.to.0),
+                        TLabel::Sym(g2),
+                        $to,
+                        w,
+                        Provenance::Swap { rule: $rid, from: $tid },
+                        $wl,
+                        $eps
+                    );
+                }
+                RuleOp::Push(g1, g2) => {
+                    let m = *mid.entry((rule.to, g1)).or_insert_with(|| {
+                        stats.mid_states += 1;
+                        aut.add_state()
+                    });
+                    upd!(
+                        AutState(rule.to.0),
+                        TLabel::Sym(g1),
+                        m,
+                        W::one(),
+                        Provenance::PushEntry { rule: $rid },
+                        $wl,
+                        $eps
+                    );
+                    upd!(
+                        m,
+                        TLabel::Sym(g2),
+                        $to,
+                        w,
+                        Provenance::PushRest { rule: $rid, from: $tid },
+                        $wl,
+                        $eps
+                    );
+                }
+            }
+        }};
+    }
+
+    while let Some(tid) = worklist.pop_front() {
+        stats.worklist_pops += 1;
+        let (from, label, to, d) = {
+            let t = aut.transition(tid);
+            (t.from, t.label, t.to, t.weight.clone())
+        };
+        match label {
+            TLabel::Sym(gamma) => {
+                if aut.is_pds_state(from) {
+                    let p = StateId(from.0);
+                    for &rid in pds.rules_for(p, gamma) {
+                        fire!(rid, tid, to, d, worklist, eps_into);
+                    }
+                } else {
+                    combine_eps_into(
+                        &mut aut,
+                        &mut eps_into,
+                        &mut worklist,
+                        tid,
+                        from,
+                        label,
+                        to,
+                        &d,
+                    );
+                }
+            }
+            TLabel::Filter(f) => {
+                if aut.is_pds_state(from) {
+                    let p = StateId(from.0);
+                    if let Some(rids) = rules_of_state.get(&p) {
+                        for &rid in rids {
+                            let sym = pds.rule(rid).sym;
+                            if aut.filter(f).matches(sym) {
+                                fire!(rid, tid, to, d, worklist, eps_into);
+                            }
+                        }
+                    }
+                } else {
+                    combine_eps_into(
+                        &mut aut,
+                        &mut eps_into,
+                        &mut worklist,
+                        tid,
+                        from,
+                        label,
+                        to,
+                        &d,
+                    );
+                }
+            }
+            TLabel::Eps => {
+                // ε-transition (from, ε, to): compose with every reading
+                // transition currently leaving `to`.
+                let succs: Vec<TransId> = aut.out_of(to).to_vec();
+                for t2id in succs {
+                    let (l2, to2, d2) = {
+                        let t2 = aut.transition(t2id);
+                        (t2.label, t2.to, t2.weight.clone())
+                    };
+                    if !l2.reads() {
+                        continue;
+                    }
+                    let w = d.extend(&d2);
+                    upd!(
+                        from,
+                        l2,
+                        to2,
+                        w,
+                        Provenance::Combine { eps: tid, next: t2id },
+                        worklist,
+                        eps_into
+                    );
+                }
+            }
+        }
+    }
+
+    stats.transitions = aut.transitions().len();
+    (aut, stats)
+}
+
+/// When a reading transition `next = (from, l, to)` appears at a state
+/// that is the target of ε-transitions, compose each `(q'', ε, from)`
+/// with it.
+#[allow(clippy::too_many_arguments)]
+fn combine_eps_into<W: Weight>(
+    aut: &mut PAutomaton<W>,
+    eps_into: &mut HashMap<AutState, Vec<TransId>>,
+    worklist: &mut VecDeque<TransId>,
+    next: TransId,
+    from: AutState,
+    label: TLabel,
+    to: AutState,
+    d: &W,
+) {
+    let Some(eps) = eps_into.get(&from) else {
+        return;
+    };
+    let eps: Vec<TransId> = eps.clone();
+    for e in eps {
+        let (esrc, ew) = {
+            let et = aut.transition(e);
+            (et.from, et.weight.clone())
+        };
+        let w = ew.extend(d);
+        let (tid, improved) =
+            aut.insert_or_combine(esrc, label, to, w, Provenance::Combine { eps: e, next });
+        if improved {
+            worklist.push_back(tid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::SymFilter;
+    use crate::semiring::{MinTotal, Unweighted};
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+    fn st(i: u32) -> StateId {
+        StateId(i)
+    }
+
+    /// Classic example:
+    ///   r1: <p0, a> -> <p1, b a>
+    ///   r2: <p1, b> -> <p2, c>
+    ///   r3: <p2, c> -> <p0, ε>
+    ///   r4: <p0, a> -> <p0, ε>
+    fn classic_pds() -> Pds<Unweighted> {
+        let mut pds = Pds::new(3, 3);
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        pds.add_rule(st(0), a, st(1), RuleOp::Push(b, a), Unweighted, 0);
+        pds.add_rule(st(1), b, st(2), RuleOp::Swap(c), Unweighted, 1);
+        pds.add_rule(st(2), c, st(0), RuleOp::Pop, Unweighted, 2);
+        pds.add_rule(st(0), a, st(0), RuleOp::Pop, Unweighted, 3);
+        pds
+    }
+
+    fn initial_config<W: Weight>(
+        pds: &Pds<W>,
+        p: StateId,
+        word: &[SymbolId],
+        w: W,
+    ) -> PAutomaton<W> {
+        let mut a = PAutomaton::new(pds);
+        if word.is_empty() {
+            a.set_final(AutState(p.0));
+            return a;
+        }
+        let mut prev = AutState(p.0);
+        for &s in word {
+            let next = a.add_state();
+            a.add_edge(prev, s, next, w.clone());
+            prev = next;
+        }
+        a.set_final(prev);
+        a
+    }
+
+    #[test]
+    fn classic_poststar_reachability() {
+        let pds = classic_pds();
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        let init = initial_config(&pds, st(0), &[a], Unweighted);
+        let sat = post_star(&pds, &init);
+
+        assert!(sat.accepts(st(0), &[a]));
+        assert!(sat.accepts(st(1), &[b, a]));
+        assert!(sat.accepts(st(2), &[c, a]));
+        assert!(sat.accepts(st(0), &[]));
+        assert!(!sat.accepts(st(1), &[a]));
+        assert!(!sat.accepts(st(2), &[a]));
+        assert!(!sat.accepts(st(0), &[b, a]));
+        assert!(!sat.accepts(st(1), &[b, b, a]));
+    }
+
+    #[test]
+    fn weighted_poststar_takes_min_run() {
+        let mut pds = Pds::<MinTotal>::new(4, 3);
+        let (a, b) = (sym(0), sym(1));
+        pds.add_rule(st(0), a, st(2), RuleOp::Swap(a), MinTotal(10), 0);
+        pds.add_rule(st(0), a, st(1), RuleOp::Push(b, a), MinTotal(1), 1);
+        pds.add_rule(st(1), b, st(3), RuleOp::Pop, MinTotal(1), 2);
+        pds.add_rule(st(3), a, st(2), RuleOp::Swap(a), MinTotal(1), 3);
+
+        let init = initial_config(&pds, st(0), &[a], MinTotal(0));
+        let sat = post_star(&pds, &init);
+        assert_eq!(sat.accept_weight(st(2), &[a]), Some(MinTotal(3)));
+    }
+
+    #[test]
+    fn poststar_empty_pds_is_input() {
+        let pds = Pds::<Unweighted>::new(2, 2);
+        let init = initial_config(&pds, st(0), &[sym(1)], Unweighted);
+        let sat = post_star(&pds, &init);
+        assert!(sat.accepts(st(0), &[sym(1)]));
+        assert!(!sat.accepts(st(1), &[sym(1)]));
+        assert_eq!(sat.transitions().len(), init.transitions().len());
+    }
+
+    #[test]
+    fn pop_then_continue_under_stack() {
+        let mut pds = Pds::<Unweighted>::new(2, 2);
+        let (a, b) = (sym(0), sym(1));
+        pds.add_rule(st(0), a, st(1), RuleOp::Pop, Unweighted, 0);
+        let init = initial_config(&pds, st(0), &[a, b], Unweighted);
+        let sat = post_star(&pds, &init);
+        assert!(sat.accepts(st(1), &[b]));
+        assert!(!sat.accepts(st(1), &[a, b]));
+    }
+
+    #[test]
+    fn unbounded_stack_growth_is_finite_representation() {
+        let mut pds = Pds::<Unweighted>::new(1, 1);
+        let a = sym(0);
+        pds.add_rule(st(0), a, st(0), RuleOp::Push(a, a), Unweighted, 0);
+        let init = initial_config(&pds, st(0), &[a], Unweighted);
+        let sat = post_star(&pds, &init);
+        for n in 1..6 {
+            let word: Vec<SymbolId> = std::iter::repeat(a).take(n).collect();
+            assert!(sat.accepts(st(0), &word), "a^{n} must be reachable");
+        }
+        assert!(!sat.accepts(st(0), &[]));
+    }
+
+    #[test]
+    fn weighted_growth_counts_pushes() {
+        let mut pds = Pds::<MinTotal>::new(1, 1);
+        let a = sym(0);
+        pds.add_rule(st(0), a, st(0), RuleOp::Push(a, a), MinTotal(1), 0);
+        let init = initial_config(&pds, st(0), &[a], MinTotal(0));
+        let sat = post_star(&pds, &init);
+        assert_eq!(sat.accept_weight(st(0), &[a]), Some(MinTotal(0)));
+        assert_eq!(sat.accept_weight(st(0), &[a, a]), Some(MinTotal(1)));
+        assert_eq!(sat.accept_weight(st(0), &[a, a, a, a]), Some(MinTotal(3)));
+    }
+
+    #[test]
+    fn rules_fire_on_filter_transitions() {
+        // <p0, a> -> <p1, ε> and <p0, b> -> <p2, ε>; initial automaton
+        // accepts <p0, X y> for any X via a filter edge. post* must fire
+        // both rules.
+        let mut pds = Pds::<Unweighted>::new(3, 3);
+        let (a, b, y) = (sym(0), sym(1), sym(2));
+        pds.add_rule(st(0), a, st(1), RuleOp::Pop, Unweighted, 0);
+        pds.add_rule(st(0), b, st(2), RuleOp::Pop, Unweighted, 1);
+
+        let mut init = PAutomaton::<Unweighted>::new(&pds);
+        let q = init.add_state();
+        let f = init.add_state();
+        init.set_final(f);
+        let any = init.add_filter(SymFilter::Any);
+        init.add_filter_edge(AutState(0), any, q, Unweighted);
+        init.add_edge(q, y, f, Unweighted);
+
+        let sat = post_star(&pds, &init);
+        assert!(sat.accepts(st(1), &[y]));
+        assert!(sat.accepts(st(2), &[y]));
+        assert!(!sat.accepts(st(1), &[a, y]));
+    }
+
+    #[test]
+    fn pop_exposes_filter_edge() {
+        // Initial: <p0, a X> for any X (filter on the SECOND symbol).
+        // <p0,a> -> <p0, ε> then <p0, b> -> <p1, ε>: only defined if the
+        // exposed X can be b — the filter admits it.
+        let mut pds = Pds::<Unweighted>::new(2, 3);
+        let (a, b) = (sym(0), sym(1));
+        pds.add_rule(st(0), a, st(0), RuleOp::Pop, Unweighted, 0);
+        pds.add_rule(st(0), b, st(1), RuleOp::Pop, Unweighted, 1);
+
+        let mut init = PAutomaton::<Unweighted>::new(&pds);
+        let q = init.add_state();
+        let f = init.add_state();
+        init.set_final(f);
+        init.add_edge(AutState(0), a, q, Unweighted);
+        let fb = init.add_filter(SymFilter::Any);
+        init.add_filter_edge(q, fb, f, Unweighted);
+
+        let sat = post_star(&pds, &init);
+        // After popping a, <p0, X> for any X; firing rule 1 requires X=b.
+        assert!(sat.accepts(st(1), &[]));
+        assert!(sat.accepts(st(0), &[b]));
+    }
+}

@@ -1,0 +1,304 @@
+//! Weighted `pre*` saturation.
+//!
+//! Given a PDS and a P-automaton accepting a set of *target*
+//! configurations `C`, `pre*` computes an automaton accepting exactly the
+//! configurations from which some configuration in `C` is reachable, each
+//! with the minimal weight of such a run.
+//!
+//! The saturation rule (Bouajjani–Esparza–Maler, weighted per
+//! Reps–Schwoon–Jha–Melski): if `<p,γ> → <p', w>` is a rule and the
+//! current automaton can read `w` from `p'` to some state `q` with weight
+//! `d`, then add `(p, γ, q)` with weight `f(r) ⊗ d`. No ε-transitions or
+//! extra states are ever introduced.
+
+use crate::pautomaton::{AutState, PAutomaton, Provenance, TLabel, TransId};
+use crate::pds::{Pds, RuleId, RuleOp, StateId, SymbolId};
+use crate::semiring::Weight;
+use std::collections::{HashMap, VecDeque};
+
+/// Compute `pre*` of the configurations accepted by `target`.
+///
+/// Requirements on `target` (checked): ε-free and no transitions into PDS
+/// control states.
+pub fn pre_star<W: Weight>(pds: &Pds<W>, target: &PAutomaton<W>) -> PAutomaton<W> {
+    for t in target.transitions() {
+        assert!(
+            matches!(t.label, TLabel::Sym(_)),
+            "pre*: input automaton must be ε-free and symbol-concrete"
+        );
+        assert!(
+            !target.is_pds_state(t.to),
+            "pre*: input automaton must not have transitions into PDS states"
+        );
+    }
+
+    let mut aut = target.clone();
+
+    // Index rules by what they *produce*, for backwards matching:
+    //  swap γ' at p'        : (p', γ') -> rules
+    //  push (γ1, γ2) at p'  : (p', γ1) -> rules (γ2 resolved per-rule)
+    let mut swap_by: HashMap<(StateId, SymbolId), Vec<RuleId>> = HashMap::new();
+    let mut push_by_first: HashMap<(StateId, SymbolId), Vec<RuleId>> = HashMap::new();
+    let mut push_by_second: HashMap<SymbolId, Vec<RuleId>> = HashMap::new();
+    for (i, r) in pds.rules().iter().enumerate() {
+        let rid = RuleId(i as u32);
+        match r.op {
+            RuleOp::Pop => {}
+            RuleOp::Swap(g) => swap_by.entry((r.to, g)).or_default().push(rid),
+            RuleOp::Push(g1, g2) => {
+                push_by_first.entry((r.to, g1)).or_default().push(rid);
+                push_by_second.entry(g2).or_default().push(rid);
+            }
+        }
+    }
+
+    // Local (from, label) -> transitions index, maintained incrementally.
+    let mut by_head: HashMap<(AutState, SymbolId), Vec<TransId>> = HashMap::new();
+    let mut worklist: VecDeque<TransId> = VecDeque::new();
+
+    macro_rules! upd {
+        ($from:expr, $sym:expr, $to:expr, $w:expr, $prov:expr) => {{
+            let existed = aut.find($from, TLabel::Sym($sym), $to).is_some();
+            let (tid, improved) =
+                aut.insert_or_combine($from, TLabel::Sym($sym), $to, $w, $prov);
+            if !existed {
+                by_head.entry(($from, $sym)).or_default().push(tid);
+            }
+            if improved {
+                worklist.push_back(tid);
+            }
+        }};
+    }
+
+    // Seed: existing transitions, plus pop rules <p,γ> -> <p', ε> which
+    // immediately yield (p, γ, p').
+    for i in 0..aut.transitions().len() {
+        let tid = TransId(i as u32);
+        let t = aut.transition(tid);
+        let TLabel::Sym(sym) = t.label else {
+            unreachable!("checked above")
+        };
+        by_head.entry((t.from, sym)).or_default().push(tid);
+        worklist.push_back(tid);
+    }
+    for (i, r) in pds.rules().iter().enumerate() {
+        if let RuleOp::Pop = r.op {
+            let rid = RuleId(i as u32);
+            upd!(
+                AutState(r.from.0),
+                r.sym,
+                AutState(r.to.0),
+                r.weight.clone(),
+                Provenance::PrePop { rule: rid }
+            );
+        }
+    }
+
+    while let Some(tid) = worklist.pop_front() {
+        let (from, label, to, d) = {
+            let t = aut.transition(tid);
+            let TLabel::Sym(sym) = t.label else {
+                unreachable!("pre* only creates symbol transitions")
+            };
+            (t.from, sym, t.to, t.weight.clone())
+        };
+
+        // Case 1: t reads the swapped-in symbol of a swap rule.
+        if from.0 < pds.num_states() {
+            let p_prime = StateId(from.0);
+            if let Some(rules) = swap_by.get(&(p_prime, label)) {
+                for &rid in rules {
+                    let r = pds.rule(rid);
+                    let w = r.weight.extend(&d);
+                    upd!(
+                        AutState(r.from.0),
+                        r.sym,
+                        to,
+                        w,
+                        Provenance::PreSwap { rule: rid, next: tid }
+                    );
+                }
+            }
+            // Case 2a: t reads the FIRST pushed symbol: need a follower
+            // reading the second.
+            if let Some(rules) = push_by_first.get(&(p_prime, label)) {
+                for &rid in rules {
+                    let r = pds.rule(rid);
+                    let RuleOp::Push(_, g2) = r.op else { unreachable!() };
+                    let followers: Vec<TransId> = by_head
+                        .get(&(to, g2))
+                        .map(|v| v.clone())
+                        .unwrap_or_default();
+                    for t2 in followers {
+                        let (to2, d2) = {
+                            let tt = aut.transition(t2);
+                            (tt.to, tt.weight.clone())
+                        };
+                        let w = r.weight.extend(&d).extend(&d2);
+                        upd!(
+                            AutState(r.from.0),
+                            r.sym,
+                            to2,
+                            w,
+                            Provenance::PrePush {
+                                rule: rid,
+                                next1: tid,
+                                next2: t2
+                            }
+                        );
+                    }
+                }
+            }
+        }
+        // Case 2b: t reads the SECOND pushed symbol: need a predecessor
+        // reading the first from the rule's target state into t.from.
+        if let Some(rules) = push_by_second.get(&label) {
+            for &rid in rules {
+                let r = pds.rule(rid);
+                let RuleOp::Push(g1, _) = r.op else { unreachable!() };
+                let firsts: Vec<TransId> = by_head
+                    .get(&(AutState(r.to.0), g1))
+                    .map(|v| v.clone())
+                    .unwrap_or_default();
+                for t1 in firsts {
+                    let (to1, d1) = {
+                        let tt = aut.transition(t1);
+                        (tt.to, tt.weight.clone())
+                    };
+                    if to1 != from {
+                        continue;
+                    }
+                    let w = r.weight.extend(&d1).extend(&d);
+                    upd!(
+                        AutState(r.from.0),
+                        r.sym,
+                        to,
+                        w,
+                        Provenance::PrePush {
+                            rule: rid,
+                            next1: t1,
+                            next2: tid
+                        }
+                    );
+                }
+            }
+        }
+    }
+
+    aut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::{MinTotal, Unweighted};
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+    fn st(i: u32) -> StateId {
+        StateId(i)
+    }
+
+    fn target_config<W: Weight>(pds: &Pds<W>, p: StateId, word: &[SymbolId]) -> PAutomaton<W> {
+        let mut a = PAutomaton::new(pds);
+        if word.is_empty() {
+            a.set_final(AutState(p.0));
+            return a;
+        }
+        let mut prev = AutState(p.0);
+        for &s in word {
+            let next = a.add_state();
+            a.add_edge(prev, s, next, W::one());
+            prev = next;
+        }
+        a.set_final(prev);
+        a
+    }
+
+    #[test]
+    fn classic_prestar_reachability() {
+        // r1: <p0, a> -> <p1, b a> ; r2: <p1, b> -> <p2, c> ;
+        // r3: <p2, c> -> <p0, ε>
+        let mut pds = Pds::<Unweighted>::new(3, 3);
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        pds.add_rule(st(0), a, st(1), RuleOp::Push(b, a), Unweighted, 0);
+        pds.add_rule(st(1), b, st(2), RuleOp::Swap(c), Unweighted, 1);
+        pds.add_rule(st(2), c, st(0), RuleOp::Pop, Unweighted, 2);
+
+        // Target: <p0, a> (the loop closes back here).
+        let target = target_config(&pds, st(0), &[a]);
+        let sat = pre_star(&pds, &target);
+        assert!(sat.accepts(st(0), &[a]));
+        assert!(sat.accepts(st(1), &[b, a]));
+        assert!(sat.accepts(st(2), &[c, a]));
+        assert!(!sat.accepts(st(1), &[a]));
+        assert!(!sat.accepts(st(0), &[b]));
+    }
+
+    #[test]
+    fn prestar_of_empty_stack_target() {
+        // <p0, a> -> <p0, ε>: every a^n can be fully popped.
+        let mut pds = Pds::<Unweighted>::new(1, 1);
+        let a = sym(0);
+        pds.add_rule(st(0), a, st(0), RuleOp::Pop, Unweighted, 0);
+        let target = target_config(&pds, st(0), &[]);
+        let sat = pre_star(&pds, &target);
+        assert!(sat.accepts(st(0), &[]));
+        assert!(sat.accepts(st(0), &[a]));
+        assert!(sat.accepts(st(0), &[a, a, a]));
+    }
+
+    #[test]
+    fn weighted_prestar_minimal_run() {
+        // Two routes into the target <p2, g>:
+        //   <p0,a> -swap g, w=7-> p2
+        //   <p0,a> -swap b, w=1-> p1 ; <p1,b> -swap g, w=1-> p2   (total 2)
+        let mut pds = Pds::<MinTotal>::new(3, 3);
+        let (a, b, g) = (sym(0), sym(1), sym(2));
+        pds.add_rule(st(0), a, st(2), RuleOp::Swap(g), MinTotal(7), 0);
+        pds.add_rule(st(0), a, st(1), RuleOp::Swap(b), MinTotal(1), 1);
+        pds.add_rule(st(1), b, st(2), RuleOp::Swap(g), MinTotal(1), 2);
+        let target = target_config(&pds, st(2), &[g]);
+        let sat = pre_star(&pds, &target);
+        assert_eq!(sat.accept_weight(st(0), &[a]), Some(MinTotal(2)));
+        assert_eq!(sat.accept_weight(st(1), &[b]), Some(MinTotal(1)));
+        assert_eq!(sat.accept_weight(st(2), &[g]), Some(MinTotal(0)));
+    }
+
+    #[test]
+    fn prestar_push_composition() {
+        // <p0, a> -> <p1, b c>; target <p1, b c> pops nothing — instead
+        // target is <p1, b c> itself, so pre* must find <p0, a>.
+        let mut pds = Pds::<Unweighted>::new(2, 3);
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        pds.add_rule(st(0), a, st(1), RuleOp::Push(b, c), Unweighted, 0);
+        let target = target_config(&pds, st(1), &[b, c]);
+        let sat = pre_star(&pds, &target);
+        assert!(sat.accepts(st(0), &[a]));
+        assert!(!sat.accepts(st(0), &[b]));
+    }
+
+    #[test]
+    fn prestar_agrees_with_poststar_on_membership() {
+        // Sanity: c' ∈ post*({c}) iff c ∈ pre*({c'}).
+        let mut pds = Pds::<Unweighted>::new(2, 2);
+        let (a, b) = (sym(0), sym(1));
+        pds.add_rule(st(0), a, st(1), RuleOp::Push(b, a), Unweighted, 0);
+        pds.add_rule(st(1), b, st(0), RuleOp::Pop, Unweighted, 1);
+
+        let fwd_init = {
+            let mut m = PAutomaton::<Unweighted>::new(&pds);
+            let f = m.add_state();
+            m.set_final(f);
+            m.add_edge(AutState(0), a, f, Unweighted);
+            m
+        };
+        let fwd = crate::poststar::post_star(&pds, &fwd_init);
+        assert!(fwd.accepts(st(0), &[a]));
+        assert!(fwd.accepts(st(1), &[b, a]));
+
+        let back = pre_star(&pds, &target_config(&pds, st(1), &[b, a]));
+        assert!(back.accepts(st(0), &[a]));
+    }
+}

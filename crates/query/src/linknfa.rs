@@ -1,0 +1,229 @@
+//! ε-free NFAs over *links*, compiled from the path constraint `b`.
+//!
+//! Edge labels are bitsets over the network's link universe
+//! ([`LinkSet`]), so complemented atoms (`[^v#u]`) are exact complements
+//! and membership tests during the product construction are O(1).
+
+use netmodel::LinkId;
+
+/// A bitset over the links of a fixed topology.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LinkSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl LinkSet {
+    /// The empty set over a universe of `n` links.
+    pub fn empty(n: usize) -> Self {
+        LinkSet {
+            words: vec![0; n.div_ceil(64)],
+            universe: n,
+        }
+    }
+
+    /// The full set over a universe of `n` links.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self::empty(n);
+        for l in 0..n {
+            s.insert(LinkId(l as u32));
+        }
+        s
+    }
+
+    /// Insert a link.
+    pub fn insert(&mut self, l: LinkId) {
+        let i = l.index();
+        debug_assert!(i < self.universe);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, l: LinkId) -> bool {
+        let i = l.index();
+        i < self.universe && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Complement within the universe.
+    pub fn complement(&self) -> Self {
+        let mut out = Self::empty(self.universe);
+        for l in 0..self.universe {
+            let id = LinkId(l as u32);
+            if !self.contains(id) {
+                out.insert(id);
+            }
+        }
+        out
+    }
+
+    /// Number of links in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over the members.
+    pub fn iter(&self) -> impl Iterator<Item = LinkId> + '_ {
+        (0..self.universe)
+            .map(|i| LinkId(i as u32))
+            .filter(move |&l| self.contains(l))
+    }
+
+    /// Size of the universe this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+}
+
+/// An edge of a [`LinkNfa`].
+#[derive(Clone, Debug)]
+pub struct LinkEdge {
+    /// Source state.
+    pub from: u32,
+    /// Links matched by this edge.
+    pub links: LinkSet,
+    /// Target state.
+    pub to: u32,
+}
+
+/// An ε-free NFA over links. The verification core products its states
+/// into the PDS control states.
+#[derive(Clone, Debug, Default)]
+pub struct LinkNfa {
+    n_states: u32,
+    edges: Vec<LinkEdge>,
+    out: Vec<Vec<u32>>,
+    initial: Vec<u32>,
+    finals: Vec<bool>,
+}
+
+impl LinkNfa {
+    /// An NFA with `n` states and no edges.
+    pub fn new(n: u32) -> Self {
+        LinkNfa {
+            n_states: n,
+            edges: Vec::new(),
+            out: vec![Vec::new(); n as usize],
+            initial: Vec::new(),
+            finals: vec![false; n as usize],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> u32 {
+        self.n_states
+    }
+
+    /// Add an edge.
+    pub fn add_edge(&mut self, from: u32, links: LinkSet, to: u32) {
+        let idx = self.edges.len() as u32;
+        self.edges.push(LinkEdge { from, links, to });
+        self.out[from as usize].push(idx);
+    }
+
+    /// Mark an initial state.
+    pub fn add_initial(&mut self, s: u32) {
+        if !self.initial.contains(&s) {
+            self.initial.push(s);
+        }
+    }
+
+    /// Mark a final state.
+    pub fn set_final(&mut self, s: u32) {
+        self.finals[s as usize] = true;
+    }
+
+    /// The initial states.
+    pub fn initial_states(&self) -> &[u32] {
+        &self.initial
+    }
+
+    /// Whether `s` is final.
+    pub fn is_final(&self, s: u32) -> bool {
+        self.finals[s as usize]
+    }
+
+    /// Edges leaving `s`.
+    pub fn edges_from(&self, s: u32) -> impl Iterator<Item = &LinkEdge> + '_ {
+        self.out[s as usize].iter().map(move |&i| &self.edges[i as usize])
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[LinkEdge] {
+        &self.edges
+    }
+
+    /// Whether a sequence of links is accepted.
+    pub fn accepts(&self, word: &[LinkId]) -> bool {
+        let mut cur: Vec<u32> = self.initial.clone();
+        for &l in word {
+            let mut next: Vec<u32> = Vec::new();
+            for &s in &cur {
+                for e in self.edges_from(s) {
+                    if e.links.contains(l) && !next.contains(&e.to) {
+                        next.push(e.to);
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            cur = next;
+        }
+        cur.iter().any(|&s| self.is_final(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LinkId {
+        LinkId(i)
+    }
+
+    #[test]
+    fn linkset_basics() {
+        let mut s = LinkSet::empty(70);
+        assert!(s.is_empty());
+        s.insert(l(0));
+        s.insert(l(69));
+        assert!(s.contains(l(0)) && s.contains(l(69)) && !s.contains(l(1)));
+        assert_eq!(s.len(), 2);
+        let c = s.complement();
+        assert_eq!(c.len(), 68);
+        assert!(!c.contains(l(0)) && c.contains(l(1)));
+    }
+
+    #[test]
+    fn full_set_contains_all() {
+        let s = LinkSet::full(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.iter().count(), 10);
+        assert!(s.complement().is_empty());
+    }
+
+    #[test]
+    fn nfa_accepts_sequences() {
+        // state0 --{0,1}--> state1 --{2}--> state2(final)
+        let mut nfa = LinkNfa::new(3);
+        nfa.add_initial(0);
+        let mut s01 = LinkSet::empty(4);
+        s01.insert(l(0));
+        s01.insert(l(1));
+        let mut s2 = LinkSet::empty(4);
+        s2.insert(l(2));
+        nfa.add_edge(0, s01, 1);
+        nfa.add_edge(1, s2, 2);
+        nfa.set_final(2);
+        assert!(nfa.accepts(&[l(0), l(2)]));
+        assert!(nfa.accepts(&[l(1), l(2)]));
+        assert!(!nfa.accepts(&[l(2), l(2)]));
+        assert!(!nfa.accepts(&[l(0)]));
+        assert!(!nfa.accepts(&[]));
+    }
+}

@@ -1,0 +1,476 @@
+//! Hand-rolled recursive-descent parser for the query language.
+//!
+//! The syntax mixes three small languages (label regexes, link regexes,
+//! and the framing `<…> … <…> k`), with context-dependent meaning of `.`
+//! (any-label / any-link at regex level, router–interface separator
+//! inside a `[v.if#u.if]` atom). A character-level parser keeps this
+//! simple and gives exact error positions.
+
+use crate::ast::{Endpoint, LabelAtom, LinkAtom, Query, Regex};
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the query string.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct P<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(s: &'a str) -> Self {
+        P { s: s.as_bytes(), i: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && (self.s[self.i] as char).is_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.s.get(self.i).map(|&b| b as char)
+    }
+
+    /// Peek without skipping whitespace (used for postfix operators,
+    /// which must be adjacent).
+    fn peek_raw(&self) -> Option<char> {
+        self.s.get(self.i).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.s.get(self.i).map(|&b| b as char);
+        if c.is_some() {
+            self.i += 1;
+        }
+        c
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        self.skip_ws();
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(self.err(format!("expected {c:?}, found {got:?}"))),
+        }
+    }
+
+    fn err(&self, msg: String) -> ParseError {
+        ParseError { pos: self.i, msg }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.s.len() {
+            let c = self.s[self.i] as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '$' | '_' | '-' | '/' | ':') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        if self.i == start {
+            None
+        } else {
+            Some(String::from_utf8_lossy(&self.s[start..self.i]).into_owned())
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, ParseError> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.s.len() && (self.s[self.i] as char).is_ascii_digit() {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(self.err("expected a number".into()));
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .unwrap()
+            .parse()
+            .map_err(|e| self.err(format!("bad number: {e}")))
+    }
+
+    /// Raw text up to (not including) one of the stop characters, used
+    /// for endpoint names which may contain dots and slashes.
+    fn until(&mut self, stops: &[char]) -> String {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.s.len() && !stops.contains(&(self.s[self.i] as char)) {
+            self.i += 1;
+        }
+        String::from_utf8_lossy(&self.s[start..self.i])
+            .trim()
+            .to_string()
+    }
+}
+
+// ---- generic regex machinery -------------------------------------------
+
+fn parse_alt<A>(
+    p: &mut P,
+    atom: &mut dyn FnMut(&mut P) -> Result<Option<Regex<A>>, ParseError>,
+) -> Result<Regex<A>, ParseError> {
+    let mut parts = vec![parse_concat(p, atom)?];
+    while p.peek() == Some('|') {
+        p.bump();
+        parts.push(parse_concat(p, atom)?);
+    }
+    Ok(if parts.len() == 1 {
+        parts.pop().unwrap()
+    } else {
+        Regex::Alt(parts)
+    })
+}
+
+fn parse_concat<A>(
+    p: &mut P,
+    atom: &mut dyn FnMut(&mut P) -> Result<Option<Regex<A>>, ParseError>,
+) -> Result<Regex<A>, ParseError> {
+    let mut acc = Regex::Epsilon;
+    while let Some(part) = parse_postfix(p, atom)? {
+        acc = acc.then(part);
+    }
+    Ok(acc)
+}
+
+fn parse_postfix<A>(
+    p: &mut P,
+    atom: &mut dyn FnMut(&mut P) -> Result<Option<Regex<A>>, ParseError>,
+) -> Result<Option<Regex<A>>, ParseError> {
+    let Some(mut r) = atom(p)? else {
+        return Ok(None);
+    };
+    loop {
+        match p.peek_raw() {
+            Some('*') => {
+                p.bump();
+                r = Regex::Star(Box::new(r));
+            }
+            Some('+') => {
+                p.bump();
+                r = Regex::Plus(Box::new(r));
+            }
+            Some('?') => {
+                p.bump();
+                r = Regex::Opt(Box::new(r));
+            }
+            _ => break,
+        }
+    }
+    Ok(Some(r))
+}
+
+// ---- label regexes -------------------------------------------------------
+
+fn label_atom(p: &mut P) -> Result<Option<Regex<LabelAtom>>, ParseError> {
+    match p.peek() {
+        None | Some('>') | Some('|') | Some(')') => Ok(None),
+        Some('.') => {
+            p.bump();
+            Ok(Some(Regex::Atom(LabelAtom::Any)))
+        }
+        Some('(') => {
+            p.bump();
+            let inner = parse_alt(p, &mut label_atom)?;
+            p.expect(')')?;
+            Ok(Some(inner))
+        }
+        Some('[') => {
+            p.bump();
+            let negated = if p.peek() == Some('^') {
+                p.bump();
+                true
+            } else {
+                false
+            };
+            let mut names = Vec::new();
+            loop {
+                match p.ident() {
+                    Some(n) => names.push(n),
+                    None => return Err(p.err("expected a label name in set".into())),
+                }
+                match p.peek() {
+                    Some(',') => {
+                        p.bump();
+                    }
+                    Some(']') => {
+                        p.bump();
+                        break;
+                    }
+                    got => return Err(p.err(format!("expected ',' or ']', found {got:?}"))),
+                }
+            }
+            Ok(Some(Regex::Atom(if negated {
+                LabelAtom::NotSet(names)
+            } else {
+                LabelAtom::Set(names)
+            })))
+        }
+        Some(_) => {
+            let Some(name) = p.ident() else {
+                return Err(p.err("expected a label atom".into()));
+            };
+            let atom = match name.as_str() {
+                "ip" => LabelAtom::Ip,
+                "mpls" => LabelAtom::Mpls,
+                "smpls" => LabelAtom::Smpls,
+                _ => LabelAtom::Lit(name),
+            };
+            Ok(Some(Regex::Atom(atom)))
+        }
+    }
+}
+
+// ---- link regexes ---------------------------------------------------------
+
+fn endpoint_from(raw: &str) -> Endpoint {
+    let raw = raw.trim();
+    if raw == "." || raw.is_empty() {
+        return Endpoint::Any;
+    }
+    match raw.split_once('.') {
+        // `R0.ae1.11` → router R0, interface ae1.11 (split at first dot)
+        Some((r, iface)) if !r.is_empty() && !iface.is_empty() => {
+            Endpoint::RouterIface(r.to_string(), iface.to_string())
+        }
+        _ => Endpoint::Router(raw.to_string()),
+    }
+}
+
+fn link_atom(p: &mut P) -> Result<Option<Regex<LinkAtom>>, ParseError> {
+    match p.peek() {
+        None | Some('<') | Some('|') | Some(')') => Ok(None),
+        Some('.') => {
+            p.bump();
+            Ok(Some(Regex::Atom(LinkAtom::any())))
+        }
+        Some('(') => {
+            p.bump();
+            let inner = parse_alt(p, &mut link_atom)?;
+            p.expect(')')?;
+            Ok(Some(inner))
+        }
+        Some('[') => {
+            p.bump();
+            let negated = if p.peek() == Some('^') {
+                p.bump();
+                true
+            } else {
+                false
+            };
+            let from = endpoint_from(&p.until(&['#', ']']));
+            p.expect('#')?;
+            let to = endpoint_from(&p.until(&[']']));
+            p.expect(']')?;
+            Ok(Some(Regex::Atom(LinkAtom { negated, from, to })))
+        }
+        Some(c) => Err(p.err(format!("unexpected {c:?} in link expression"))),
+    }
+}
+
+// ---- the full query --------------------------------------------------------
+
+/// Parse a full query `<a> b <c> k`.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut p = P::new(input);
+    p.expect('<')?;
+    let initial = parse_alt(&mut p, &mut label_atom)?;
+    p.expect('>')?;
+    let path = parse_alt(&mut p, &mut link_atom)?;
+    p.expect('<')?;
+    let final_ = parse_alt(&mut p, &mut label_atom)?;
+    p.expect('>')?;
+    let max_failures = p.number()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(p.err("trailing input after query".into()));
+    }
+    Ok(Query {
+        initial,
+        path,
+        final_,
+        max_failures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_phi0() {
+        // φ0 = <ip> [.#v0] .* [v3#.] <ip> 0
+        let q = parse_query("<ip> [.#v0] .* [v3#.] <ip> 0").unwrap();
+        assert_eq!(q.max_failures, 0);
+        assert_eq!(q.initial, Regex::Atom(LabelAtom::Ip));
+        match &q.path {
+            Regex::Concat(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert_eq!(
+                    parts[0],
+                    Regex::Atom(LinkAtom {
+                        negated: false,
+                        from: Endpoint::Any,
+                        to: Endpoint::Router("v0".into())
+                    })
+                );
+                assert!(matches!(parts[1], Regex::Star(_)));
+            }
+            other => panic!("expected concat path, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_phi1_with_negation() {
+        // φ1 = <ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2
+        let q = parse_query("<ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2").unwrap();
+        assert_eq!(q.max_failures, 2);
+        let Regex::Concat(parts) = &q.path else {
+            panic!("not a concat")
+        };
+        let Regex::Star(inner) = &parts[1] else {
+            panic!("not a star")
+        };
+        let Regex::Atom(atom) = inner.as_ref() else {
+            panic!("not an atom")
+        };
+        assert!(atom.negated);
+        assert_eq!(atom.from, Endpoint::Router("v2".into()));
+        assert_eq!(atom.to, Endpoint::Router("v3".into()));
+    }
+
+    #[test]
+    fn parses_phi3_label_structure() {
+        // φ3 = <s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1
+        let q = parse_query("<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1").unwrap();
+        let Regex::Concat(parts) = &q.final_ else {
+            panic!("not a concat")
+        };
+        assert_eq!(parts.len(), 3);
+        assert!(matches!(&parts[0], Regex::Plus(b) if **b == Regex::Atom(LabelAtom::Mpls)));
+        assert_eq!(parts[1], Regex::Atom(LabelAtom::Smpls));
+        assert_eq!(parts[2], Regex::Atom(LabelAtom::Ip));
+    }
+
+    #[test]
+    fn parses_phi4_optionals() {
+        let q = parse_query("<smpls? ip> [.#v0] . .* [v3#.] <smpls? ip> 1").unwrap();
+        let Regex::Concat(parts) = &q.initial else {
+            panic!("not a concat")
+        };
+        assert!(matches!(&parts[0], Regex::Opt(b) if **b == Regex::Atom(LabelAtom::Smpls)));
+    }
+
+    #[test]
+    fn parses_table1_service_label() {
+        // <[$449550] ip> [.#R0] .* [.#R5] .* [.#R1] <ip> 0
+        let q = parse_query("<[$449550] ip> [.#R0] .* [.#R5] .* [.#R1] <ip> 0").unwrap();
+        let Regex::Concat(parts) = &q.initial else {
+            panic!("not a concat")
+        };
+        assert_eq!(
+            parts[0],
+            Regex::Atom(LabelAtom::Set(vec!["$449550".into()]))
+        );
+    }
+
+    #[test]
+    fn parses_grouped_alternation() {
+        // <(mpls* smpls)? ip> .* <ip> 1
+        let q = parse_query("<(mpls* smpls)? ip> .* <ip> 1").unwrap();
+        let Regex::Concat(parts) = &q.initial else {
+            panic!("not a concat")
+        };
+        assert!(matches!(parts[0], Regex::Opt(_)));
+    }
+
+    #[test]
+    fn parses_interface_endpoints() {
+        let q = parse_query("<ip> [R0.ae1.11#R3.et-1/3/0.2] <ip> 0").unwrap();
+        let Regex::Atom(atom) = &q.path else {
+            panic!("not an atom")
+        };
+        assert_eq!(
+            atom.from,
+            Endpoint::RouterIface("R0".into(), "ae1.11".into())
+        );
+        assert_eq!(
+            atom.to,
+            Endpoint::RouterIface("R3".into(), "et-1/3/0.2".into())
+        );
+    }
+
+    #[test]
+    fn parses_alternation_of_links() {
+        let q = parse_query("<ip> ([a#b]|[c#d]) .* <ip> 0").unwrap();
+        let Regex::Concat(parts) = &q.path else {
+            panic!("not a concat")
+        };
+        assert!(matches!(parts[0], Regex::Alt(_)));
+    }
+
+    #[test]
+    fn display_parses_back() {
+        let texts = [
+            "<ip> [.#v0] .* [v3#.] <ip> 0",
+            "<smpls ip> [.#R6] .* [.#R4] <smpls ip> 1",
+            "<smpls? ip> .* <(mpls|smpls) ip> 3",
+        ];
+        for t in texts {
+            let q = parse_query(t).unwrap();
+            let q2 = parse_query(&format!("{q}")).unwrap();
+            assert_eq!(q, q2, "round trip failed for {t}");
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse_query("<ip> [#v0 <ip> 0").unwrap_err();
+        assert!(e.pos > 0);
+        let e2 = parse_query("no angle").unwrap_err();
+        assert_eq!(e2.pos, 1);
+    }
+
+    #[test]
+    fn parses_negated_label_set() {
+        let q = parse_query("<[^s40,s41] ip> .* <ip> 0").unwrap();
+        let Regex::Concat(parts) = &q.initial else {
+            panic!("not a concat")
+        };
+        assert_eq!(
+            parts[0],
+            Regex::Atom(LabelAtom::NotSet(vec!["s40".into(), "s41".into()]))
+        );
+        // Round-trips through Display.
+        let again = parse_query(&format!("{q}")).unwrap();
+        assert_eq!(q, again);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("<ip> .* <ip> 0 junk").is_err());
+    }
+
+    #[test]
+    fn empty_header_constraint_is_epsilon() {
+        let q = parse_query("<> .* <> 0").unwrap();
+        assert_eq!(q.initial, Regex::Epsilon);
+        assert_eq!(q.final_, Regex::Epsilon);
+    }
+}

@@ -1,0 +1,37 @@
+//! # topogen — evaluation workloads for the AalWiNes reproduction
+//!
+//! The paper evaluates on (a) the NORDUnet operator network (31 routers,
+//! >250 000 forwarding rules — proprietary) and (b) variants of Internet
+//! Topology Zoo networks "with label switching paths between any two
+//! edge routers and with local fast failover protection by introducing
+//! tunnels based on shortest paths". Neither dataset ships with this
+//! repository, so this crate builds faithful synthetic stand-ins:
+//!
+//! * [`zoo`] — deterministic geometric random topologies matching the
+//!   Zoo's size distribution (average 84 routers, up to 240), with
+//!   coordinates so the `Distance` quantity is meaningful,
+//! * [`lsp`] — the MPLS data-plane construction: per-destination IP
+//!   label-switching paths along shortest paths, link-protection bypass
+//!   tunnels (priority-2 `swap∘push` rules exactly as in the paper's
+//!   Figure 1), and operator-style service-label chains,
+//! * [`nordunet`] — a 31-router operator network scaled to ≥250 000
+//!   rules via service chains,
+//! * [`queries`] — deterministic generators for the paper's query
+//!   families (Table 1 and the running example).
+//!
+//! Everything is seeded and reproducible: the same seed yields the same
+//! network and query set on every run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gml;
+pub mod lsp;
+pub mod nordunet;
+pub mod queries;
+pub mod zoo;
+
+pub use gml::topology_from_gml;
+pub use lsp::{build_mpls_dataplane, LspConfig};
+pub use nordunet::nordunet_like;
+pub use zoo::{zoo_like, ZooConfig};

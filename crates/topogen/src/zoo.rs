@@ -1,0 +1,224 @@
+//! Synthetic Internet-Topology-Zoo-like topologies.
+//!
+//! The Topology Zoo is a collection of real ISP/NREN backbone maps; its
+//! networks are sparse (average degree ≈ 2–4), geographically embedded,
+//! and connected. This generator reproduces those structural properties
+//! with a seeded Waxman-style geometric model: routers are placed in a
+//! coordinate box, a random spanning tree guarantees connectivity, and
+//! extra edges are added with probability decaying in distance. Every
+//! physical edge becomes two directed links with interface names and a
+//! kilometre distance, giving the `Distance` quantity real units.
+
+use netmodel::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the generator.
+#[derive(Clone, Debug)]
+pub struct ZooConfig {
+    /// Number of routers.
+    pub routers: u32,
+    /// Target average *undirected* degree (the Zoo hovers around 2–4).
+    pub avg_degree: f64,
+    /// RNG seed: same seed, same topology.
+    pub seed: u64,
+}
+
+impl Default for ZooConfig {
+    fn default() -> Self {
+        ZooConfig {
+            routers: 84, // the paper's reported Zoo average
+            avg_degree: 3.0,
+            seed: 0xAA1,
+        }
+    }
+}
+
+/// Generate a Zoo-like topology.
+///
+/// Router names are `R0`, `R1`, …; each physical edge `u–v` becomes the
+/// directed links `u→v` and `v→u` with interfaces named after the peer
+/// (`to_R7`).
+pub fn zoo_like(cfg: &ZooConfig) -> Topology {
+    assert!(cfg.routers >= 2, "need at least two routers");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.routers as usize;
+
+    // Place routers in a rough European bounding box.
+    let coords: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(36.0..64.0),  // latitude
+                rng.gen_range(-10.0..30.0), // longitude
+            )
+        })
+        .collect();
+
+    let mut topo = Topology::new();
+    for (i, c) in coords.iter().enumerate() {
+        topo.add_router(&format!("R{i}"), Some(*c));
+    }
+
+    // Undirected edge set: spanning tree first (connectivity), then
+    // Waxman-style distance-biased extras up to the target degree.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let has_edge = |edges: &[(usize, usize)], a: usize, b: usize| {
+        edges
+            .iter()
+            .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+    };
+    for i in 1..n {
+        // Attach each router to a random earlier one, biased to the
+        // geographically closest few — mimics incremental backbone growth.
+        let mut best: Vec<usize> = (0..i).collect();
+        best.sort_by(|&a, &b| {
+            dist(coords[a], coords[i])
+                .partial_cmp(&dist(coords[b], coords[i]))
+                .unwrap()
+        });
+        let pick = best[rng.gen_range(0..best.len().min(3))];
+        edges.push((pick, i));
+    }
+    let target_edges = ((cfg.avg_degree * n as f64) / 2.0).round() as usize;
+    let max_d = 4000.0; // km scale for the decay
+    let mut guard = 0;
+    while edges.len() < target_edges && guard < 50 * target_edges {
+        guard += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b || has_edge(&edges, a, b) {
+            continue;
+        }
+        let d = dist(coords[a], coords[b]);
+        let p = (-d / (0.3 * max_d)).exp();
+        if rng.gen_bool(p.clamp(0.001, 1.0)) {
+            edges.push((a, b));
+        }
+    }
+
+    for &(a, b) in &edges {
+        let (ra, rb) = (
+            topo.router_by_name(&format!("R{a}")).unwrap(),
+            topo.router_by_name(&format!("R{b}")).unwrap(),
+        );
+        let km = topo.geo_distance(ra, rb).unwrap_or(1.0).max(1.0) as u64;
+        topo.add_link(ra, &format!("to_R{b}"), rb, &format!("to_R{a}"), km);
+        topo.add_link(rb, &format!("to_R{a}"), ra, &format!("to_R{b}"), km);
+    }
+    topo
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    // Rough planar km distance; only used for edge sampling.
+    let dy = (a.0 - b.0) * 111.0;
+    let dx = (a.1 - b.1) * 70.0;
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// The size distribution used for the Figure-4 sweep: a spread of
+/// networks from small to the Zoo's largest (240 routers), averaging
+/// near the reported 84.
+pub fn figure4_sizes(count: usize) -> Vec<u32> {
+    // Log-spaced between 16 and 240.
+    (0..count)
+        .map(|i| {
+            let f = i as f64 / (count.max(2) - 1) as f64;
+            (16.0 * (240.0f64 / 16.0).powf(f)).round() as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = zoo_like(&ZooConfig::default());
+        let b = zoo_like(&ZooConfig::default());
+        assert_eq!(a.num_routers(), b.num_routers());
+        assert_eq!(a.num_links(), b.num_links());
+        for l in a.links() {
+            assert_eq!(a.link_name(l), b.link_name(l));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = zoo_like(&ZooConfig::default());
+        let b = zoo_like(&ZooConfig {
+            seed: 7,
+            ..ZooConfig::default()
+        });
+        // Link sets almost surely differ.
+        let names_a: Vec<String> = a.links().map(|l| a.link_name(l)).collect();
+        let names_b: Vec<String> = b.links().map(|l| b.link_name(l)).collect();
+        assert_ne!(names_a, names_b);
+    }
+
+    #[test]
+    fn is_connected() {
+        let topo = zoo_like(&ZooConfig {
+            routers: 60,
+            avg_degree: 2.5,
+            seed: 3,
+        });
+        // Undirected BFS from router 0.
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut stack = vec![netmodel::RouterId(0)];
+        seen.insert(0);
+        while let Some(r) = stack.pop() {
+            for &l in topo.links_from(r) {
+                let d = topo.dst(l);
+                if seen.insert(d.0) {
+                    stack.push(d);
+                }
+            }
+        }
+        assert_eq!(seen.len() as u32, topo.num_routers());
+    }
+
+    #[test]
+    fn links_come_in_directed_pairs() {
+        let topo = zoo_like(&ZooConfig::default());
+        assert_eq!(topo.num_links() % 2, 0);
+        for l in topo.links() {
+            let rev = topo
+                .links()
+                .find(|&m| topo.src(m) == topo.dst(l) && topo.dst(m) == topo.src(l));
+            assert!(rev.is_some(), "missing reverse of {}", topo.link_name(l));
+        }
+    }
+
+    #[test]
+    fn average_degree_in_zoo_range() {
+        let topo = zoo_like(&ZooConfig {
+            routers: 100,
+            avg_degree: 3.0,
+            seed: 11,
+        });
+        let deg = topo.num_links() as f64 / topo.num_routers() as f64; // directed
+        assert!((1.8..=4.5).contains(&deg), "directed degree {deg}");
+    }
+
+    #[test]
+    fn figure4_sizes_span_the_zoo_range() {
+        let sizes = figure4_sizes(10);
+        assert_eq!(sizes.len(), 10);
+        assert_eq!(*sizes.first().unwrap(), 16);
+        assert_eq!(*sizes.last().unwrap(), 240);
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn coordinates_present_for_distance() {
+        let topo = zoo_like(&ZooConfig::default());
+        for r in topo.routers() {
+            assert!(topo.router(r).coord.is_some());
+        }
+        for l in topo.links() {
+            assert!(topo.link(l).distance >= 1);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The `aalwines` command-line tool: load a data-plane snapshot in the
+//! vendor-agnostic Appendix-A formats and verify queries against it.
+//!
+//! ```text
+//! aalwines --topology topo.xml --routing route.xml [--locations loc.json] \
+//!          [--weight "Hops, Failures + 3*Tunnels"] [--no-reduction] [--engine moped] \
+//!          --query '<ip> [.#v0] .* [v3#.] <ip> 0'
+//!
+//! aalwines --isis mapping.txt ...      # ingest per-router IS-IS dumps instead
+//! aalwines --isis mapping.txt --write-topology topo.xml --write-routing route.xml
+//!                                      # convert to the vendor-agnostic format
+//! aalwines --demo                      # the paper's running example
+//! aalwines ... --stdin                 # one query per line from stdin
+//! ```
+//!
+//! Exit code 0: all queries conclusive; 2: at least one inconclusive;
+//! 1: usage or input error.
+
+use aalwines::moped::verify_moped;
+use aalwines::{Answer, AtomicQuantity, LinearExpr, Outcome, Verifier, VerifyOptions, WeightSpec};
+use netmodel::Network;
+use query::parse_query;
+use std::io::BufRead;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aalwines (--demo | --isis mapping.txt | --topology topo.xml --routing route.xml)\n\
+         \x20        [--locations loc.json] (--query '<a> b <c> k' ... | --stdin)\n\
+         \x20        [--weight 'expr, expr, ...'] [--engine dual|moped] [--no-reduction]\n\
+         \x20        [--stats] [--json] [--write-topology out.xml] [--write-routing out.xml]"
+    );
+    std::process::exit(1)
+}
+
+/// Parse a weight specification like `Hops, Failures + 3*Tunnels`.
+fn parse_weight_spec(text: &str) -> Result<WeightSpec, String> {
+    let mut exprs = Vec::new();
+    for part in text.split(',') {
+        let mut expr = LinearExpr::default();
+        for term in part.split('+') {
+            let term = term.trim();
+            if term.is_empty() {
+                return Err(format!("empty term in {part:?}"));
+            }
+            let (coeff, name) = match term.split_once('*') {
+                Some((a, q)) => (
+                    a.trim()
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad coefficient in {term:?}: {e}"))?,
+                    q.trim(),
+                ),
+                None => (1, term),
+            };
+            let quantity = match name.to_ascii_lowercase().as_str() {
+                "links" => AtomicQuantity::Links,
+                "hops" => AtomicQuantity::Hops,
+                "distance" | "latency" => AtomicQuantity::Distance,
+                "failures" => AtomicQuantity::Failures,
+                "tunnels" => AtomicQuantity::Tunnels,
+                other => return Err(format!("unknown quantity {other:?}")),
+            };
+            expr = expr.plus(coeff, quantity);
+        }
+        exprs.push(expr);
+    }
+    Ok(WeightSpec::lexicographic(exprs))
+}
+
+fn report(net: &Network, text: &str, answer: &Answer, show_stats: bool) -> bool {
+    let conclusive = match &answer.outcome {
+        Outcome::Satisfied(w) => {
+            println!("{text}");
+            println!("  SATISFIED");
+            println!("  witness: {}", w.trace.display(net));
+            if !w.failed_links.is_empty() {
+                let mut names: Vec<String> = w
+                    .failed_links
+                    .iter()
+                    .map(|&l| net.topology.link_name(l))
+                    .collect();
+                names.sort();
+                println!("  failed links: {}", names.join(", "));
+            }
+            if let Some(weight) = &w.weight {
+                println!("  weight: {weight:?}");
+            }
+            true
+        }
+        Outcome::Unsatisfied => {
+            println!("{text}\n  UNSATISFIED");
+            true
+        }
+        Outcome::Inconclusive => {
+            println!("{text}\n  INCONCLUSIVE");
+            false
+        }
+    };
+    if show_stats {
+        let s = &answer.stats;
+        println!(
+            "  stats: rules={} (-{} reduced), sat-transitions={}, under-approx={}, \
+             construct={:?} reduce={:?} solve={:?}",
+            s.rules_over,
+            s.rules_removed,
+            s.sat_transitions,
+            s.used_under,
+            s.t_construct,
+            s.t_reduce,
+            s.t_solve
+        );
+    }
+    conclusive
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let value = |key: &str| {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let values = |key: &str| -> Vec<String> {
+        args.iter()
+            .enumerate()
+            .filter(|(_, a)| *a == key)
+            .filter_map(|(i, _)| args.get(i + 1).cloned())
+            .collect()
+    };
+
+    // ---- load the network ------------------------------------------------
+    let net: Network = if has("--demo") {
+        aalwines::examples::paper_network()
+    } else if let Some(gml_path) = value("--gml") {
+        // A Topology Zoo GML file carries no routing; synthesize the
+        // paper's evaluation data plane on top (LSPs between edge
+        // routers + fast-failover tunnels along shortest paths).
+        let text = match std::fs::read_to_string(&gml_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {gml_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let topo = match topogen::topology_from_gml(&text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{gml_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let n = topo.num_routers();
+        let parse_n = |key: &str, default: usize| {
+            value(key)
+                .map(|v| v.parse().unwrap_or(default))
+                .unwrap_or(default)
+        };
+        let dp = topogen::build_mpls_dataplane(
+            topo,
+            &topogen::LspConfig {
+                edge_routers: parse_n("--edge-routers", (n as usize / 4).clamp(2, 24)),
+                max_pairs: parse_n("--max-pairs", 300),
+                protect: !has("--no-protection"),
+                service_chains: parse_n("--service-chains", 2 * n as usize),
+                seed: parse_n("--seed", 1) as u64,
+            },
+        );
+        eprintln!(
+            "synthesized LSPs on {gml_path}: edge routers {:?}",
+            dp.edge_routers
+                .iter()
+                .map(|&r| dp.net.topology.router(r).name.clone())
+                .collect::<Vec<_>>()
+        );
+        dp.net
+    } else if let Some(mapping_path) = value("--isis") {
+        let mapping = match std::fs::read_to_string(&mapping_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {mapping_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let base = std::path::Path::new(&mapping_path)
+            .parent()
+            .map(|p| p.to_path_buf())
+            .unwrap_or_default();
+        match formats::network_from_isis(&mapping, &|p| {
+            std::fs::read_to_string(base.join(p)).map_err(|e| format!("{p}: {e}"))
+        }) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("{mapping_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let (Some(tp), Some(rp)) = (value("--topology"), value("--routing")) else {
+            usage()
+        };
+        let topo_text = match std::fs::read_to_string(&tp) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {tp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let route_text = match std::fs::read_to_string(&rp) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {rp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut topo = match formats::parse_topology(&topo_text) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{tp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(lp) = value("--locations") {
+            let loc_text = match std::fs::read_to_string(&lp) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {lp}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = formats::parse_locations(&loc_text, &mut topo) {
+                eprintln!("{lp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match formats::parse_routes(&route_text, topo) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("{rp}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let problems = net.validate();
+    if !problems.is_empty() {
+        eprintln!("invalid network:");
+        for p in problems {
+            eprintln!("  {p}");
+        }
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "loaded network: {} routers, {} links, {} rules, {} labels",
+        net.topology.num_routers(),
+        net.topology.num_links(),
+        net.num_rules(),
+        net.labels.len()
+    );
+
+    // ---- conversion mode (paper Appendix A.1) -------------------------
+    let mut converted = false;
+    if let Some(path) = value("--write-topology") {
+        if let Err(e) = std::fs::write(&path, formats::write_topology(&net.topology)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+        converted = true;
+    }
+    if let Some(path) = value("--write-routing") {
+        if let Err(e) = std::fs::write(&path, formats::write_routes(&net)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+        converted = true;
+    }
+    if converted && values("--query").is_empty() && !has("--stdin") {
+        return ExitCode::SUCCESS;
+    }
+
+    // ---- options ----------------------------------------------------------
+    let weights = match value("--weight").map(|w| parse_weight_spec(&w)) {
+        Some(Ok(spec)) => Some(spec),
+        Some(Err(e)) => {
+            eprintln!("--weight: {e}");
+            return ExitCode::FAILURE;
+        }
+        None => None,
+    };
+    let engine = value("--engine").unwrap_or_else(|| "dual".into());
+    if engine == "moped" && weights.is_some() {
+        eprintln!("the moped engine cannot handle weighted queries (as in the paper)");
+        return ExitCode::FAILURE;
+    }
+    let opts = VerifyOptions {
+        weights,
+        no_reduction: has("--no-reduction"),
+    };
+    let show_stats = has("--stats");
+    let json_output = has("--json");
+
+    // ---- queries ------------------------------------------------------------
+    let mut queries = values("--query");
+    if has("--stdin") {
+        for line in std::io::stdin().lock().lines() {
+            let line = line.expect("read stdin");
+            let line = line.trim();
+            if !line.is_empty() && !line.starts_with('#') {
+                queries.push(line.to_string());
+            }
+        }
+    }
+    if queries.is_empty() {
+        usage()
+    }
+
+    let verifier = Verifier::new(&net);
+    let mut all_conclusive = true;
+    for text in &queries {
+        let parsed = match parse_query(text) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("{text}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let answer = match engine.as_str() {
+            "dual" => verifier.verify(&parsed, &opts),
+            "moped" => verify_moped(&net, &parsed),
+            other => {
+                eprintln!("unknown engine {other:?} (use dual or moped)");
+                return ExitCode::FAILURE;
+            }
+        };
+        if json_output {
+            println!(
+                "{}",
+                aalwines_suite::gui::answer_to_json(&net, text, &answer).to_json()
+            );
+            all_conclusive &= !matches!(answer.outcome, Outcome::Inconclusive);
+        } else {
+            all_conclusive &= report(&net, text, &answer, show_stats);
+        }
+    }
+    if all_conclusive {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

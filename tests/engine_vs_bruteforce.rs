@@ -1,0 +1,453 @@
+//! Differential testing of the full verification engine against a
+//! brute-force reference on randomly generated small networks.
+//!
+//! The reference enumerates failure sets `F` with `|F| ≤ k` and searches
+//! the concrete forwarding semantics for a bounded-length trace whose
+//! initial header, link word, and final header satisfy the compiled
+//! query NFAs. The engine must be *sound* (a Satisfied answer implies
+//! the reference finds a trace too — in fact we re-validate the witness
+//! directly) and *conclusively correct* (Unsatisfied implies the
+//! reference finds nothing); Inconclusive is allowed only when the
+//! approximations genuinely disagree.
+
+use aalwines::{Outcome, Verifier, VerifyOptions};
+use netmodel::{Header, LabelId, LabelKind, LabelTable, LinkId, Network, Op, RoutingEntry, Topology};
+use pdaal::SymbolId;
+use query::{compile, parse_query, CompiledQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+const MAX_TRACE_LEN: usize = 6;
+const MAX_HEADER: usize = 4;
+
+fn random_network(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = Topology::new();
+    let n = rng.gen_range(3..6u32);
+    for i in 0..n {
+        topo.add_router(&format!("r{i}"), None);
+    }
+    let n_links = rng.gen_range(6..11u32);
+    for i in 0..n_links {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        topo.add_link(
+            netmodel::RouterId(a),
+            &format!("o{i}"),
+            netmodel::RouterId(b),
+            &format!("i{i}"),
+            rng.gen_range(1..5),
+        );
+    }
+
+    let mut labels = LabelTable::new();
+    let mpls: Vec<LabelId> = (0..2).map(|i| labels.mpls(&format!("m{i}"))).collect();
+    let bos: Vec<LabelId> = (0..3).map(|i| labels.mpls_bos(&format!("s{i}"))).collect();
+    let ips: Vec<LabelId> = (0..2).map(|i| labels.ip(&format!("ip{i}"))).collect();
+    let all: Vec<LabelId> = mpls.iter().chain(&bos).chain(&ips).copied().collect();
+
+    let mut net = Network::new(topo, labels.clone());
+    let n_rules = rng.gen_range(6..18usize);
+    for _ in 0..n_rules {
+        let in_link = LinkId(rng.gen_range(0..n_links));
+        let label = all[rng.gen_range(0..all.len())];
+        let router = net.topology.dst(in_link);
+        let outs: Vec<LinkId> = net.topology.links_from(router).to_vec();
+        if outs.is_empty() {
+            continue;
+        }
+        let out = outs[rng.gen_range(0..outs.len())];
+        // Kind-appropriate operation sequences (so most rules are
+        // applicable to some header).
+        let pick = |v: &[LabelId], rng: &mut StdRng| v[rng.gen_range(0..v.len())];
+        let ops: Vec<Op> = match labels.kind(label) {
+            LabelKind::Ip => match rng.gen_range(0..3) {
+                0 => vec![],
+                1 => vec![Op::Swap(pick(&ips, &mut rng))],
+                _ => vec![Op::Push(pick(&bos, &mut rng))],
+            },
+            LabelKind::MplsBos => match rng.gen_range(0..4) {
+                0 => vec![Op::Swap(pick(&bos, &mut rng))],
+                1 => vec![Op::Pop],
+                2 => vec![Op::Push(pick(&mpls, &mut rng))],
+                _ => vec![Op::Swap(pick(&bos, &mut rng)), Op::Push(pick(&mpls, &mut rng))],
+            },
+            LabelKind::Mpls => match rng.gen_range(0..3) {
+                0 => vec![Op::Swap(pick(&mpls, &mut rng))],
+                1 => vec![Op::Pop],
+                _ => vec![Op::Push(pick(&mpls, &mut rng))],
+            },
+        };
+        let prio = rng.gen_range(1..3usize);
+        net.add_rule(in_link, label, prio, RoutingEntry { out, ops });
+    }
+    net
+}
+
+fn random_query(net: &Network, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51EED);
+    let router = |rng: &mut StdRng| {
+        let r = rng.gen_range(0..net.topology.num_routers());
+        net.topology.router(netmodel::RouterId(r)).name.clone()
+    };
+    let heads = [".*", "ip", "smpls ip", "mpls* smpls ip", "smpls? ip"];
+    let a = heads[rng.gen_range(0..heads.len())];
+    let c = heads[rng.gen_range(0..heads.len())];
+    let k = rng.gen_range(0..2u32);
+    let b = match rng.gen_range(0..4) {
+        0 => ".*".to_string(),
+        1 => format!("[.#{}] .*", router(&mut rng)),
+        2 => format!(".* [.#{}]", router(&mut rng)),
+        _ => format!("[.#{}] .* [.#{}]", router(&mut rng), router(&mut rng)),
+    };
+    format!("<{a}> {b} <{c}> {k}")
+}
+
+/// All valid headers over the network's labels up to MAX_HEADER labels.
+fn all_headers(net: &Network) -> Vec<Header> {
+    let t = &net.labels;
+    let mpls: Vec<LabelId> = t.of_kind(LabelKind::Mpls).collect();
+    let bos: Vec<LabelId> = t.of_kind(LabelKind::MplsBos).collect();
+    let ips: Vec<LabelId> = t.of_kind(LabelKind::Ip).collect();
+    let mut out: Vec<Header> = ips.iter().map(|&i| Header::single(i)).collect();
+    // α s ip with |α| ≤ MAX_HEADER - 2
+    let mut alphas: Vec<Vec<LabelId>> = vec![vec![]];
+    for _ in 0..MAX_HEADER.saturating_sub(2) {
+        let mut next = Vec::new();
+        for a in &alphas {
+            for &m in &mpls {
+                let mut v = a.clone();
+                v.push(m);
+                next.push(v);
+            }
+        }
+        alphas.extend(next.clone());
+        alphas.dedup();
+    }
+    alphas.sort();
+    alphas.dedup();
+    for a in alphas {
+        for &s in &bos {
+            for &i in &ips {
+                let mut h = a.clone();
+                h.push(s);
+                h.push(i);
+                out.push(Header::from_top_first(h));
+            }
+        }
+    }
+    out
+}
+
+fn header_word(h: &Header) -> Vec<SymbolId> {
+    h.0.iter().map(|l| SymbolId(l.0)).collect()
+}
+
+/// Reference decision procedure: does any trace satisfy the query?
+fn brute_force_satisfiable(net: &Network, cq: &CompiledQuery) -> bool {
+    let k = cq.max_failures as usize;
+    let links: Vec<LinkId> = net.topology.links().collect();
+    // All failure sets of size exactly 0..=k (small k, small networks).
+    let mut failure_sets: Vec<HashSet<LinkId>> = vec![HashSet::new()];
+    if k >= 1 {
+        for &l in &links {
+            failure_sets.push([l].into_iter().collect());
+        }
+    }
+    if k >= 2 {
+        for (i, &l1) in links.iter().enumerate() {
+            for &l2 in &links[i + 1..] {
+                failure_sets.push([l1, l2].into_iter().collect());
+            }
+        }
+    }
+
+    let headers = all_headers(net);
+    for failed in &failure_sets {
+        // DFS over (link, header, set-of-b-states); accept when some
+        // b-state is final and the current header matches `c`.
+        for &e1 in &links {
+            if failed.contains(&e1) {
+                continue;
+            }
+            for h1 in &headers {
+                if !cq.initial.accepts(&header_word(h1)) {
+                    continue;
+                }
+                // b-states after reading e1.
+                let mut states: HashSet<u32> = HashSet::new();
+                for &q0 in cq.path.initial_states() {
+                    for edge in cq.path.edges_from(q0) {
+                        if edge.links.contains(e1) {
+                            states.insert(edge.to);
+                        }
+                    }
+                }
+                if states.is_empty() {
+                    continue;
+                }
+                if search(net, cq, failed, e1, h1.clone(), &states, 1) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    net: &Network,
+    cq: &CompiledQuery,
+    failed: &HashSet<LinkId>,
+    link: LinkId,
+    header: Header,
+    states: &HashSet<u32>,
+    depth: usize,
+) -> bool {
+    // Accept here?
+    if states.iter().any(|&s| cq.path.is_final(s)) && cq.final_.accepts(&header_word(&header)) {
+        return true;
+    }
+    if depth >= MAX_TRACE_LEN || header.len() > MAX_HEADER {
+        return false;
+    }
+    for (next_link, next_header) in netmodel::successors(net, link, &header, failed) {
+        let mut next_states: HashSet<u32> = HashSet::new();
+        for &s in states {
+            for edge in cq.path.edges_from(s) {
+                if edge.links.contains(next_link) {
+                    next_states.insert(edge.to);
+                }
+            }
+        }
+        if next_states.is_empty() {
+            continue;
+        }
+        if search(net, cq, failed, next_link, next_header, &next_states, depth + 1) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Validate a witness against the query NFAs and the trace semantics.
+fn witness_matches_query(net: &Network, cq: &CompiledQuery, w: &aalwines::engine::Witness) -> bool {
+    let first_ok = w
+        .trace
+        .steps
+        .first()
+        .is_some_and(|s| cq.initial.accepts(&header_word(&s.header)));
+    let last_ok = w
+        .trace
+        .steps
+        .last()
+        .is_some_and(|s| cq.final_.accepts(&header_word(&s.header)));
+    let links: Vec<LinkId> = w.trace.steps.iter().map(|s| s.link).collect();
+    first_ok
+        && last_ok
+        && cq.path.accepts(&links)
+        && w.trace.is_valid(net, &w.failed_links)
+        && w.failed_links.len() as u32 <= cq.max_failures
+}
+
+#[test]
+fn engine_agrees_with_bruteforce_on_random_networks() {
+    let mut checked = 0usize;
+    let mut sat = 0usize;
+    let mut inconclusive = 0usize;
+    for seed in 0..60u64 {
+        let net = random_network(seed);
+        for qi in 0..4u64 {
+            let text = random_query(&net, seed * 101 + qi);
+            let q = parse_query(&text).unwrap();
+            let cq = compile(&q, &net);
+            let reference = brute_force_satisfiable(&net, &cq);
+            let answer = Verifier::new(&net).verify(&q, &VerifyOptions::default());
+            checked += 1;
+            match answer.outcome {
+                Outcome::Satisfied(w) => {
+                    sat += 1;
+                    assert!(
+                        witness_matches_query(&net, &cq, &w),
+                        "invalid witness on seed {seed} query {text}"
+                    );
+                    // The witness may be longer than the reference bound,
+                    // but its existence implies satisfiability, so the
+                    // reference must agree whenever the witness is short.
+                    if w.trace.steps.len() <= MAX_TRACE_LEN
+                        && w.trace.steps.iter().all(|s| s.header.len() <= MAX_HEADER)
+                    {
+                        assert!(
+                            reference,
+                            "engine satisfied but reference found nothing: seed {seed}, {text}"
+                        );
+                    }
+                }
+                Outcome::Unsatisfied => {
+                    assert!(
+                        !reference,
+                        "engine said unsatisfied but a trace exists: seed {seed}, {text}"
+                    );
+                }
+                Outcome::Inconclusive => {
+                    inconclusive += 1;
+                }
+            }
+        }
+    }
+    eprintln!("checked {checked} instances: {sat} satisfied, {inconclusive} inconclusive");
+    assert!(sat > checked / 10, "workload should include satisfiable queries");
+    assert!(
+        inconclusive <= checked / 10,
+        "inconclusive rate unexpectedly high: {inconclusive}/{checked}"
+    );
+}
+
+/// Shortest satisfying trace by brute force (number of links), within
+/// the exploration bounds; `None` if none exists.
+fn brute_force_min_links(net: &Network, cq: &CompiledQuery) -> Option<usize> {
+    // Reuse the satisfiability search but track depth: iterative
+    // deepening over trace length.
+    for target_len in 1..=MAX_TRACE_LEN {
+        let k = cq.max_failures as usize;
+        let links: Vec<LinkId> = net.topology.links().collect();
+        let mut failure_sets: Vec<HashSet<LinkId>> = vec![HashSet::new()];
+        if k >= 1 {
+            for &l in &links {
+                failure_sets.push([l].into_iter().collect());
+            }
+        }
+        let headers = all_headers(net);
+        for failed in &failure_sets {
+            for &e1 in &links {
+                if failed.contains(&e1) {
+                    continue;
+                }
+                for h1 in &headers {
+                    if !cq.initial.accepts(&header_word(h1)) {
+                        continue;
+                    }
+                    let mut states: HashSet<u32> = HashSet::new();
+                    for &q0 in cq.path.initial_states() {
+                        for edge in cq.path.edges_from(q0) {
+                            if edge.links.contains(e1) {
+                                states.insert(edge.to);
+                            }
+                        }
+                    }
+                    if states.is_empty() {
+                        continue;
+                    }
+                    if search_len(net, cq, failed, e1, h1.clone(), &states, 1, target_len) {
+                        return Some(target_len);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_len(
+    net: &Network,
+    cq: &CompiledQuery,
+    failed: &HashSet<LinkId>,
+    link: LinkId,
+    header: Header,
+    states: &HashSet<u32>,
+    depth: usize,
+    target: usize,
+) -> bool {
+    if depth == target {
+        return states.iter().any(|&s| cq.path.is_final(s))
+            && cq.final_.accepts(&header_word(&header));
+    }
+    if header.len() > MAX_HEADER {
+        return false;
+    }
+    for (next_link, next_header) in netmodel::successors(net, link, &header, failed) {
+        let mut next_states: HashSet<u32> = HashSet::new();
+        for &s in states {
+            for edge in cq.path.edges_from(s) {
+                if edge.links.contains(next_link) {
+                    next_states.insert(edge.to);
+                }
+            }
+        }
+        if next_states.is_empty() {
+            continue;
+        }
+        if search_len(net, cq, failed, next_link, next_header, &next_states, depth + 1, target) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The Links-weighted engine must return exactly the shortest satisfying
+/// trace (within the reference's exploration bounds).
+#[test]
+fn weighted_links_matches_bruteforce_minimum() {
+    use aalwines::{AtomicQuantity, WeightSpec};
+    let mut compared = 0usize;
+    for seed in 200..260u64 {
+        let net = random_network(seed);
+        let text = random_query(&net, seed * 13);
+        let q = parse_query(&text).unwrap();
+        let cq = compile(&q, &net);
+        let Some(min_len) = brute_force_min_links(&net, &cq) else {
+            continue;
+        };
+        let ans = Verifier::new(&net).verify(
+            &q,
+            &VerifyOptions {
+                weights: Some(WeightSpec::single(AtomicQuantity::Links)),
+                ..Default::default()
+            },
+        );
+        let Outcome::Satisfied(w) = ans.outcome else {
+            panic!("brute force found a trace the engine missed: seed {seed}, {text}");
+        };
+        let engine_len = w.weight.as_ref().and_then(|v| v.first().copied()).unwrap();
+        // The engine searches unbounded traces, so it can only be ≤; and
+        // since the reference found a trace of min_len, equality must
+        // hold whenever the engine's witness is within bounds.
+        assert!(
+            engine_len <= min_len as u64,
+            "engine len {engine_len} worse than brute force {min_len} on seed {seed}: {text}"
+        );
+        if w.trace.steps.len() <= MAX_TRACE_LEN
+            && w.trace.steps.iter().all(|s| s.header.len() <= MAX_HEADER)
+        {
+            assert_eq!(
+                engine_len, min_len as u64,
+                "engine found shorter in-bounds trace than exhaustive search?! seed {seed}, {text}"
+            );
+        }
+        compared += 1;
+    }
+    assert!(compared >= 10, "need enough satisfiable comparisons, got {compared}");
+}
+
+/// The engine must never report Unsatisfied for a query whose witness the
+/// reference finds — run the complementary direction with more seeds but
+/// engine-first filtering (cheap).
+#[test]
+fn reference_traces_are_always_found() {
+    for seed in 100..140u64 {
+        let net = random_network(seed);
+        let text = random_query(&net, seed * 7);
+        let q = parse_query(&text).unwrap();
+        let cq = compile(&q, &net);
+        if brute_force_satisfiable(&net, &cq) {
+            let answer = Verifier::new(&net).verify(&q, &VerifyOptions::default());
+            assert!(
+                !matches!(answer.outcome, Outcome::Unsatisfied),
+                "missed trace on seed {seed}: {text}"
+            );
+        }
+    }
+}
