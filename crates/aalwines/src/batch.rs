@@ -1,45 +1,146 @@
 //! Batch verification: answer many queries against one network in
-//! parallel.
+//! parallel, with graceful degradation under a whole-batch budget.
 //!
 //! The paper's case study verifies thousands of operator queries per
 //! snapshot (6 000 on NORDUnet); queries are independent, so this is
 //! embarrassingly parallel. Workers pull indices from a shared atomic
 //! counter — no per-query allocation of thread resources, deterministic
 //! output order.
+//!
+//! A [`BatchOptions`] deadline or cancel token bounds the *whole batch*:
+//! queries whose turn comes after the budget is spent are answered
+//! [`Outcome::Aborted`](crate::Outcome::Aborted) immediately instead of
+//! running, the batch deadline is folded into every query's own budget,
+//! and the output always has exactly one [`Answer`] per query, in query
+//! order — a blown budget degrades answers, it never panics or drops
+//! slots.
 
-use crate::engine::{Answer, Verifier, VerifyOptions};
+use crate::engine::{Answer, Engine, EngineStats, Verifier, VerifyOptions};
 use netmodel::Network;
+use pdaal::budget::{AbortReason, CancelToken};
 use query::Query;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-/// Verify `queries` against `net` using up to `threads` worker threads
-/// (0 or 1 runs inline). Results are returned in query order.
-pub fn verify_batch(
-    net: &Network,
+/// Options for a whole batch run (`#[non_exhaustive]`; construct with
+/// [`BatchOptions::new`]).
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct BatchOptions {
+    /// Worker threads (0 or 1 runs inline). Default 1.
+    pub threads: usize,
+    /// Absolute deadline for the whole batch.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation for the whole batch.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            threads: 1,
+            deadline: None,
+            cancel: None,
+        }
+    }
+}
+
+impl BatchOptions {
+    /// Sequential, unbudgeted batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use up to `threads` worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Abort the remainder of the batch at `deadline` (earlier of two
+    /// calls wins).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(match self.deadline {
+            Some(d) => d.min(deadline),
+            None => deadline,
+        });
+        self
+    }
+
+    /// Give the whole batch `timeout` from the moment
+    /// [`verify_batch_with`] is called.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Poll `cancel` between queries (and during each query's solve).
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Why the batch budget is spent right now, if it is.
+    fn exhausted(&self) -> Option<AbortReason> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return Some(AbortReason::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(AbortReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+
+    /// Per-query options with the batch budget folded in.
+    fn fold_into(&self, opts: &VerifyOptions) -> VerifyOptions {
+        let mut opts = opts.clone();
+        if let Some(d) = self.deadline {
+            opts = opts.with_deadline(d);
+        }
+        if opts.cancel.is_none() {
+            if let Some(c) = &self.cancel {
+                opts = opts.with_cancel(c.clone());
+            }
+        }
+        opts
+    }
+}
+
+/// Verify `queries` with `engine` under per-query options `opts` and
+/// whole-batch options `batch`. Returns exactly one [`Answer`] per
+/// query, in query order; queries reached after the batch budget is
+/// spent answer `Aborted` without running.
+pub fn verify_batch_with(
+    engine: &dyn Engine,
     queries: &[Query],
     opts: &VerifyOptions,
-    threads: usize,
+    batch: &BatchOptions,
 ) -> Vec<Answer> {
-    if threads <= 1 || queries.len() <= 1 {
-        let verifier = Verifier::new(net);
-        return queries.iter().map(|q| verifier.verify(q, opts)).collect();
+    let effective = batch.fold_into(opts);
+    let answer_one = |q: &Query| match batch.exhausted() {
+        Some(reason) => Answer::aborted(reason, EngineStats::new()),
+        None => engine.verify(q, &effective),
+    };
+
+    if batch.threads <= 1 || queries.len() <= 1 {
+        return queries.iter().map(answer_one).collect();
     }
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<Answer>>> =
         (0..queries.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(queries.len()) {
-            scope.spawn(|| {
-                let verifier = Verifier::new(net);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    let answer = verifier.verify(&queries[i], opts);
-                    *results[i].lock().expect("result slot") = Some(answer);
+        for _ in 0..batch.threads.min(queries.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
                 }
+                let answer = answer_one(&queries[i]);
+                *results[i].lock().expect("result slot") = Some(answer);
             });
         }
     });
@@ -51,6 +152,23 @@ pub fn verify_batch(
                 .expect("every query answered")
         })
         .collect()
+}
+
+/// Verify `queries` against `net` with the dual engine using up to
+/// `threads` worker threads (0 or 1 runs inline). Results are returned
+/// in query order. Convenience wrapper over [`verify_batch_with`].
+pub fn verify_batch(
+    net: &Network,
+    queries: &[Query],
+    opts: &VerifyOptions,
+    threads: usize,
+) -> Vec<Answer> {
+    verify_batch_with(
+        &Verifier::new(net),
+        queries,
+        opts,
+        &BatchOptions::new().with_threads(threads),
+    )
 }
 
 #[cfg(test)]
@@ -109,5 +227,76 @@ mod tests {
         let qs = queries();
         let out = verify_batch(&net, &qs[..2], &VerifyOptions::default(), 32);
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn cancelled_batch_answers_every_slot_in_order() {
+        let net = paper_network();
+        let qs = queries();
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            let out = verify_batch_with(
+                &Verifier::new(&net),
+                &qs,
+                &VerifyOptions::new(),
+                &BatchOptions::new()
+                    .with_threads(threads)
+                    .with_cancel(token.clone()),
+            );
+            assert_eq!(out.len(), qs.len());
+            for (i, a) in out.iter().enumerate() {
+                assert!(
+                    matches!(a.outcome, Outcome::Aborted(AbortReason::Cancelled)),
+                    "slot {i} not aborted at {threads} threads: {:?}",
+                    a.outcome
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expired_batch_deadline_aborts_everything() {
+        let net = paper_network();
+        let qs = queries();
+        let out = verify_batch_with(
+            &Verifier::new(&net),
+            &qs,
+            &VerifyOptions::new(),
+            &BatchOptions::new()
+                .with_threads(2)
+                .with_deadline(Instant::now() - Duration::from_millis(1)),
+        );
+        assert_eq!(out.len(), qs.len());
+        assert!(out
+            .iter()
+            .all(|a| matches!(a.outcome, Outcome::Aborted(AbortReason::DeadlineExceeded))));
+    }
+
+    #[test]
+    fn moped_engine_dispatches_through_batch() {
+        use crate::moped::MopedEngine;
+        let net = paper_network();
+        let qs = queries();
+        let dual = verify_batch_with(
+            &Verifier::new(&net),
+            &qs,
+            &VerifyOptions::new(),
+            &BatchOptions::new(),
+        );
+        let moped = verify_batch_with(
+            &MopedEngine::new(&net),
+            &qs,
+            &VerifyOptions::new(),
+            &BatchOptions::new().with_threads(4),
+        );
+        assert_eq!(dual.len(), moped.len());
+        for (i, (a, b)) in dual.iter().zip(&moped).enumerate() {
+            assert_eq!(
+                a.outcome.is_satisfied(),
+                b.outcome.is_satisfied(),
+                "engines disagree on query {i}"
+            );
+        }
     }
 }

@@ -230,7 +230,12 @@ pub fn build<W: Weight>(
     let labels_of_kind = |k: LabelKind| -> Vec<LabelId> { net.labels.of_kind(k).collect() };
 
     while let Some(state) = worklist.pop() {
-        let StateMeta::Real { link: e, qb, failures: f } = meta[state.index()] else {
+        let StateMeta::Real {
+            link: e,
+            qb,
+            failures: f,
+        } = meta[state.index()]
+        else {
             continue;
         };
         let Some(keys) = keys_of_link.get(&e) else {
@@ -576,7 +581,6 @@ fn emit_chain<W: Weight>(
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,7 +599,13 @@ mod tests {
     fn canonicalize_identity() {
         let (_t, m, ..) = label_table();
         let c = canonicalize(m, &[]);
-        assert_eq!(c, CanonicalOps { extra_pops: 0, pushed: vec![m] });
+        assert_eq!(
+            c,
+            CanonicalOps {
+                extra_pops: 0,
+                pushed: vec![m]
+            }
+        );
         assert_eq!(net_growth(&c), 0);
     }
 
@@ -613,7 +623,13 @@ mod tests {
     fn canonicalize_pop() {
         let (_t, m, ..) = label_table();
         let c = canonicalize(m, &[Op::Pop]);
-        assert_eq!(c, CanonicalOps { extra_pops: 0, pushed: vec![] });
+        assert_eq!(
+            c,
+            CanonicalOps {
+                extra_pops: 0,
+                pushed: vec![]
+            }
+        );
         assert_eq!(net_growth(&c), 0);
     }
 
@@ -633,14 +649,26 @@ mod tests {
         // extra_pops=0 — exactly a swap.
         let (_t, m, m2, ..) = label_table();
         let c = canonicalize(m, &[Op::Pop, Op::Push(m2)]);
-        assert_eq!(c, CanonicalOps { extra_pops: 0, pushed: vec![m2] });
+        assert_eq!(
+            c,
+            CanonicalOps {
+                extra_pops: 0,
+                pushed: vec![m2]
+            }
+        );
     }
 
     #[test]
     fn canonicalize_push_pop_is_identity() {
         let (_t, m, m2, ..) = label_table();
         let c = canonicalize(m, &[Op::Push(m2), Op::Pop]);
-        assert_eq!(c, CanonicalOps { extra_pops: 0, pushed: vec![m] });
+        assert_eq!(
+            c,
+            CanonicalOps {
+                extra_pops: 0,
+                pushed: vec![m]
+            }
+        );
     }
 
     #[test]

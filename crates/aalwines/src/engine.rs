@@ -1,13 +1,16 @@
 //! The dual over/under-approximation verification engine
-//! (paper Section 4.2).
+//! (paper Section 4.2), with deadline-aware, cancellable runs and
+//! machine-readable telemetry.
 
 use crate::construction::{self, ApproxMode, Construction};
 use crate::lift::{lift_run, trace_pairs};
 use crate::quantities::{StepMeasure, WeightSpec};
+use crate::telemetry::{self, JsonObject};
 use netmodel::{feasible_failures, LinkId, Network, Trace};
-use pdaal::poststar::post_star_with_stats;
+use pdaal::budget::{AbortReason, Budget, CancelToken};
+use pdaal::poststar::post_star_budgeted;
 use pdaal::reduction::reduce;
-use pdaal::shortest::shortest_accepted;
+use pdaal::shortest::shortest_accepted_budgeted;
 use pdaal::witness::reconstruct_run;
 use pdaal::{MinTotal, MinVector, StateId, Unweighted, Weight};
 use query::{compile, CompiledQuery, Query};
@@ -15,7 +18,22 @@ use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 /// Options controlling a verification run.
+///
+/// Construct with [`VerifyOptions::new`] and the `with_*` builders; the
+/// struct is `#[non_exhaustive]` so new knobs can be added without
+/// breaking callers.
+///
+/// ```
+/// use aalwines::{VerifyOptions, WeightSpec, AtomicQuantity};
+/// use std::time::Duration;
+///
+/// let opts = VerifyOptions::new()
+///     .with_weights(WeightSpec::single(AtomicQuantity::Failures))
+///     .with_timeout(Duration::from_millis(500))
+///     .with_transition_budget(1_000_000);
+/// ```
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct VerifyOptions {
     /// Minimize witness traces by this weight specification
     /// (lexicographic vector of linear expressions). `None` runs the
@@ -24,6 +42,89 @@ pub struct VerifyOptions {
     /// Apply the static reductions before solving (on by default; turning
     /// them off exists for the ablation benchmarks).
     pub no_reduction: bool,
+    /// Absolute wall-clock deadline for each verification.
+    pub deadline: Option<Instant>,
+    /// Per-query time allowance, measured from the start of each
+    /// verification (combines with `deadline`: the earlier bound wins).
+    pub timeout: Option<Duration>,
+    /// Cap on saturation transitions per verification.
+    pub max_transitions: Option<usize>,
+    /// Cooperative cancellation token polled during solving.
+    pub cancel: Option<CancelToken>,
+}
+
+impl VerifyOptions {
+    /// Default options: unweighted, reductions on, no budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Minimize witnesses by `spec`.
+    pub fn with_weights(mut self, spec: WeightSpec) -> Self {
+        self.weights = Some(spec);
+        self
+    }
+
+    /// Disable the static reductions (ablation benchmarks only).
+    pub fn without_reduction(mut self) -> Self {
+        self.no_reduction = true;
+        self
+    }
+
+    /// Abort any verification still running at `deadline` with
+    /// [`Outcome::Aborted`]. If a deadline is already set, the earlier
+    /// one wins.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(match self.deadline {
+            Some(d) => d.min(deadline),
+            None => deadline,
+        });
+        self
+    }
+
+    /// Give each query `timeout` of wall-clock time from the moment its
+    /// verification starts. If a timeout is already set, the smaller one
+    /// wins.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(match self.timeout {
+            Some(t) => t.min(timeout),
+            None => timeout,
+        });
+        self
+    }
+
+    /// Abort once the saturated automaton exceeds `max` transitions.
+    pub fn with_transition_budget(mut self, max: usize) -> Self {
+        self.max_transitions = Some(match self.max_transitions {
+            Some(m) => m.min(max),
+            None => max,
+        });
+        self
+    }
+
+    /// Poll `cancel` during solving; a cancelled token aborts the run.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The [`Budget`] in effect for a verification starting now.
+    pub fn budget(&self) -> Budget {
+        let mut b = Budget::new();
+        if let Some(d) = self.deadline {
+            b = b.with_deadline(d);
+        }
+        if let Some(t) = self.timeout {
+            b = b.with_timeout(t);
+        }
+        if let Some(m) = self.max_transitions {
+            b = b.with_max_transitions(m);
+        }
+        if let Some(c) = &self.cancel {
+            b = b.with_cancel(c.clone());
+        }
+        b
+    }
 }
 
 /// A satisfied query's witness.
@@ -47,6 +148,9 @@ pub enum Outcome {
     /// Over-approximation satisfied, under-approximation not — the
     /// polynomial analysis cannot decide (paper: 0.13–0.57 % of queries).
     Inconclusive,
+    /// The verification exceeded its [`Budget`] (deadline, transition
+    /// cap, or cancellation) before reaching a verdict.
+    Aborted(AbortReason),
 }
 
 impl Outcome {
@@ -54,36 +158,137 @@ impl Outcome {
     pub fn is_satisfied(&self) -> bool {
         matches!(self, Outcome::Satisfied(_))
     }
+
+    /// Whether the outcome is a definite verdict (`Satisfied` or
+    /// `Unsatisfied`).
+    pub fn is_conclusive(&self) -> bool {
+        matches!(self, Outcome::Satisfied(_) | Outcome::Unsatisfied)
+    }
+
+    /// A stable lower-case identifier (used in JSON output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Outcome::Satisfied(_) => "satisfied",
+            Outcome::Unsatisfied => "unsatisfied",
+            Outcome::Inconclusive => "inconclusive",
+            Outcome::Aborted(_) => "aborted",
+        }
+    }
 }
 
-/// Statistics and phase timings of one verification.
+/// Statistics and phase timings of one verification — machine-readable
+/// run telemetry (`#[non_exhaustive]`; construct with
+/// [`EngineStats::new`]).
 #[derive(Clone, Debug, Default)]
+#[non_exhaustive]
 pub struct EngineStats {
     /// Rules in the over-approximating PDS before reduction.
     pub rules_over: usize,
     /// Rules removed by the static reductions.
     pub rules_removed: usize,
-    /// Transitions in the saturated over-approximation automaton.
-    pub sat_transitions: usize,
-    /// Whether the under-approximation had to run.
-    pub used_under: bool,
     /// Rules in the under-approximating PDS (if it ran).
     pub rules_under: usize,
+    /// Transitions in the saturated over-approximation automaton.
+    pub sat_transitions: usize,
+    /// Worklist pops across all saturation phases of this verification.
+    pub worklist_pops: usize,
+    /// Mid-states allocated across all saturation phases.
+    pub mid_states: usize,
+    /// How many times the under-approximation ran (0 or 1 per query).
+    pub under_runs: usize,
+    /// Why the verification aborted, if it did.
+    pub aborted: Option<AbortReason>,
     /// Time spent building PDSs.
     pub t_construct: Duration,
     /// Time spent in the static reductions.
     pub t_reduce: Duration,
     /// Time spent saturating + extracting (both phases).
     pub t_solve: Duration,
+    /// End-to-end time of the verification.
+    pub t_total: Duration,
 }
 
-/// The result of verifying one query.
+impl EngineStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the under-approximation had to run.
+    pub fn used_under(&self) -> bool {
+        self.under_runs > 0
+    }
+
+    /// Serialize as one JSON object (hand-rolled, serde-free).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.number("rulesOver", self.rules_over as f64);
+        o.number("rulesRemoved", self.rules_removed as f64);
+        o.number("rulesUnder", self.rules_under as f64);
+        o.number("satTransitions", self.sat_transitions as f64);
+        o.number("worklistPops", self.worklist_pops as f64);
+        o.number("midStates", self.mid_states as f64);
+        o.number("underRuns", self.under_runs as f64);
+        match self.aborted {
+            Some(reason) => o.string("aborted", reason.as_str()),
+            None => o.null("aborted"),
+        }
+        o.number("constructMillis", telemetry::millis(self.t_construct));
+        o.number("reduceMillis", telemetry::millis(self.t_reduce));
+        o.number("solveMillis", telemetry::millis(self.t_solve));
+        o.number("totalMillis", telemetry::millis(self.t_total));
+        o.finish()
+    }
+}
+
+/// The result of verifying one query (`#[non_exhaustive]`; construct
+/// with [`Answer::new`]).
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct Answer {
     /// The verdict.
     pub outcome: Outcome,
     /// Solver statistics.
     pub stats: EngineStats,
+}
+
+impl Answer {
+    /// Pack an outcome with its statistics.
+    pub fn new(outcome: Outcome, stats: EngineStats) -> Self {
+        Answer { outcome, stats }
+    }
+
+    /// An aborted answer carrying (possibly partial) statistics.
+    pub fn aborted(reason: AbortReason, mut stats: EngineStats) -> Self {
+        stats.aborted = Some(reason);
+        Answer {
+            outcome: Outcome::Aborted(reason),
+            stats,
+        }
+    }
+}
+
+/// A verification backend: anything that can answer a compiled query
+/// against its network. Implemented by the dual-approximation
+/// [`Verifier`] and the [`MopedEngine`](crate::moped::MopedEngine)
+/// baseline; the CLI and [`verify_batch_with`](crate::batch::verify_batch_with)
+/// dispatch through `&dyn Engine`.
+pub trait Engine: Sync {
+    /// A short stable name for telemetry ("dual", "moped").
+    fn name(&self) -> &'static str;
+
+    /// The network this engine verifies against.
+    fn network(&self) -> &Network;
+
+    /// Verify an already-compiled query.
+    fn verify_compiled(&self, cq: &CompiledQuery, opts: &VerifyOptions) -> Answer;
+
+    /// Verify a parsed query (compiles, then calls
+    /// [`verify_compiled`](Engine::verify_compiled)).
+    fn verify(&self, q: &Query, opts: &VerifyOptions) -> Answer {
+        let cq = compile(q, self.network());
+        self.verify_compiled(&cq, opts)
+    }
 }
 
 /// Result of a single approximation phase.
@@ -96,18 +301,27 @@ enum Phase {
     /// A configuration was reachable but no feasible witness could be
     /// extracted from the minimal accepting path.
     Infeasible,
+    /// The budget ran out mid-phase.
+    Aborted(AbortReason),
 }
 
 /// Run one approximation phase with weight domain `W`.
+#[allow(clippy::too_many_arguments)]
 fn run_phase<W: Weight>(
     net: &Network,
     cq: &CompiledQuery,
     mode: ApproxMode,
     opts: &VerifyOptions,
+    budget: &Budget,
     weigh: &dyn Fn(&StepMeasure) -> W,
     weight_vec: &dyn Fn(&W) -> Option<Vec<u64>>,
     stats: &mut EngineStats,
 ) -> Phase {
+    // Construction and reduction are not tick-instrumented, so poll the
+    // budget at each phase boundary: an abort is then delayed by at most
+    // one phase beyond the deadline.
+    let over_budget = |b: &Budget| b.checker().tick(0).err();
+
     let t0 = Instant::now();
     let cons: Construction<W> = construction::build(net, cq, mode, weigh);
     stats.t_construct += t0.elapsed();
@@ -115,6 +329,9 @@ fn run_phase<W: Weight>(
         stats.rules_over = cons.pds.num_rules();
     } else {
         stats.rules_under = cons.pds.num_rules();
+    }
+    if let Some(reason) = over_budget(budget) {
+        return Phase::Aborted(reason);
     }
 
     let t0 = Instant::now();
@@ -128,14 +345,37 @@ fn run_phase<W: Weight>(
         reduced
     };
     stats.t_reduce += t0.elapsed();
+    if let Some(reason) = over_budget(budget) {
+        return Phase::Aborted(reason);
+    }
 
     let t0 = Instant::now();
-    let (sat, sstats) = post_star_with_stats(&pds, &cons.initial);
+    let saturated = post_star_budgeted(&pds, &cons.initial, budget);
+    let (sat, sstats) = match saturated {
+        Ok(ok) => ok,
+        Err(abort) => {
+            stats.worklist_pops += abort.stats.worklist_pops;
+            stats.mid_states += abort.stats.mid_states;
+            if mode == ApproxMode::Over {
+                stats.sat_transitions = abort.stats.transitions;
+            }
+            stats.t_solve += t0.elapsed();
+            return Phase::Aborted(abort.reason);
+        }
+    };
+    stats.worklist_pops += sstats.worklist_pops;
+    stats.mid_states += sstats.mid_states;
     if mode == ApproxMode::Over {
         stats.sat_transitions = sstats.transitions;
     }
     let starts: Vec<(StateId, W)> = cons.finals.iter().map(|s| (*s, W::one())).collect();
-    let found = shortest_accepted(&sat, &starts, &cq.final_);
+    let found = match shortest_accepted_budgeted(&sat, &starts, &cq.final_, budget) {
+        Ok(found) => found,
+        Err(reason) => {
+            stats.t_solve += t0.elapsed();
+            return Phase::Aborted(reason);
+        }
+    };
     stats.t_solve += t0.elapsed();
 
     let Some(path) = found else {
@@ -168,16 +408,21 @@ impl<'a> Verifier<'a> {
     pub fn new(net: &'a Network) -> Self {
         Verifier { net }
     }
+}
 
-    /// Verify a parsed query.
-    pub fn verify(&self, q: &Query, opts: &VerifyOptions) -> Answer {
-        let cq = compile(q, self.net);
-        self.verify_compiled(&cq, opts)
+impl Engine for Verifier<'_> {
+    fn name(&self) -> &'static str {
+        "dual"
     }
 
-    /// Verify an already-compiled query.
-    pub fn verify_compiled(&self, cq: &CompiledQuery, opts: &VerifyOptions) -> Answer {
-        let mut stats = EngineStats::default();
+    fn network(&self) -> &Network {
+        self.net
+    }
+
+    fn verify_compiled(&self, cq: &CompiledQuery, opts: &VerifyOptions) -> Answer {
+        let t_start = Instant::now();
+        let mut stats = EngineStats::new();
+        let budget = opts.budget();
 
         // ---- over-approximation --------------------------------------
         let over = match &opts.weights {
@@ -186,6 +431,7 @@ impl<'a> Verifier<'a> {
                 cq,
                 ApproxMode::Over,
                 opts,
+                &budget,
                 &|_| Unweighted,
                 &|_| None,
                 &mut stats,
@@ -197,6 +443,7 @@ impl<'a> Verifier<'a> {
                     cq,
                     ApproxMode::Over,
                     opts,
+                    &budget,
                     &move |m| spec.weigh(m),
                     &|w| Some(w.0.clone()),
                     &mut stats,
@@ -205,16 +452,16 @@ impl<'a> Verifier<'a> {
         };
         match over {
             Phase::Empty => {
-                return Answer {
-                    outcome: Outcome::Unsatisfied,
-                    stats,
-                }
+                stats.t_total = t_start.elapsed();
+                return Answer::new(Outcome::Unsatisfied, stats);
             }
             Phase::Witness(w) => {
-                return Answer {
-                    outcome: Outcome::Satisfied(w),
-                    stats,
-                }
+                stats.t_total = t_start.elapsed();
+                return Answer::new(Outcome::Satisfied(w), stats);
+            }
+            Phase::Aborted(reason) => {
+                stats.t_total = t_start.elapsed();
+                return Answer::aborted(reason, stats);
             }
             Phase::Infeasible => {}
         }
@@ -226,13 +473,14 @@ impl<'a> Verifier<'a> {
         // concrete feasibility check (e.g. a 0-failure primary trace is
         // feasible by construction). The weighted engine minimizes the
         // user's specification instead, as the paper prescribes.
-        stats.used_under = true;
+        stats.under_runs += 1;
         let under = match &opts.weights {
             None => run_phase::<MinTotal>(
                 self.net,
                 cq,
                 ApproxMode::Under,
                 opts,
+                &budget,
                 &|m| MinTotal(m.failures),
                 &|_| None,
                 &mut stats,
@@ -244,21 +492,18 @@ impl<'a> Verifier<'a> {
                     cq,
                     ApproxMode::Under,
                     opts,
+                    &budget,
                     &move |m| spec.weigh(m),
                     &|w| Some(w.0.clone()),
                     &mut stats,
                 )
             }
         };
+        stats.t_total = t_start.elapsed();
         match under {
-            Phase::Witness(w) => Answer {
-                outcome: Outcome::Satisfied(w),
-                stats,
-            },
-            _ => Answer {
-                outcome: Outcome::Inconclusive,
-                stats,
-            },
+            Phase::Witness(w) => Answer::new(Outcome::Satisfied(w), stats),
+            Phase::Aborted(reason) => Answer::aborted(reason, stats),
+            _ => Answer::new(Outcome::Inconclusive, stats),
         }
     }
 }

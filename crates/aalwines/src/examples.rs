@@ -111,20 +111,47 @@ mod tests {
 
         // σ0 = (e0, ip1)(e1, s20∘ip1)(e4, s21∘ip1)(e7, ip1)
         let sigma0 = Trace::new(vec![
-            TraceStep { link: e0, header: h(&["ip1"]) },
-            TraceStep { link: e1, header: h(&["s20", "ip1"]) },
-            TraceStep { link: e4, header: h(&["s21", "ip1"]) },
-            TraceStep { link: e7, header: h(&["ip1"]) },
+            TraceStep {
+                link: e0,
+                header: h(&["ip1"]),
+            },
+            TraceStep {
+                link: e1,
+                header: h(&["s20", "ip1"]),
+            },
+            TraceStep {
+                link: e4,
+                header: h(&["s21", "ip1"]),
+            },
+            TraceStep {
+                link: e7,
+                header: h(&["ip1"]),
+            },
         ]);
         assert!(sigma0.is_valid(&net, &HashSet::new()));
 
         // σ2 needs e4 failed.
         let sigma2 = Trace::new(vec![
-            TraceStep { link: e0, header: h(&["ip1"]) },
-            TraceStep { link: e1, header: h(&["s20", "ip1"]) },
-            TraceStep { link: e5, header: h(&["30", "s21", "ip1"]) },
-            TraceStep { link: e6, header: h(&["s21", "ip1"]) },
-            TraceStep { link: e7, header: h(&["ip1"]) },
+            TraceStep {
+                link: e0,
+                header: h(&["ip1"]),
+            },
+            TraceStep {
+                link: e1,
+                header: h(&["s20", "ip1"]),
+            },
+            TraceStep {
+                link: e5,
+                header: h(&["30", "s21", "ip1"]),
+            },
+            TraceStep {
+                link: e6,
+                header: h(&["s21", "ip1"]),
+            },
+            TraceStep {
+                link: e7,
+                header: h(&["ip1"]),
+            },
         ]);
         assert!(!sigma2.is_valid(&net, &HashSet::new()));
         assert!(sigma2.is_valid(&net, &[e4].into_iter().collect()));
@@ -132,11 +159,26 @@ mod tests {
 
         // σ3: the s40 service path, valid without failures.
         let sigma3 = Trace::new(vec![
-            TraceStep { link: e0, header: h(&["s40", "ip1"]) },
-            TraceStep { link: e1, header: h(&["s41", "ip1"]) },
-            TraceStep { link: e5, header: h(&["s42", "ip1"]) },
-            TraceStep { link: e6, header: h(&["s43", "ip1"]) },
-            TraceStep { link: e7, header: h(&["s44", "ip1"]) },
+            TraceStep {
+                link: e0,
+                header: h(&["s40", "ip1"]),
+            },
+            TraceStep {
+                link: e1,
+                header: h(&["s41", "ip1"]),
+            },
+            TraceStep {
+                link: e5,
+                header: h(&["s42", "ip1"]),
+            },
+            TraceStep {
+                link: e6,
+                header: h(&["s43", "ip1"]),
+            },
+            TraceStep {
+                link: e7,
+                header: h(&["s44", "ip1"]),
+            },
         ]);
         assert!(sigma3.is_valid(&net, &HashSet::new()));
         assert_eq!(sigma3.tunnels(), 0);

@@ -34,17 +34,29 @@
 //!   model checker: plain unweighted `post*` on the *unreduced* PDS with
 //!   no dual refinement and no shortest-trace guidance.
 //!
+//! ## Budgets and telemetry
+//!
+//! Every verification can carry a resource budget — a wall-clock
+//! deadline, a saturation-transition cap, and/or a cooperative
+//! [`CancelToken`] — via the [`VerifyOptions`] builders; a blown budget
+//! surfaces as [`Outcome::Aborted`] instead of an unbounded run.
+//! Per-query [`EngineStats`] and batch-level
+//! [`telemetry::BatchSummary`] serialize to JSON (hand-rolled,
+//! serde-free) for machine consumption.
+//!
 //! ## Example
 //!
 //! ```
-//! use aalwines::{Verifier, VerifyOptions, Outcome};
+//! use aalwines::{Engine, Verifier, VerifyOptions, Outcome};
 //! use query::parse_query;
+//! use std::time::Duration;
 //!
 //! // The paper's running example network (Figure 1).
 //! let net = aalwines::examples::paper_network();
 //! let q = parse_query("<ip> [.#v0] .* [v3#.] <ip> 0").unwrap();
 //! let verifier = Verifier::new(&net);
-//! let answer = verifier.verify(&q, &VerifyOptions::default());
+//! let opts = VerifyOptions::new().with_timeout(Duration::from_secs(5));
+//! let answer = verifier.verify(&q, &opts);
 //! assert!(matches!(answer.outcome, Outcome::Satisfied(_)));
 //! ```
 
@@ -58,7 +70,11 @@ pub mod examples;
 pub mod lift;
 pub mod moped;
 pub mod quantities;
+pub mod telemetry;
 
-pub use batch::verify_batch;
-pub use engine::{Answer, EngineStats, Outcome, Verifier, VerifyOptions, Witness};
-pub use quantities::{AtomicQuantity, LinearExpr, WeightSpec};
+pub use batch::{verify_batch, verify_batch_with, BatchOptions};
+pub use engine::{Answer, Engine, EngineStats, Outcome, Verifier, VerifyOptions, Witness};
+pub use moped::MopedEngine;
+pub use pdaal::budget::{AbortReason, Budget, CancelToken};
+pub use quantities::{AtomicQuantity, LinearExpr, WeightSpec, WeightSpecError};
+pub use telemetry::BatchSummary;

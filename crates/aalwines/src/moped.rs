@@ -25,7 +25,7 @@
 //! interchangeable backends.
 
 use crate::construction::{self, ApproxMode, Construction};
-use crate::engine::{Answer, EngineStats, Outcome, Witness};
+use crate::engine::{Answer, Engine, EngineStats, Outcome, VerifyOptions, Witness};
 use crate::lift::{lift_run, trace_pairs};
 use netmodel::{feasible_failures, Network};
 use pdaal::pautomaton::Provenance;
@@ -174,8 +174,9 @@ pub fn classic_post_star(
         std::collections::HashMap::new();
     // The global ε list — scanned linearly, per the published algorithm.
     let mut eps_list: Vec<TransId> = Vec::new();
-    let mut worklist: VecDeque<TransId> =
-        (0..initial.transitions().len() as u32).map(TransId).collect();
+    let mut worklist: VecDeque<TransId> = (0..initial.transitions().len() as u32)
+        .map(TransId)
+        .collect();
 
     while let Some(tid) = worklist.pop_front() {
         let (from, label, to) = {
@@ -195,7 +196,10 @@ pub fn classic_post_star(
                                     TLabel::Eps,
                                     to,
                                     Unweighted,
-                                    Provenance::Pop { rule: rid, from: tid },
+                                    Provenance::Pop {
+                                        rule: rid,
+                                        from: tid,
+                                    },
                                 );
                                 if fresh {
                                     eps_list.push(e);
@@ -208,16 +212,18 @@ pub fn classic_post_star(
                                     TLabel::Sym(g2),
                                     to,
                                     Unweighted,
-                                    Provenance::Swap { rule: rid, from: tid },
+                                    Provenance::Swap {
+                                        rule: rid,
+                                        from: tid,
+                                    },
                                 );
                                 if fresh {
                                     worklist.push_back(e);
                                 }
                             }
                             RuleOp::Push(g1, g2) => {
-                                let m = *mid
-                                    .entry((rule.to, g1))
-                                    .or_insert_with(|| aut.add_state());
+                                let m =
+                                    *mid.entry((rule.to, g1)).or_insert_with(|| aut.add_state());
                                 let (e1, fresh1) = aut.insert_or_combine(
                                     AutState(rule.to.0),
                                     TLabel::Sym(g1),
@@ -233,7 +239,10 @@ pub fn classic_post_star(
                                     TLabel::Sym(g2),
                                     to,
                                     Unweighted,
-                                    Provenance::PushRest { rule: rid, from: tid },
+                                    Provenance::PushRest {
+                                        rule: rid,
+                                        from: tid,
+                                    },
                                 );
                                 if fresh2 {
                                     worklist.push_back(e2);
@@ -243,8 +252,7 @@ pub fn classic_post_star(
                     }
                 } else {
                     // Scan the whole ε list for predecessors of `from`.
-                    for i in 0..eps_list.len() {
-                        let e = eps_list[i];
+                    for &e in eps_list.iter() {
                         let (esrc, etgt) = {
                             let et = aut.transition(e);
                             (et.from, et.to)
@@ -278,7 +286,10 @@ pub fn classic_post_star(
                         TLabel::Sym(g2),
                         to2,
                         Unweighted,
-                        Provenance::Combine { eps: tid, next: t2id },
+                        Provenance::Combine {
+                            eps: tid,
+                            next: t2id,
+                        },
                     );
                     if fresh {
                         worklist.push_back(t3);
@@ -295,6 +306,73 @@ pub fn classic_post_star(
 pub fn verify_moped(net: &Network, q: &Query) -> Answer {
     let cq = compile(q, net);
     verify_moped_compiled(net, &cq)
+}
+
+/// The Moped-style baseline as an [`Engine`], so the CLI and
+/// [`verify_batch_with`](crate::batch::verify_batch_with) can dispatch
+/// over backends uniformly.
+///
+/// Budget semantics are coarser than the dual engine's: deadlines and
+/// cancellation are honoured at phase boundaries only (the classic
+/// saturation loop is deliberately left as-is — it is the baseline being
+/// measured), and transition budgets are not enforced. Weight
+/// specifications and `no_reduction` are ignored; the baseline is
+/// unweighted and always reduces.
+pub struct MopedEngine<'a> {
+    net: &'a Network,
+}
+
+impl<'a> MopedEngine<'a> {
+    /// A Moped-style engine for `net`.
+    pub fn new(net: &'a Network) -> Self {
+        MopedEngine { net }
+    }
+}
+
+impl Engine for MopedEngine<'_> {
+    fn name(&self) -> &'static str {
+        "moped"
+    }
+
+    fn network(&self) -> &Network {
+        self.net
+    }
+
+    fn verify_compiled(&self, cq: &CompiledQuery, opts: &VerifyOptions) -> Answer {
+        let t_start = Instant::now();
+        let mut stats = EngineStats::new();
+        let budget = opts.budget();
+        // A fresh checker's first tick polls the clock and the token.
+        let over_budget = |b: &pdaal::Budget| b.checker().tick(0).err();
+
+        if let Some(reason) = over_budget(&budget) {
+            stats.t_total = t_start.elapsed();
+            return Answer::aborted(reason, stats);
+        }
+        match run_phase(self.net, cq, ApproxMode::Over, &mut stats) {
+            Phase::Empty => {
+                stats.t_total = t_start.elapsed();
+                return Answer::new(Outcome::Unsatisfied, stats);
+            }
+            Phase::Witness(w) => {
+                stats.t_total = t_start.elapsed();
+                return Answer::new(Outcome::Satisfied(w), stats);
+            }
+            Phase::Infeasible => {}
+        }
+
+        if let Some(reason) = over_budget(&budget) {
+            stats.t_total = t_start.elapsed();
+            return Answer::aborted(reason, stats);
+        }
+        stats.under_runs += 1;
+        let under = run_phase(self.net, cq, ApproxMode::Under, &mut stats);
+        stats.t_total = t_start.elapsed();
+        match under {
+            Phase::Witness(w) => Answer::new(Outcome::Satisfied(w), stats),
+            _ => Answer::new(Outcome::Inconclusive, stats),
+        }
+    }
 }
 
 /// Result of one approximation phase of the Moped pipeline.
@@ -338,8 +416,7 @@ fn run_phase(
     if mode == ApproxMode::Over {
         stats.sat_transitions = sat.transitions().len();
     }
-    let starts: Vec<(StateId, Unweighted)> =
-        cons.finals.iter().map(|s| (*s, Unweighted)).collect();
+    let starts: Vec<(StateId, Unweighted)> = cons.finals.iter().map(|s| (*s, Unweighted)).collect();
     let found = shortest_accepted(&sat, &starts, &cq.final_);
     stats.t_solve += t0.elapsed();
 
@@ -365,35 +442,7 @@ fn run_phase(
 
 /// As [`verify_moped`] for an already-compiled query.
 pub fn verify_moped_compiled(net: &Network, cq: &CompiledQuery) -> Answer {
-    let mut stats = EngineStats::default();
-
-    match run_phase(net, cq, ApproxMode::Over, &mut stats) {
-        Phase::Empty => {
-            return Answer {
-                outcome: Outcome::Unsatisfied,
-                stats,
-            }
-        }
-        Phase::Witness(w) => {
-            return Answer {
-                outcome: Outcome::Satisfied(w),
-                stats,
-            }
-        }
-        Phase::Infeasible => {}
-    }
-
-    stats.used_under = true;
-    match run_phase(net, cq, ApproxMode::Under, &mut stats) {
-        Phase::Witness(w) => Answer {
-            outcome: Outcome::Satisfied(w),
-            stats,
-        },
-        _ => Answer {
-            outcome: Outcome::Inconclusive,
-            stats,
-        },
-    }
+    MopedEngine::new(net).verify_compiled(cq, &VerifyOptions::new())
 }
 
 #[cfg(test)]
@@ -404,7 +453,14 @@ mod tests {
     #[test]
     fn pds_serialization_round_trips() {
         let mut pds = Pds::<Unweighted>::new(3, 4);
-        pds.add_rule(StateId(0), SymbolId(1), StateId(2), RuleOp::Pop, Unweighted, 5);
+        pds.add_rule(
+            StateId(0),
+            SymbolId(1),
+            StateId(2),
+            RuleOp::Pop,
+            Unweighted,
+            5,
+        );
         pds.add_rule(
             StateId(1),
             SymbolId(0),
@@ -436,15 +492,14 @@ mod tests {
 
     #[test]
     fn classic_poststar_agrees_with_optimized() {
+        use detrand::DetRng;
         use pdaal::poststar::post_star;
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = DetRng::seed_from_u64(99);
         for round in 0..30 {
             let (ns, nsym) = (4u32, 4u32);
             let mut pds = Pds::<Unweighted>::new(ns, nsym);
-            for _ in 0..rng.gen_range(2..12) {
-                let op = match rng.gen_range(0..3) {
+            for _ in 0..rng.gen_range(2u32..12) {
+                let op = match rng.gen_range(0u32..3) {
                     0 => RuleOp::Pop,
                     1 => RuleOp::Swap(SymbolId(rng.gen_range(0..nsym))),
                     _ => RuleOp::Push(
@@ -507,9 +562,7 @@ mod tests {
         let mut aut = PAutomaton::<Unweighted>::with_sizes(1, 6);
         let f = aut.add_state();
         aut.set_final(f);
-        let evens = aut.add_filter(SymFilter::In(
-            (0..6).step_by(2).map(SymbolId).collect(),
-        ));
+        let evens = aut.add_filter(SymFilter::In((0..6).step_by(2).map(SymbolId).collect()));
         aut.add_filter_edge(AutState(0), evens, f, Unweighted::one());
         let exp = expand_filters(&aut);
         assert_eq!(exp.transitions().len(), 3);

@@ -139,7 +139,102 @@ impl WeightSpec {
     pub fn zero(&self) -> MinVector {
         MinVector::zeros(self.arity())
     }
+
+    /// Parse a specification like `"Hops, Failures + 3*Tunnels"`:
+    /// comma-separated expressions (highest priority first), each a
+    /// `+`-separated sum of `[coeff*]quantity` terms. Quantity names are
+    /// case-insensitive; `latency` is accepted as an alias for
+    /// `Distance`.
+    ///
+    /// ```
+    /// use aalwines::WeightSpec;
+    /// let spec = WeightSpec::parse("Hops, Failures + 3*Tunnels").unwrap();
+    /// assert_eq!(format!("{spec}"), "(Hops, Failures + 3*Tunnels)");
+    /// assert!(WeightSpec::parse("2*Speed").is_err());
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, WeightSpecError> {
+        let mut exprs = Vec::new();
+        for part in text.split(',') {
+            let mut expr = LinearExpr::default();
+            for term in part.split('+') {
+                let term = term.trim();
+                if term.is_empty() {
+                    return Err(WeightSpecError::EmptyTerm {
+                        expr: part.trim().to_string(),
+                    });
+                }
+                let (coeff, name) = match term.split_once('*') {
+                    Some((a, q)) => {
+                        let coeff = a.trim().parse::<u64>().map_err(|_| {
+                            WeightSpecError::BadCoefficient {
+                                term: term.to_string(),
+                            }
+                        })?;
+                        (coeff, q.trim())
+                    }
+                    None => (1, term),
+                };
+                let quantity = match name.to_ascii_lowercase().as_str() {
+                    "links" => AtomicQuantity::Links,
+                    "hops" => AtomicQuantity::Hops,
+                    "distance" | "latency" => AtomicQuantity::Distance,
+                    "failures" => AtomicQuantity::Failures,
+                    "tunnels" => AtomicQuantity::Tunnels,
+                    _ => {
+                        return Err(WeightSpecError::UnknownQuantity {
+                            name: name.to_string(),
+                        })
+                    }
+                };
+                expr = expr.plus(coeff, quantity);
+            }
+            exprs.push(expr);
+        }
+        Ok(WeightSpec::lexicographic(exprs))
+    }
 }
+
+/// Errors from [`WeightSpec::parse`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum WeightSpecError {
+    /// An expression contained an empty `+`-separated term.
+    EmptyTerm {
+        /// The offending expression.
+        expr: String,
+    },
+    /// A `coeff*quantity` term had a non-numeric coefficient.
+    BadCoefficient {
+        /// The offending term.
+        term: String,
+    },
+    /// A quantity name is not one of the five atomic quantities (or the
+    /// `latency` alias).
+    UnknownQuantity {
+        /// The unrecognized name.
+        name: String,
+    },
+}
+
+impl fmt::Display for WeightSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightSpecError::EmptyTerm { expr } => {
+                write!(f, "empty term in weight expression {expr:?}")
+            }
+            WeightSpecError::BadCoefficient { term } => {
+                write!(f, "bad coefficient in weight term {term:?}")
+            }
+            WeightSpecError::UnknownQuantity { name } => write!(
+                f,
+                "unknown quantity {name:?} (expected Links, Hops, Distance/latency, \
+                 Failures, or Tunnels)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WeightSpecError {}
 
 impl fmt::Display for WeightSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -231,6 +326,36 @@ mod tests {
             LinearExpr::atom(AtomicQuantity::Failures).plus(3, AtomicQuantity::Tunnels),
         ]);
         assert_eq!(format!("{spec}"), "(Hops, Failures + 3*Tunnels)");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for text in ["Hops", "Failures + 3*Tunnels", "Hops, Failures + 3*Tunnels"] {
+            let spec = WeightSpec::parse(text).expect(text);
+            assert_eq!(format!("{spec}"), format!("({text})"));
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_case() {
+        let spec = WeightSpec::parse("LATENCY, 2*failures").unwrap();
+        assert_eq!(format!("{spec}"), "(Distance, 2*Failures)");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(matches!(
+            WeightSpec::parse("Hops + "),
+            Err(WeightSpecError::EmptyTerm { .. })
+        ));
+        assert!(matches!(
+            WeightSpec::parse("x*Hops"),
+            Err(WeightSpecError::BadCoefficient { .. })
+        ));
+        assert!(matches!(
+            WeightSpec::parse("Velocity"),
+            Err(WeightSpecError::UnknownQuantity { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Machine-readable run telemetry: a tiny hand-rolled JSON writer
+//! (serde-free) plus batch-level aggregation of per-query statistics.
+
+use crate::engine::Answer;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A duration in fractional milliseconds (the unit of all timing fields
+/// in the JSON output).
+pub fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Escape a string for inclusion in a JSON document (quotes included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a JSON number: integers without a fraction, non-finite values
+/// as `null` (JSON has no NaN/Infinity).
+fn json_number(x: f64) -> String {
+    if !x.is_finite() {
+        "null".to_string()
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{:.3}", x)
+    }
+}
+
+/// An incremental writer for one flat JSON object. Keys are emitted in
+/// insertion order; values are numbers, strings, nulls, or raw
+/// pre-serialized JSON fragments (for nesting).
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&json_escape(k));
+        self.buf.push(':');
+    }
+
+    /// Add a numeric field.
+    pub fn number(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.buf.push_str(&json_number(v));
+    }
+
+    /// Add a string field.
+    pub fn string(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push_str(&json_escape(v));
+    }
+
+    /// Add a boolean field.
+    pub fn boolean(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Add a `null` field.
+    pub fn null(&mut self, k: &str) {
+        self.key(k);
+        self.buf.push_str("null");
+    }
+
+    /// Add a field whose value is already-serialized JSON.
+    pub fn raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push_str(v);
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Nearest-rank percentiles of a sample, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Percentiles {
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles of `samples` (need not be sorted).
+    /// All-zero for an empty sample.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Percentiles::default();
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("telemetry samples are finite"));
+        let rank = |q: usize| -> f64 {
+            // Nearest-rank: the smallest value with at least q% of the
+            // sample at or below it.
+            let n = sorted.len();
+            let idx = (q * n).div_ceil(100).max(1) - 1;
+            sorted[idx]
+        };
+        Percentiles {
+            p50: rank(50),
+            p95: rank(95),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+
+    fn to_json(self) -> String {
+        let mut o = JsonObject::new();
+        o.number("p50", self.p50);
+        o.number("p95", self.p95);
+        o.number("max", self.max);
+        o.finish()
+    }
+}
+
+/// Aggregated telemetry of a batch of verifications.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct BatchSummary {
+    /// Number of queries in the batch.
+    pub total: usize,
+    /// Queries answered `Satisfied`.
+    pub satisfied: usize,
+    /// Queries answered `Unsatisfied`.
+    pub unsatisfied: usize,
+    /// Queries answered `Inconclusive`.
+    pub inconclusive: usize,
+    /// Queries that exceeded their budget.
+    pub aborted: usize,
+    /// Total under-approximation runs across the batch.
+    pub under_runs: usize,
+    /// Construction-time distribution (milliseconds).
+    pub t_construct: Percentiles,
+    /// Reduction-time distribution (milliseconds).
+    pub t_reduce: Percentiles,
+    /// Solve-time distribution (milliseconds).
+    pub t_solve: Percentiles,
+    /// End-to-end-time distribution (milliseconds).
+    pub t_total: Percentiles,
+}
+
+impl BatchSummary {
+    /// Aggregate a slice of per-query answers.
+    pub fn summarize(answers: &[Answer]) -> Self {
+        use crate::engine::Outcome;
+        let mut s = BatchSummary {
+            total: answers.len(),
+            ..BatchSummary::default()
+        };
+        let mut construct = Vec::with_capacity(answers.len());
+        let mut reduce = Vec::with_capacity(answers.len());
+        let mut solve = Vec::with_capacity(answers.len());
+        let mut total = Vec::with_capacity(answers.len());
+        for a in answers {
+            match &a.outcome {
+                Outcome::Satisfied(_) => s.satisfied += 1,
+                Outcome::Unsatisfied => s.unsatisfied += 1,
+                Outcome::Inconclusive => s.inconclusive += 1,
+                Outcome::Aborted(_) => s.aborted += 1,
+            }
+            s.under_runs += a.stats.under_runs;
+            construct.push(millis(a.stats.t_construct));
+            reduce.push(millis(a.stats.t_reduce));
+            solve.push(millis(a.stats.t_solve));
+            total.push(millis(a.stats.t_total));
+        }
+        s.t_construct = Percentiles::of(&construct);
+        s.t_reduce = Percentiles::of(&reduce);
+        s.t_solve = Percentiles::of(&solve);
+        s.t_total = Percentiles::of(&total);
+        s
+    }
+
+    /// Serialize as one JSON object (hand-rolled, serde-free).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.string("kind", "batch-summary");
+        o.number("total", self.total as f64);
+        o.number("satisfied", self.satisfied as f64);
+        o.number("unsatisfied", self.unsatisfied as f64);
+        o.number("inconclusive", self.inconclusive as f64);
+        o.number("aborted", self.aborted as f64);
+        o.number("underRuns", self.under_runs as f64);
+        o.raw("constructMillis", &self.t_construct.to_json());
+        o.raw("reduceMillis", &self.t_reduce.to_json());
+        o.raw("solveMillis", &self.t_solve.to_json());
+        o.raw("totalMillis", &self.t_total.to_json());
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Answer, EngineStats, Outcome};
+    use pdaal::budget::AbortReason;
+
+    #[test]
+    fn json_object_builds_flat_objects() {
+        let mut o = JsonObject::new();
+        o.number("a", 1.0);
+        o.string("b", "x\"y");
+        o.boolean("c", true);
+        o.null("d");
+        o.raw("e", "[1,2]");
+        assert_eq!(
+            o.finish(),
+            r#"{"a":1,"b":"x\"y","c":true,"d":null,"e":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn json_numbers_are_valid_json() {
+        assert_eq!(json_number(3.0), "3");
+        assert_eq!(json_number(0.125), "0.125");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p = Percentiles::of(&samples);
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p95, 95.0);
+        assert_eq!(p.max, 100.0);
+
+        let one = Percentiles::of(&[7.0]);
+        assert_eq!(one.p50, 7.0);
+        assert_eq!(one.p95, 7.0);
+        assert_eq!(one.max, 7.0);
+
+        assert_eq!(Percentiles::of(&[]), Percentiles::default());
+    }
+
+    #[test]
+    fn summary_counts_outcomes() {
+        let answers = vec![
+            Answer::new(Outcome::Unsatisfied, EngineStats::new()),
+            Answer::new(Outcome::Inconclusive, {
+                let mut s = EngineStats::new();
+                s.under_runs = 1;
+                s
+            }),
+            Answer::aborted(AbortReason::DeadlineExceeded, EngineStats::new()),
+        ];
+        let s = BatchSummary::summarize(&answers);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.unsatisfied, 1);
+        assert_eq!(s.inconclusive, 1);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.satisfied, 0);
+        assert_eq!(s.under_runs, 1);
+        let json = s.to_json();
+        assert!(json.contains(r#""kind":"batch-summary""#));
+        assert!(json.contains(r#""aborted":1"#));
+    }
+}

@@ -3,8 +3,8 @@
 //! paths, multi-level failover, and approximation behaviour.
 
 use aalwines::construction::{build, ApproxMode};
-use aalwines::{AtomicQuantity, Outcome, Verifier, VerifyOptions, WeightSpec};
-use netmodel::{LabelTable, LinkId, Network, Op, RoutingEntry, Topology};
+use aalwines::{AtomicQuantity, Engine, Outcome, Verifier, VerifyOptions, WeightSpec};
+use netmodel::{LabelTable, Network, Op, RoutingEntry, Topology};
 use pdaal::Unweighted;
 use query::{compile, parse_query};
 
@@ -102,7 +102,10 @@ fn forced_backup_needs_failure_budget() {
     let q0 = "<ip> [.#v0] [v0#v2] [v2#v4] .* [v3#.] <ip> 0";
     let with_budget = verify(&net, q1);
     let Outcome::Satisfied(w) = with_budget.outcome else {
-        panic!("backup path must exist with k=1, got {:?}", with_budget.outcome);
+        panic!(
+            "backup path must exist with k=1, got {:?}",
+            with_budget.outcome
+        );
     };
     assert_eq!(w.failed_links.len(), 1, "exactly the protected link fails");
     let without = verify(&net, q0);
@@ -172,10 +175,7 @@ fn multi_level_failover_counts_failures() {
     let parsed = parse_query("<s0 ip> [.#r1] . . <sc ip> 2").unwrap();
     let weighted = Verifier::new(&net).verify(
         &parsed,
-        &VerifyOptions {
-            weights: Some(WeightSpec::single(AtomicQuantity::Failures)),
-            ..Default::default()
-        },
+        &VerifyOptions::new().with_weights(WeightSpec::single(AtomicQuantity::Failures)),
     );
     let Outcome::Satisfied(w) = weighted.outcome else {
         panic!("weighted run must agree");
@@ -209,7 +209,7 @@ fn stats_reflect_pipeline() {
     let s = &ans.stats;
     assert!(s.rules_over > 0);
     assert!(s.sat_transitions > 0);
-    assert!(!s.used_under, "conclusive over-approximation skips under");
+    assert!(!s.used_under(), "conclusive over-approximation skips under");
     assert!(s.t_construct.as_nanos() > 0);
 }
 
@@ -231,15 +231,20 @@ fn distance_weight_uses_link_distances() {
     let mut net = Network::new(t, labels);
     for out in [short, long] {
         net.add_rule(e0, ip, 1, RoutingEntry { out, ops: vec![] });
-        net.add_rule(out, ip, 1, RoutingEntry { out: e2, ops: vec![] });
+        net.add_rule(
+            out,
+            ip,
+            1,
+            RoutingEntry {
+                out: e2,
+                ops: vec![],
+            },
+        );
     }
     let parsed = parse_query("<ip> [.#r1] . . <ip> 0").unwrap();
     let ans = Verifier::new(&net).verify(
         &parsed,
-        &VerifyOptions {
-            weights: Some(WeightSpec::single(AtomicQuantity::Distance)),
-            ..Default::default()
-        },
+        &VerifyOptions::new().with_weights(WeightSpec::single(AtomicQuantity::Distance)),
     );
     let Outcome::Satisfied(w) = ans.outcome else {
         panic!("must be satisfiable");
@@ -286,17 +291,11 @@ fn links_vs_hops_on_self_loops() {
     let q = parse_query("<ip> [.#r1] . . <ip> 0").unwrap();
     let links = Verifier::new(&net).verify(
         &q,
-        &VerifyOptions {
-            weights: Some(WeightSpec::single(AtomicQuantity::Links)),
-            ..Default::default()
-        },
+        &VerifyOptions::new().with_weights(WeightSpec::single(AtomicQuantity::Links)),
     );
     let hops = Verifier::new(&net).verify(
         &q,
-        &VerifyOptions {
-            weights: Some(WeightSpec::single(AtomicQuantity::Hops)),
-            ..Default::default()
-        },
+        &VerifyOptions::new().with_weights(WeightSpec::single(AtomicQuantity::Hops)),
     );
     let (Outcome::Satisfied(wl), Outcome::Satisfied(wh)) = (links.outcome, hops.outcome) else {
         panic!("both runs must be satisfiable");

@@ -1,16 +1,19 @@
-//! Criterion benchmarks for the full verification pipeline and its
-//! design-choice ablations on a Zoo-like network:
+//! Benchmarks for the full verification pipeline and its design-choice
+//! ablations on a Zoo-like network:
 //!
 //! * reductions on vs off (the paper's "series of reductions"),
 //! * the Dual engine vs the Moped-style baseline,
 //! * the weighted engine's overhead per quantity,
 //! * the Moped filter-expansion cost in isolation.
+//!
+//! Plain harness (no external bench framework): each case is timed with
+//! `Instant` over a fixed number of iterations after a warmup pass.
 
 use aalwines::moped::{expand_filters, verify_moped_compiled};
-use aalwines::{AtomicQuantity, Verifier, VerifyOptions, WeightSpec};
-use criterion::{criterion_group, criterion_main, Criterion};
+use aalwines::{AtomicQuantity, Engine, Verifier, VerifyOptions, WeightSpec};
 use pdaal::Unweighted;
 use query::{compile, parse_query};
+use std::time::Instant;
 use topogen::lsp::{build_mpls_dataplane, Dataplane, LspConfig};
 use topogen::zoo::{zoo_like, ZooConfig};
 
@@ -37,51 +40,48 @@ fn workload() -> (Dataplane, Vec<query::Query>) {
     (dp, queries)
 }
 
-fn bench_reductions_ablation(c: &mut Criterion) {
-    let (dp, queries) = workload();
-    let verifier = Verifier::new(&dp.net);
-    let mut group = c.benchmark_group("reductions");
-    group.bench_function("on", |b| {
-        b.iter(|| {
-            for q in &queries {
-                verifier.verify(q, &VerifyOptions::default());
-            }
-        })
-    });
-    group.bench_function("off", |b| {
-        b.iter(|| {
-            for q in &queries {
-                verifier.verify(
-                    q,
-                    &VerifyOptions {
-                        no_reduction: true,
-                        ..Default::default()
-                    },
-                );
-            }
-        })
-    });
-    group.finish();
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+    println!(
+        "{name:<44} {:>12.3} ms/iter  ({iters} iters)",
+        per_iter * 1e3
+    );
+    per_iter
 }
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
     let (dp, queries) = workload();
     let verifier = Verifier::new(&dp.net);
-    let mut group = c.benchmark_group("engine");
-    group.bench_function("dual", |b| {
-        b.iter(|| {
-            for q in &queries {
-                verifier.verify(q, &VerifyOptions::default());
-            }
-        })
+
+    println!("== reductions ablation ==");
+    bench("reductions/on", 10, || {
+        for q in &queries {
+            verifier.verify(q, &VerifyOptions::new());
+        }
     });
-    group.bench_function("moped", |b| {
-        b.iter(|| {
-            for q in &queries {
-                let cq = compile(q, &dp.net);
-                verify_moped_compiled(&dp.net, &cq);
-            }
-        })
+    let no_red = VerifyOptions::new().without_reduction();
+    bench("reductions/off", 10, || {
+        for q in &queries {
+            verifier.verify(q, &no_red);
+        }
+    });
+
+    println!("== engines ==");
+    bench("engine/dual", 10, || {
+        for q in &queries {
+            verifier.verify(q, &VerifyOptions::new());
+        }
+    });
+    bench("engine/moped", 10, || {
+        for q in &queries {
+            let cq = compile(q, &dp.net);
+            verify_moped_compiled(&dp.net, &cq);
+        }
     });
     for quantity in [
         AtomicQuantity::Failures,
@@ -89,25 +89,15 @@ fn bench_engines(c: &mut Criterion) {
         AtomicQuantity::Distance,
         AtomicQuantity::Tunnels,
     ] {
-        group.bench_function(format!("weighted_{quantity}"), |b| {
-            b.iter(|| {
-                for q in &queries {
-                    verifier.verify(
-                        q,
-                        &VerifyOptions {
-                            weights: Some(WeightSpec::single(quantity)),
-                            ..Default::default()
-                        },
-                    );
-                }
-            })
+        let opts = VerifyOptions::new().with_weights(WeightSpec::single(quantity));
+        bench(&format!("engine/weighted_{quantity}"), 10, || {
+            for q in &queries {
+                verifier.verify(q, &opts);
+            }
         });
     }
-    group.finish();
-}
 
-fn bench_moped_expansion(c: &mut Criterion) {
-    let (dp, queries) = workload();
+    println!("== moped filter expansion ==");
     // Build the initial automaton once per query; measure only the
     // symbolic→explicit expansion that the Moped boundary requires.
     let automata: Vec<pdaal::PAutomaton<Unweighted>> = queries
@@ -123,18 +113,9 @@ fn bench_moped_expansion(c: &mut Criterion) {
             .initial
         })
         .collect();
-    c.bench_function("moped/filter_expansion", |b| {
-        b.iter(|| {
-            for aut in &automata {
-                expand_filters(aut);
-            }
-        })
+    bench("moped/filter_expansion", 10, || {
+        for aut in &automata {
+            expand_filters(aut);
+        }
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_reductions_ablation, bench_engines, bench_moped_expansion
-}
-criterion_main!(benches);

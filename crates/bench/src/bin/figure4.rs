@@ -19,8 +19,8 @@
 //! witnesses the unweighted search misses), with a markedly lower
 //! inconclusive rate.
 
-use aalwines_bench::{run_one, Engine};
 use aalwines::Outcome;
+use aalwines_bench::{run_one_with_timeout, Engine};
 use std::io::Write;
 use std::time::Duration;
 use topogen::lsp::{build_mpls_dataplane, LspConfig};
@@ -74,7 +74,10 @@ fn main() {
     let mut instances: Vec<Instance> = Vec::new();
     for (i, dp) in dataplanes.iter().enumerate() {
         for q in figure4_queries(dp, per_net, 0xBEEF + i as u64) {
-            instances.push(Instance { net_idx: i, query: q });
+            instances.push(Instance {
+                net_idx: i,
+                query: q,
+            });
         }
     }
     eprintln!(
@@ -91,15 +94,29 @@ fn main() {
         let mut inconclusive = 0usize;
         let mut answered = 0usize;
         for inst in &instances {
-            let m = run_one(&dataplanes[inst.net_idx], &inst.query, engine);
+            // The timeout is enforced in-engine: a blown deadline surfaces
+            // as Outcome::Aborted instead of an unbounded run.
+            let m = run_one_with_timeout(
+                &dataplanes[inst.net_idx],
+                &inst.query,
+                engine,
+                Some(timeout),
+            );
             let t = m.time.as_secs_f64();
             let outcome = match m.answer.outcome {
                 Outcome::Satisfied(_) => "sat",
                 Outcome::Unsatisfied => "unsat",
                 Outcome::Inconclusive => "inconclusive",
+                Outcome::Aborted(_) => "aborted",
             };
-            rows.push((inst.net_idx, inst.query.clone(), engine.label(), t, outcome.into()));
-            if m.time <= timeout {
+            rows.push((
+                inst.net_idx,
+                inst.query.clone(),
+                engine.label(),
+                t,
+                outcome.into(),
+            ));
+            if !matches!(m.answer.outcome, Outcome::Aborted(_)) {
                 times.push(t);
                 solved += 1;
                 if matches!(m.answer.outcome, Outcome::Inconclusive) {
@@ -153,10 +170,7 @@ fn main() {
             times.len(),
             total,
             median,
-            times
-                .get(times.len() * 9 / 10)
-                .copied()
-                .unwrap_or_default(),
+            times.get(times.len() * 9 / 10).copied().unwrap_or_default(),
             times.last().copied().unwrap_or_default()
         );
     }

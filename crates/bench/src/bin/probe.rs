@@ -4,16 +4,29 @@ use topogen::nordunet_like;
 use topogen::queries::table1_queries;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
     let dp = nordunet_like(scale);
-    eprintln!("rules={} labels={}", dp.net.num_rules(), dp.net.labels.len());
+    eprintln!(
+        "rules={} labels={}",
+        dp.net.num_rules(),
+        dp.net.labels.len()
+    );
     for q in table1_queries(&dp, 0x7AB1E) {
         let m = run_one(&dp, &q, Engine::Dual);
         let s = &m.answer.stats;
         eprintln!(
             "{:60} total={:?} construct={:?} reduce={:?} solve={:?} rules={} removed={} sat_t={}",
-            &q[..q.len().min(60)], m.time, s.t_construct, s.t_reduce, s.t_solve,
-            s.rules_over, s.rules_removed, s.sat_transitions
+            &q[..q.len().min(60)],
+            m.time,
+            s.t_construct,
+            s.t_reduce,
+            s.t_solve,
+            s.rules_over,
+            s.rules_removed,
+            s.sat_transitions
         );
     }
 }

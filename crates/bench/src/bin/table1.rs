@@ -22,8 +22,10 @@ fn main() {
     let scale = arg_value(&args, "--scale")
         .map(|v| v.parse::<f64>().expect("--scale takes a float"))
         .unwrap_or(0.25);
-    let sweep = arg_value(&args, "--inconclusive-sweep")
-        .map(|v| v.parse::<usize>().expect("--inconclusive-sweep takes a count"));
+    let sweep = arg_value(&args, "--inconclusive-sweep").map(|v| {
+        v.parse::<usize>()
+            .expect("--inconclusive-sweep takes a count")
+    });
 
     eprintln!("building NORDUnet-like network (scale {scale}) ...");
     let t0 = Instant::now();
@@ -97,7 +99,7 @@ fn inconclusive_sweep(dp: &topogen::lsp::Dataplane, n: usize) {
             match m.answer.outcome {
                 aalwines::Outcome::Inconclusive => inconclusive += 1,
                 aalwines::Outcome::Satisfied(_) => sat += 1,
-                aalwines::Outcome::Unsatisfied => {}
+                _ => {}
             }
         }
         println!(

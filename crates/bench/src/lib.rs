@@ -8,19 +8,21 @@
 //!   networks; sorted per-instance verification times for the three
 //!   engines, plus inconclusive-rate accounting),
 //!
-//! plus Criterion micro-benchmarks for the engine internals (saturation,
-//! reductions on/off, `pre*` vs `post*`, weight-domain overhead).
+//! plus micro-benchmarks for the engine internals (saturation,
+//! reductions on/off, `pre*` vs `post*`, weight-domain overhead, budget
+//! checking).
 //!
 //! All harness code uses wall-clock timing of the same code paths the
 //! library exposes publicly; workloads are seeded and deterministic.
 
-use aalwines::moped::verify_moped_compiled;
-use aalwines::{Answer, AtomicQuantity, Outcome, Verifier, VerifyOptions, WeightSpec};
-use query::{compile, parse_query};
+use aalwines::{
+    Answer, AtomicQuantity, Engine as _, MopedEngine, Outcome, Verifier, VerifyOptions, WeightSpec,
+};
+use query::parse_query;
 use std::time::{Duration, Instant};
 use topogen::lsp::Dataplane;
 
-/// Which engine to run.
+/// Which engine configuration to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Engine {
     /// The Moped-style baseline backend.
@@ -57,22 +59,25 @@ pub struct Measurement {
     pub answer: Answer,
 }
 
-/// Time one query on one engine.
-pub fn run_one(dp: &Dataplane, query_text: &str, engine: Engine) -> Measurement {
+/// Time one query on one engine, optionally under a per-query deadline.
+pub fn run_one_with_timeout(
+    dp: &Dataplane,
+    query_text: &str,
+    engine: Engine,
+    timeout: Option<Duration>,
+) -> Measurement {
     let q = parse_query(query_text).unwrap_or_else(|e| panic!("{query_text}: {e}"));
+    let mut opts = VerifyOptions::new();
+    if let Some(t) = timeout {
+        opts = opts.with_timeout(t);
+    }
     let t0 = Instant::now();
     let answer = match engine {
-        Engine::Moped => {
-            let cq = compile(&q, &dp.net);
-            verify_moped_compiled(&dp.net, &cq)
-        }
-        Engine::Dual => Verifier::new(&dp.net).verify(&q, &VerifyOptions::default()),
+        Engine::Moped => MopedEngine::new(&dp.net).verify(&q, &opts),
+        Engine::Dual => Verifier::new(&dp.net).verify(&q, &opts),
         Engine::WeightedFailures => Verifier::new(&dp.net).verify(
             &q,
-            &VerifyOptions {
-                weights: Some(WeightSpec::single(AtomicQuantity::Failures)),
-                ..Default::default()
-            },
+            &opts.with_weights(WeightSpec::single(AtomicQuantity::Failures)),
         ),
     };
     Measurement {
@@ -81,12 +86,18 @@ pub fn run_one(dp: &Dataplane, query_text: &str, engine: Engine) -> Measurement 
     }
 }
 
+/// Time one query on one engine.
+pub fn run_one(dp: &Dataplane, query_text: &str, engine: Engine) -> Measurement {
+    run_one_with_timeout(dp, query_text, engine, None)
+}
+
 /// Render an outcome as a short cell.
 pub fn outcome_cell(o: &Outcome) -> &'static str {
     match o {
         Outcome::Satisfied(_) => "sat",
         Outcome::Unsatisfied => "unsat",
         Outcome::Inconclusive => "inconcl",
+        Outcome::Aborted(_) => "abort",
     }
 }
 

@@ -268,16 +268,20 @@ pub fn network_from_isis(
             // The remote interface name is the neighbor's own business;
             // use a deterministic placeholder matched by its dump (if it
             // has one, it declares its own outgoing link).
-            let l = topo.add_link(*router, &iface, nid, &format!("from_{}", topo.router(*router).name.clone()), 1);
+            let l = topo.add_link(
+                *router,
+                &iface,
+                nid,
+                &format!("from_{}", topo.router(*router).name.clone()),
+                1,
+            );
             link_of.insert((*router, iface), l);
         }
     }
     // Synthesize reverse links for pairs missing one direction (edge
     // routers have no dumps and therefore no outgoing links yet).
-    let existing: Vec<(RouterId, RouterId)> = topo
-        .links()
-        .map(|l| (topo.src(l), topo.dst(l)))
-        .collect();
+    let existing: Vec<(RouterId, RouterId)> =
+        topo.links().map(|l| (topo.src(l), topo.dst(l))).collect();
     for &(a, b) in &existing {
         if !existing.contains(&(b, a)) {
             let name_a = topo.router(a).name.clone();
@@ -326,11 +330,9 @@ pub fn network_from_isis(
                                 .ok_or_else(|| {
                                     FormatError::Semantic("nh without via or nh-index".into())
                                 })?;
-                            pfe.get(&idx)
-                                .cloned()
-                                .ok_or_else(|| {
-                                    FormatError::Semantic(format!("unknown nh-index {idx}"))
-                                })?
+                            pfe.get(&idx).cloned().ok_or_else(|| {
+                                FormatError::Semantic(format!("unknown nh-index {idx}"))
+                            })?
                         }
                     };
                     let Some(out) = topo.link_by_interface(router, &iface) else {
@@ -340,15 +342,27 @@ pub fn network_from_isis(
                         )));
                     };
                     let ops = parse_ops(
-                        nh.first_child("nh-type").map(|e| e.text.as_str()).unwrap_or(""),
+                        nh.first_child("nh-type")
+                            .map(|e| e.text.as_str())
+                            .unwrap_or(""),
                         &mut labels,
                     )?;
                     let prio = priority_from_weight(
-                        nh.first_child("weight").map(|e| e.text.as_str()).unwrap_or("0x1"),
+                        nh.first_child("weight")
+                            .map(|e| e.text.as_str())
+                            .unwrap_or("0x1"),
                     )?;
                     // Router-level table: install for every incoming link.
                     for &in_link in &in_links {
-                        rules.push((in_link, label, prio, RoutingEntry { out, ops: ops.clone() }));
+                        rules.push((
+                            in_link,
+                            label,
+                            prio,
+                            RoutingEntry {
+                                out,
+                                ops: ops.clone(),
+                            },
+                        ));
                     }
                 }
             }
@@ -592,10 +606,7 @@ mod tests {
         let (mapping, files) = write_isis_snapshot(&net);
         let store: Map<String, String> = files.into_iter().collect();
         let reloaded = network_from_isis(&mapping, &|p| {
-            store
-                .get(p)
-                .cloned()
-                .ok_or_else(|| format!("missing {p}"))
+            store.get(p).cloned().ok_or_else(|| format!("missing {p}"))
         })
         .unwrap();
         assert!(reloaded.validate().is_empty());
@@ -605,7 +616,7 @@ mod tests {
         assert!(reloaded.num_rules() >= net.num_rules());
 
         // The swap chain still verifies end to end.
-        use aalwines::{Outcome, Verifier, VerifyOptions};
+        use aalwines::{Engine, Outcome, Verifier, VerifyOptions};
         let q = query::parse_query("<100S ip> [.#R1] . . <ip> 0").unwrap();
         let ans = Verifier::new(&reloaded).verify(&q, &VerifyOptions::default());
         assert!(
@@ -633,10 +644,14 @@ mod tests {
         let pfe = r#"<pfe-next-hop-information>
             <pfe-nh><nh-index>614</nh-index><interface-name>et-0/0/0.0</interface-name></pfe-nh>
         </pfe-next-hop-information>"#;
-        let store: Map<&str, &str> =
-            [("a.xml", adj), ("r.xml", route), ("p.xml", pfe)].into_iter().collect();
+        let store: Map<&str, &str> = [("a.xml", adj), ("r.xml", route), ("p.xml", pfe)]
+            .into_iter()
+            .collect();
         let net = network_from_isis(mapping, &|p| {
-            store.get(p).map(|s| s.to_string()).ok_or_else(|| format!("missing {p}"))
+            store
+                .get(p)
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("missing {p}"))
         })
         .unwrap();
         assert_eq!(net.topology.num_routers(), 2);
@@ -653,12 +668,17 @@ mod tests {
               <adjacency-state>Down</adjacency-state>
             </isis-adjacency>
         </isis-adjacency-information>"#;
-        let route = r#"<forwarding-table-information><route-table/></forwarding-table-information>"#;
+        let route =
+            r#"<forwarding-table-information><route-table/></forwarding-table-information>"#;
         let pfe = r#"<pfe-next-hop-information/>"#;
-        let store: Map<&str, &str> =
-            [("a.xml", adj), ("r.xml", route), ("p.xml", pfe)].into_iter().collect();
+        let store: Map<&str, &str> = [("a.xml", adj), ("r.xml", route), ("p.xml", pfe)]
+            .into_iter()
+            .collect();
         let net = network_from_isis(mapping, &|p| {
-            store.get(p).map(|s| s.to_string()).ok_or_else(|| format!("missing {p}"))
+            store
+                .get(p)
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("missing {p}"))
         })
         .unwrap();
         assert_eq!(net.topology.num_links(), 0);

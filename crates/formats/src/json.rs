@@ -310,8 +310,14 @@ mod tests {
     fn parses_location_shape() {
         let doc = r#"{ "R0": { "lat": 46.5, "lng": 7.3 }, "R1": { "lat": -1.25, "lng": 36.8 } }"#;
         let v = parse(doc).unwrap();
-        assert_eq!(v.get("R0").unwrap().get("lat").unwrap().as_f64(), Some(46.5));
-        assert_eq!(v.get("R1").unwrap().get("lng").unwrap().as_f64(), Some(36.8));
+        assert_eq!(
+            v.get("R0").unwrap().get("lat").unwrap().as_f64(),
+            Some(46.5)
+        );
+        assert_eq!(
+            v.get("R1").unwrap().get("lng").unwrap().as_f64(),
+            Some(36.8)
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ fn kind_from(name: &str) -> Result<LabelKind, FormatError> {
         "mpls" => Ok(LabelKind::Mpls),
         "smpls" => Ok(LabelKind::MplsBos),
         "ip" => Ok(LabelKind::Ip),
-        other => Err(FormatError::Semantic(format!("unknown label kind {other:?}"))),
+        other => Err(FormatError::Semantic(format!(
+            "unknown label kind {other:?}"
+        ))),
     }
 }
 
@@ -52,8 +54,8 @@ pub fn write_routes(net: &Network) -> String {
     let mut current: Option<(u32, Element, Element)> = None; // (router, routing, destinations)
     let flush = |current: &mut Option<(u32, Element, Element)>, routings: &mut Element| {
         if let Some((_, routing, dests)) = current.take() {
-            *routings = std::mem::replace(routings, Element::new("routings"))
-                .child(routing.child(dests));
+            *routings =
+                std::mem::replace(routings, Element::new("routings")).child(routing.child(dests));
         }
     };
     for (in_link, label) in keys {
@@ -124,10 +126,7 @@ pub fn parse_routes(doc: &str, topo: Topology) -> Result<Network, FormatError> {
     let mut net = Network::new(topo, LabelTable::new());
 
     // Closure to intern a (label, kind) pair.
-    fn intern(
-        labels: &mut LabelTable,
-        el: &Element,
-    ) -> Result<netmodel::LabelId, FormatError> {
+    fn intern(labels: &mut LabelTable, el: &Element) -> Result<netmodel::LabelId, FormatError> {
         let name = el.require_attr("label")?;
         let kind = kind_from(el.get_attr("kind").unwrap_or_else(|| {
             // Paper convention: `s`-prefixed labels are bottom-of-stack,
@@ -253,7 +252,7 @@ mod tests {
 
     #[test]
     fn parsed_network_verifies_like_original() {
-        use aalwines::{Outcome, Verifier, VerifyOptions};
+        use aalwines::{Engine, Outcome, Verifier, VerifyOptions};
         use query::parse_query;
         let net = paper_network();
         let topo = crate::topo_xml::parse_topology(&crate::topo_xml::write_topology(&net.topology))

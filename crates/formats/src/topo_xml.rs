@@ -68,11 +68,7 @@ pub fn write_topology(topo: &Topology) -> String {
         for i in list {
             interfaces = interfaces.child(Element::new("interface").attr("name", &i));
         }
-        routers = routers.child(
-            Element::new("router")
-                .attr("name", &name)
-                .child(interfaces),
-        );
+        routers = routers.child(Element::new("router").attr("name", &name).child(interfaces));
     }
 
     let mut links = Element::new("links");
@@ -112,10 +108,7 @@ pub fn write_topology(topo: &Topology) -> String {
         links = links.child(link.child(sides));
     }
 
-    Element::new("network")
-        .child(routers)
-        .child(links)
-        .to_xml()
+    Element::new("network").child(routers).child(links).to_xml()
 }
 
 /// Parse a `topo.xml` document into a topology.
@@ -239,9 +232,6 @@ mod tests {
               <shared_interface interface="a" router="NOPE"/>
               <shared_interface interface="b" router="NOPE2"/>
             </sides></link></links></network>"#;
-        assert!(matches!(
-            parse_topology(doc),
-            Err(FormatError::Semantic(_))
-        ));
+        assert!(matches!(parse_topology(doc), Err(FormatError::Semantic(_))));
     }
 }

@@ -93,7 +93,7 @@ impl Element {
             out.push_str("/>\n");
             return;
         }
-        out.push_str(">");
+        out.push('>');
         if !self.text.is_empty() {
             out.push_str(&escape(&self.text));
         }
@@ -324,7 +324,11 @@ mod tests {
             .map(|e| e.get_attr("name").unwrap())
             .collect();
         assert_eq!(ifaces, ["ae1.11", "ae5.0"]);
-        let sides = root.first_child("links").unwrap().first_child("sides").unwrap();
+        let sides = root
+            .first_child("links")
+            .unwrap()
+            .first_child("sides")
+            .unwrap();
         assert_eq!(sides.children.len(), 2);
     }
 
@@ -370,7 +374,7 @@ mod tests {
     #[test]
     fn captures_text_content() {
         let root = parse("<a>hello <b/> world</a>").unwrap();
-        assert_eq!(root.text, "helloworld".replace("", "")); // trimmed per segment
+        assert_eq!(root.text, "helloworld"); // trimmed per segment
         assert_eq!(root.children.len(), 1);
     }
 }

@@ -161,10 +161,7 @@ mod tests {
         let f = fixture();
         let h = Header(vec![f.m30, f.s20, f.ip1]);
         let out = h
-            .apply(
-                &[Op::Pop, Op::Swap(f.s21), Op::Push(f.m31)],
-                &f.labels,
-            )
+            .apply(&[Op::Pop, Op::Swap(f.s21), Op::Push(f.m31)], &f.labels)
             .expect("defined");
         assert_eq!(out, Header(vec![f.m31, f.s21, f.ip1]));
     }

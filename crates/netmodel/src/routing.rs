@@ -64,7 +64,13 @@ impl Network {
     /// # Panics
     /// If `entry.out` does not leave the router that `in_link` enters
     /// (the well-formedness condition `t(e) = s(e_j)` of Definition 2).
-    pub fn add_rule(&mut self, in_link: LinkId, label: LabelId, priority: usize, entry: RoutingEntry) {
+    pub fn add_rule(
+        &mut self,
+        in_link: LinkId,
+        label: LabelId,
+        priority: usize,
+        entry: RoutingEntry,
+    ) {
         assert!(priority >= 1, "priorities are 1-based");
         assert_eq!(
             self.topology.dst(in_link),

@@ -61,10 +61,7 @@ pub fn successors(
 /// exactly those of groups `1..j` — a set monotone in `j` — the
 /// lowest-index choice minimizes the union. The trace is infeasible if a
 /// link it traverses would have to be failed.
-pub fn feasible_failures(
-    net: &Network,
-    steps: &[(LinkId, Header)],
-) -> Option<HashSet<LinkId>> {
+pub fn feasible_failures(net: &Network, steps: &[(LinkId, Header)]) -> Option<HashSet<LinkId>> {
     let used: HashSet<LinkId> = steps.iter().map(|(l, _)| *l).collect();
     let mut failed: HashSet<LinkId> = HashSet::new();
     for w in steps.windows(2) {
@@ -203,8 +200,8 @@ mod tests {
         // degenerate case: use e2 (needs e1 failed) and also traverse e1.
         let steps = vec![
             (f.e1, hdr(&[f.s1, f.ip])), // arrives over e1 (so e1 is used)
-            // ... no rule matches from e1; but feasibility only inspects
-            // consecutive pairs — craft the pair (e0, e2) after:
+                                        // ... no rule matches from e1; but feasibility only inspects
+                                        // consecutive pairs — craft the pair (e0, e2) after:
         ];
         // Direct scenario instead: steps traverse e1 first hop, and the
         // second hop needs e1 failed. Build: v0-e0->v1 using backup e2

@@ -1,8 +1,19 @@
-//! Property-based tests for the MPLS model: header-rewrite invariants
-//! and trace validity against the forwarding semantics.
+//! Randomized tests for the MPLS model: header-rewrite invariants and
+//! trace validity against the forwarding semantics.
+//!
+//! Inputs come from a seeded deterministic RNG so the campaign is
+//! hermetic; `--features slow-tests` multiplies the number of cases.
 
-use netmodel::{Header, LabelId, LabelKind, LabelTable, Op};
-use proptest::prelude::*;
+use detrand::DetRng;
+use netmodel::{Header, LabelId, LabelTable, Op};
+
+fn cases(base: u64) -> u64 {
+    if cfg!(feature = "slow-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
 
 fn table() -> LabelTable {
     let mut t = LabelTable::new();
@@ -29,104 +40,120 @@ fn ip(i: u32) -> LabelId {
     LabelId(8 + i % 4)
 }
 
-fn valid_header_strategy() -> impl Strategy<Value = Vec<LabelId>> {
-    // α s ip | ip, with α of length 0..4
-    (
-        proptest::collection::vec(0..4u32, 0..4),
-        0..4u32,
-        0..4u32,
-        proptest::bool::ANY,
-    )
-        .prop_map(|(alpha, b, i, bare)| {
-            if bare {
-                vec![ip(i)]
-            } else {
-                let mut h: Vec<LabelId> = alpha.into_iter().map(mpls).collect();
-                h.push(bos(b));
-                h.push(ip(i));
-                h
-            }
-        })
+/// α s ip | ip, with α of length 0..4.
+fn gen_valid_header(rng: &mut DetRng) -> Vec<LabelId> {
+    if rng.gen_bool(0.5) {
+        vec![ip(rng.gen_range(0..4u32))]
+    } else {
+        let alpha_len = rng.gen_range(0..4usize);
+        let mut h: Vec<LabelId> = (0..alpha_len)
+            .map(|_| mpls(rng.gen_range(0..4u32)))
+            .collect();
+        h.push(bos(rng.gen_range(0..4u32)));
+        h.push(ip(rng.gen_range(0..4u32)));
+        h
+    }
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    (0..3u32, 0..12u32).prop_map(|(kind, l)| match kind {
+fn gen_op(rng: &mut DetRng) -> Op {
+    let l = rng.gen_range(0..12u32);
+    match rng.gen_range(0..3u32) {
         0 => Op::Swap(LabelId(l)),
         1 => Op::Push(LabelId(l)),
         _ => Op::Pop,
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn gen_ops(rng: &mut DetRng, max: usize) -> Vec<Op> {
+    let n = rng.gen_range(0..max);
+    (0..n).map(|_| gen_op(rng)).collect()
+}
 
-    /// Whatever sequence of operations is applied, a defined result is a
-    /// valid header — the rewrite function never leaves `H`.
-    #[test]
-    fn rewrite_preserves_validity(
-        h in valid_header_strategy(),
-        ops in proptest::collection::vec(op_strategy(), 0..6),
-    ) {
-        let t = table();
+/// Whatever sequence of operations is applied, a defined result is a
+/// valid header — the rewrite function never leaves `H`.
+#[test]
+fn rewrite_preserves_validity() {
+    let t = table();
+    let mut rng = DetRng::seed_from_u64(0x5EED_0201);
+    for _ in 0..cases(256) {
+        let h = gen_valid_header(&mut rng);
+        let ops = gen_ops(&mut rng, 6);
         let header = Header::from_top_first(h);
-        prop_assert!(header.is_valid(&t));
+        assert!(header.is_valid(&t));
         if let Some(out) = header.apply(&ops, &t) {
-            prop_assert!(out.is_valid(&t), "ops {ops:?} produced invalid {out:?}");
+            assert!(out.is_valid(&t), "ops {ops:?} produced invalid {out:?}");
         }
     }
+}
 
-    /// Applying operations one at a time agrees with applying the whole
-    /// sequence (definedness and result).
-    #[test]
-    fn rewrite_is_compositional(
-        h in valid_header_strategy(),
-        ops in proptest::collection::vec(op_strategy(), 0..6),
-    ) {
-        let t = table();
+/// Applying operations one at a time agrees with applying the whole
+/// sequence (definedness and result).
+#[test]
+fn rewrite_is_compositional() {
+    let t = table();
+    let mut rng = DetRng::seed_from_u64(0x5EED_0202);
+    for _ in 0..cases(256) {
+        let h = gen_valid_header(&mut rng);
+        let ops = gen_ops(&mut rng, 6);
         let whole = Header::from_top_first(h.clone()).apply(&ops, &t);
         let mut step = Some(Header::from_top_first(h));
         for op in &ops {
             step = step.and_then(|cur| cur.apply(std::slice::from_ref(op), &t));
         }
-        prop_assert_eq!(whole, step);
+        assert_eq!(whole, step, "ops {ops:?}");
     }
+}
 
-    /// Push then pop is the identity whenever the push is defined.
-    #[test]
-    fn push_pop_identity(h in valid_header_strategy(), l in 0..12u32) {
-        let t = table();
+/// Push then pop is the identity whenever the push is defined.
+#[test]
+fn push_pop_identity() {
+    let t = table();
+    let mut rng = DetRng::seed_from_u64(0x5EED_0203);
+    for _ in 0..cases(256) {
+        let h = gen_valid_header(&mut rng);
+        let l = rng.gen_range(0..12u32);
         let header = Header::from_top_first(h);
         if let Some(pushed) = header.apply(&[Op::Push(LabelId(l))], &t) {
-            prop_assert_eq!(pushed.apply(&[Op::Pop], &t), Some(header));
+            assert_eq!(pushed.apply(&[Op::Pop], &t), Some(header));
         }
     }
+}
 
-    /// A defined pop shrinks the header by one; a defined push grows it.
-    #[test]
-    fn ops_change_height_by_one(h in valid_header_strategy(), l in 0..12u32) {
-        let t = table();
+/// A defined pop shrinks the header by one; a defined push grows it.
+#[test]
+fn ops_change_height_by_one() {
+    let t = table();
+    let mut rng = DetRng::seed_from_u64(0x5EED_0204);
+    for _ in 0..cases(256) {
+        let h = gen_valid_header(&mut rng);
+        let l = rng.gen_range(0..12u32);
         let header = Header::from_top_first(h);
         if let Some(out) = header.apply(&[Op::Pop], &t) {
-            prop_assert_eq!(out.len() + 1, header.len());
+            assert_eq!(out.len() + 1, header.len());
         }
         if let Some(out) = header.apply(&[Op::Push(LabelId(l))], &t) {
-            prop_assert_eq!(out.len(), header.len() + 1);
+            assert_eq!(out.len(), header.len() + 1);
         }
         if let Some(out) = header.apply(&[Op::Swap(LabelId(l))], &t) {
-            prop_assert_eq!(out.len(), header.len());
+            assert_eq!(out.len(), header.len());
         }
     }
+}
 
-    /// The kind structure of headers pins what swaps are defined: the
-    /// replacement must have the same kind as the replaced label, except
-    /// on a bare IP header where only IP→IP works.
-    #[test]
-    fn swap_definedness_follows_kinds(h in valid_header_strategy(), l in 0..12u32) {
-        let t = table();
+/// The kind structure of headers pins what swaps are defined: the
+/// replacement must have the same kind as the replaced label, except
+/// on a bare IP header where only IP→IP works.
+#[test]
+fn swap_definedness_follows_kinds() {
+    let t = table();
+    let mut rng = DetRng::seed_from_u64(0x5EED_0205);
+    for _ in 0..cases(256) {
+        let h = gen_valid_header(&mut rng);
+        let l = rng.gen_range(0..12u32);
         let header = Header::from_top_first(h);
         let top = header.top().unwrap();
         let defined = header.apply(&[Op::Swap(LabelId(l))], &t).is_some();
-        prop_assert_eq!(
+        assert_eq!(
             defined,
             t.kind(top) == t.kind(LabelId(l)),
             "swap {:?}→{:?}",
@@ -136,22 +163,20 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// `canonicalize` in the construction layer agrees with sequential
-    /// rewrite semantics on concrete headers: applying the canonical form
-    /// (pop 1+d, then push the replacement) gives the same stack as
-    /// applying the ops one by one, whenever the latter is defined.
-    #[test]
-    fn canonical_ops_agree_with_semantics(
-        h in valid_header_strategy(),
-        ops in proptest::collection::vec(op_strategy(), 0..5),
-    ) {
-        let t = table();
+/// `canonicalize` in the construction layer agrees with sequential
+/// rewrite semantics on concrete headers: applying the canonical form
+/// (pop 1+d, then push the replacement) gives the same stack as
+/// applying the ops one by one, whenever the latter is defined.
+#[test]
+fn canonical_ops_agree_with_semantics() {
+    let t = table();
+    let mut rng = DetRng::seed_from_u64(0x5EED_0206);
+    for _ in 0..cases(64) {
+        let h = gen_valid_header(&mut rng);
+        let ops = gen_ops(&mut rng, 5);
         let header = Header::from_top_first(h.clone());
         let Some(expected) = header.apply(&ops, &t) else {
-            return Ok(());
+            continue;
         };
         let canon = aalwines::construction::canonicalize(h[0], &ops);
         // Canonical application on the raw label stack.
@@ -160,12 +185,12 @@ proptest! {
             // Canonicalization may over-approximate definedness when the
             // ops dig below the concrete stack; sequential semantics
             // already rejected those above.
-            return Ok(());
+            continue;
         }
         let mut stack: Vec<LabelId> = h[drop..].to_vec();
         for &l in &canon.pushed {
             stack.insert(0, l);
         }
-        prop_assert_eq!(stack, expected.0);
+        assert_eq!(stack, expected.0, "ops {ops:?}");
     }
 }

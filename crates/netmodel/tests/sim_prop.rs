@@ -1,21 +1,30 @@
-//! Property tests tying the three faces of the forwarding semantics
+//! Randomized tests tying the three faces of the forwarding semantics
 //! together: `successors` (operational stepping), `Trace::is_valid`
 //! (declarative Definition 4), and `feasible_failures` (the minimal
 //! failure-set reconstruction).
+//!
+//! Inputs come from a seeded deterministic RNG so the campaign is
+//! hermetic; `--features slow-tests` multiplies the number of cases.
 
+use detrand::DetRng;
 use netmodel::{
     feasible_failures, successors, Header, LabelId, LabelKind, LabelTable, LinkId, Network, Op,
     RoutingEntry, Topology, Trace, TraceStep,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+
+fn cases(base: u64) -> u64 {
+    if cfg!(feature = "slow-tests") {
+        base * 8
+    } else {
+        base
+    }
+}
 
 /// Deterministic random network (same generator family as the engine
 /// differential tests, but local to keep this crate independent).
 fn random_network(seed: u64) -> Network {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut topo = Topology::new();
     let n = rng.gen_range(3..6u32);
     for i in 0..n {
@@ -48,18 +57,18 @@ fn random_network(seed: u64) -> Network {
             continue;
         }
         let out = outs[rng.gen_range(0..outs.len())];
-        let pick = |v: &[LabelId], rng: &mut StdRng| v[rng.gen_range(0..v.len())];
+        let pick = |v: &[LabelId], rng: &mut DetRng| v[rng.gen_range(0..v.len())];
         let ops: Vec<Op> = match labels.kind(label) {
-            LabelKind::Ip => match rng.gen_range(0..2) {
+            LabelKind::Ip => match rng.gen_range(0u32..2) {
                 0 => vec![],
                 _ => vec![Op::Push(pick(&bos, &mut rng))],
             },
-            LabelKind::MplsBos => match rng.gen_range(0..3) {
+            LabelKind::MplsBos => match rng.gen_range(0u32..3) {
                 0 => vec![Op::Swap(pick(&bos, &mut rng))],
                 1 => vec![Op::Pop],
                 _ => vec![Op::Push(pick(&mpls, &mut rng))],
             },
-            LabelKind::Mpls => match rng.gen_range(0..2) {
+            LabelKind::Mpls => match rng.gen_range(0u32..2) {
                 0 => vec![Op::Swap(pick(&mpls, &mut rng))],
                 _ => vec![Op::Pop],
             },
@@ -74,18 +83,19 @@ fn random_network(seed: u64) -> Network {
     net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// A random walk through `successors` under a failure set F always
+/// produces a trace that (a) is valid under F, and (b) has a
+/// reconstructed minimal failure set contained in F.
+#[test]
+fn random_walks_are_valid_traces() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0301);
+    for _ in 0..cases(128) {
+        let seed = rng.gen_range(0..500u64);
+        let n_choices = rng.gen_range(1..6usize);
+        let walk_choices: Vec<usize> = (0..n_choices).map(|_| rng.gen_range(0..4usize)).collect();
+        let n_failed = rng.gen_range(0..2usize);
+        let failed_raw: HashSet<u32> = (0..n_failed).map(|_| rng.gen_range(0..10u32)).collect();
 
-    /// A random walk through `successors` under a failure set F always
-    /// produces a trace that (a) is valid under F, and (b) has a
-    /// reconstructed minimal failure set contained in F.
-    #[test]
-    fn random_walks_are_valid_traces(
-        seed in 0..500u64,
-        walk_choices in proptest::collection::vec(0..4usize, 1..6),
-        failed_raw in proptest::collection::hash_set(0..10u32, 0..2),
-    ) {
         let net = random_network(seed);
         let n_links = net.topology.num_links();
         let failed: HashSet<LinkId> = failed_raw
@@ -95,13 +105,16 @@ proptest! {
 
         // Start anywhere active with a bottom-of-stack header.
         let Some(start_link) = net.topology.links().find(|l| !failed.contains(l)) else {
-            return Ok(());
+            continue;
         };
         let s0 = net.labels.get("s0").expect("generator interns s0");
         let ip0 = net.labels.get("ip0").expect("generator interns ip0");
         let mut link = start_link;
         let mut header = Header::from_top_first(vec![s0, ip0]);
-        let mut steps = vec![TraceStep { link, header: header.clone() }];
+        let mut steps = vec![TraceStep {
+            link,
+            header: header.clone(),
+        }];
         for &c in &walk_choices {
             let succ = successors(&net, link, &header, &failed);
             if succ.is_empty() {
@@ -110,10 +123,13 @@ proptest! {
             let (nl, nh) = succ[c % succ.len()].clone();
             link = nl;
             header = nh;
-            steps.push(TraceStep { link, header: header.clone() });
+            steps.push(TraceStep {
+                link,
+                header: header.clone(),
+            });
         }
         let trace = Trace::new(steps.clone());
-        prop_assert!(
+        assert!(
             trace.is_valid(&net, &failed),
             "walk produced invalid trace on seed {seed}"
         );
@@ -121,28 +137,30 @@ proptest! {
         let pairs: Vec<(LinkId, Header)> =
             steps.iter().map(|s| (s.link, s.header.clone())).collect();
         let minimal = feasible_failures(&net, &pairs);
-        prop_assert!(minimal.is_some(), "walked trace must be feasible");
+        assert!(minimal.is_some(), "walked trace must be feasible");
         let minimal = minimal.unwrap();
-        prop_assert!(
+        assert!(
             minimal.is_subset(&failed),
             "minimal set {minimal:?} ⊄ F {failed:?}"
         );
         // And the trace must be valid under the minimal set, too.
-        prop_assert!(trace.is_valid(&net, &minimal));
+        assert!(trace.is_valid(&net, &minimal));
         // Failures quantity consistency: an empty minimal set means the
         // trace rides primary groups only, so Failures(σ) = 0 under it.
         if minimal.is_empty() {
-            prop_assert_eq!(trace.failures(&net, &minimal), Some(0));
+            assert_eq!(trace.failures(&net, &minimal), Some(0));
         }
     }
+}
 
-    /// Successor headers are always valid; stepping never fabricates an
-    /// invalid header.
-    #[test]
-    fn successors_preserve_header_validity(
-        seed in 0..200u64,
-        start in 0..10u32,
-    ) {
+/// Successor headers are always valid; stepping never fabricates an
+/// invalid header.
+#[test]
+fn successors_preserve_header_validity() {
+    let mut rng = DetRng::seed_from_u64(0x5EED_0302);
+    for _ in 0..cases(128) {
+        let seed = rng.gen_range(0..200u64);
+        let start = rng.gen_range(0..10u32);
         let net = random_network(seed);
         let n_links = net.topology.num_links();
         let link = LinkId(start % n_links.max(1));
@@ -150,7 +168,7 @@ proptest! {
         let ip0 = net.labels.get("ip0").unwrap();
         let header = Header::from_top_first(vec![s0, ip0]);
         for (_, h) in successors(&net, link, &header, &HashSet::new()) {
-            prop_assert!(h.is_valid(&net.labels));
+            assert!(h.is_valid(&net.labels));
         }
     }
 }

@@ -73,10 +73,7 @@ pub fn automaton_to_dot<W: Weight + std::fmt::Debug>(
         let s = AutState(i);
         let shape = if aut.is_pds_state(s) { "box" } else { "circle" };
         let peripheries = if aut.is_final(s) { 2 } else { 1 };
-        let _ = writeln!(
-            out,
-            "  q{i} [shape={shape}, peripheries={peripheries}];"
-        );
+        let _ = writeln!(out, "  q{i} [shape={shape}, peripheries={peripheries}];");
     }
     for t in aut.transitions() {
         let (label, style) = match t.label {

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod dot;
 pub mod nfa;
 pub mod pautomaton;
@@ -70,9 +71,11 @@ pub mod semiring;
 pub mod shortest;
 pub mod witness;
 
+pub use budget::{AbortReason, Budget, BudgetChecker, CancelToken, SaturationAbort};
 pub use nfa::{StackNfa, SymFilter};
 pub use pautomaton::{AutState, FilterId, PAutomaton, Provenance, TLabel, TransId};
 pub use pds::{Pds, Rule, RuleId, RuleOp, StateId, SymbolId};
+pub use poststar::SaturationStats;
 pub use semiring::{MinTotal, MinVector, Unweighted, Weight};
-pub use shortest::{shortest_accepted, AcceptedPath};
+pub use shortest::{shortest_accepted, shortest_accepted_budgeted, AcceptedPath};
 pub use witness::{reconstruct_run, WitnessError};

@@ -150,7 +150,9 @@ impl StackNfa {
 
     /// Edges leaving `s`.
     pub fn edges_from(&self, s: u32) -> impl Iterator<Item = &NfaEdge> + '_ {
-        self.out[s as usize].iter().map(move |&i| &self.edges[i as usize])
+        self.out[s as usize]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// Whether the NFA accepts `word`.

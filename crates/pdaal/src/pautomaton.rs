@@ -284,8 +284,14 @@ impl<W: Weight> PAutomaton<W> {
         to: AutState,
         weight: W,
     ) -> TransId {
-        self.insert_or_combine(from, TLabel::Filter(filter), to, weight, Provenance::Initial)
-            .0
+        self.insert_or_combine(
+            from,
+            TLabel::Filter(filter),
+            to,
+            weight,
+            Provenance::Initial,
+        )
+        .0
     }
 
     /// Insert a transition or combine its weight with an existing one.
@@ -388,7 +394,7 @@ impl<W: Weight> PAutomaton<W> {
         best.insert((start.0, 0), W::one());
         heap.push(Reverse(Item(W::one(), start.0, 0)));
         while let Some(Reverse(Item(w, s, pos))) = heap.pop() {
-            if best.get(&(s, pos)).map_or(true, |b| *b < w) {
+            if best.get(&(s, pos)).is_none_or(|b| *b < w) {
                 continue;
             }
             if pos == word.len() && self.finals[s as usize] {
@@ -408,7 +414,7 @@ impl<W: Weight> PAutomaton<W> {
                 }
                 let nw = w.extend(&t.weight);
                 let key = (t.to.0, npos);
-                let better = best.get(&key).map_or(true, |b| nw < *b);
+                let better = best.get(&key).is_none_or(|b| nw < *b);
                 if better {
                     best.insert(key, nw.clone());
                     heap.push(Reverse(Item(nw, t.to.0, npos)));
@@ -513,7 +519,13 @@ mod tests {
             MinTotal(1),
             Provenance::Initial,
         );
-        a.insert_or_combine(q1, TLabel::Sym(sym(1)), f, MinTotal(10), Provenance::Initial);
+        a.insert_or_combine(
+            q1,
+            TLabel::Sym(sym(1)),
+            f,
+            MinTotal(10),
+            Provenance::Initial,
+        );
         a.insert_or_combine(
             AutState(0),
             TLabel::Sym(sym(0)),
@@ -534,9 +546,7 @@ mod tests {
         let mut a = PAutomaton::<Unweighted>::with_sizes(1, 10);
         let f = a.add_state();
         a.set_final(f);
-        let evens = a.add_filter(SymFilter::In(
-            (0..10).step_by(2).map(SymbolId).collect(),
-        ));
+        let evens = a.add_filter(SymFilter::In((0..10).step_by(2).map(SymbolId).collect()));
         a.add_filter_edge(AutState(0), evens, f, Unweighted);
         assert!(a.accepts(StateId(0), &[sym(4)]));
         assert!(!a.accepts(StateId(0), &[sym(5)]));

@@ -22,6 +22,7 @@
 //! label (concrete or filter), so filter edges deeper in the initial
 //! automaton keep working when pops expose them.
 
+use crate::budget::{Budget, SaturationAbort};
 use crate::pautomaton::{AutState, PAutomaton, Provenance, TLabel, TransId};
 use crate::pds::{Pds, RuleId, RuleOp, StateId, SymbolId};
 use crate::semiring::Weight;
@@ -52,11 +53,20 @@ pub fn post_star_with_stats<W: Weight>(
     pds: &Pds<W>,
     initial: &PAutomaton<W>,
 ) -> (PAutomaton<W>, SaturationStats) {
+    post_star_budgeted(pds, initial, &Budget::unlimited()).expect("unlimited budget cannot abort")
+}
+
+/// As [`post_star_with_stats`] but stopping early — with the abort
+/// reason and the statistics accumulated so far — once `budget` is
+/// exhausted.
+pub fn post_star_budgeted<W: Weight>(
+    pds: &Pds<W>,
+    initial: &PAutomaton<W>,
+    budget: &Budget,
+) -> Result<(PAutomaton<W>, SaturationStats), SaturationAbort> {
+    let mut checker = budget.checker();
     for t in initial.transitions() {
-        assert!(
-            t.label.reads(),
-            "post*: input automaton must be ε-free"
-        );
+        assert!(t.label.reads(), "post*: input automaton must be ε-free");
         assert!(
             !initial.is_pds_state(t.to),
             "post*: input automaton must not have transitions into PDS states"
@@ -69,7 +79,10 @@ pub fn post_star_with_stats<W: Weight>(
     // Rules grouped by source state, for firing on filter transitions.
     let mut rules_of_state: HashMap<StateId, Vec<RuleId>> = HashMap::new();
     for (i, r) in pds.rules().iter().enumerate() {
-        rules_of_state.entry(r.from).or_default().push(RuleId(i as u32));
+        rules_of_state
+            .entry(r.from)
+            .or_default()
+            .push(RuleId(i as u32));
     }
 
     // Mid-states per (target control state, first pushed symbol).
@@ -77,9 +90,8 @@ pub fn post_star_with_stats<W: Weight>(
     // ε-transitions indexed by their target state.
     let mut eps_into: HashMap<AutState, Vec<TransId>> = HashMap::new();
 
-    let mut worklist: VecDeque<TransId> = (0..aut.transitions().len() as u32)
-        .map(TransId)
-        .collect();
+    let mut worklist: VecDeque<TransId> =
+        (0..aut.transitions().len() as u32).map(TransId).collect();
 
     macro_rules! upd {
         ($from:expr, $label:expr, $to:expr, $w:expr, $prov:expr, $wl:expr, $eps:expr) => {{
@@ -111,7 +123,10 @@ pub fn post_star_with_stats<W: Weight>(
                         TLabel::Eps,
                         $to,
                         w,
-                        Provenance::Pop { rule: $rid, from: $tid },
+                        Provenance::Pop {
+                            rule: $rid,
+                            from: $tid
+                        },
                         $wl,
                         $eps
                     );
@@ -122,7 +137,10 @@ pub fn post_star_with_stats<W: Weight>(
                         TLabel::Sym(g2),
                         $to,
                         w,
-                        Provenance::Swap { rule: $rid, from: $tid },
+                        Provenance::Swap {
+                            rule: $rid,
+                            from: $tid
+                        },
                         $wl,
                         $eps
                     );
@@ -146,7 +164,10 @@ pub fn post_star_with_stats<W: Weight>(
                         TLabel::Sym(g2),
                         $to,
                         w,
-                        Provenance::PushRest { rule: $rid, from: $tid },
+                        Provenance::PushRest {
+                            rule: $rid,
+                            from: $tid
+                        },
                         $wl,
                         $eps
                     );
@@ -157,6 +178,10 @@ pub fn post_star_with_stats<W: Weight>(
 
     while let Some(tid) = worklist.pop_front() {
         stats.worklist_pops += 1;
+        if let Err(reason) = checker.tick(aut.transitions().len()) {
+            stats.transitions = aut.transitions().len();
+            return Err(SaturationAbort { reason, stats });
+        }
         let (from, label, to, d) = {
             let t = aut.transition(tid);
             (t.from, t.label, t.to, t.weight.clone())
@@ -223,7 +248,10 @@ pub fn post_star_with_stats<W: Weight>(
                         l2,
                         to2,
                         w,
-                        Provenance::Combine { eps: tid, next: t2id },
+                        Provenance::Combine {
+                            eps: tid,
+                            next: t2id
+                        },
                         worklist,
                         eps_into
                     );
@@ -233,7 +261,7 @@ pub fn post_star_with_stats<W: Weight>(
     }
 
     stats.transitions = aut.transitions().len();
-    (aut, stats)
+    Ok((aut, stats))
 }
 
 /// When a reading transition `next = (from, l, to)` appears at a state
@@ -377,7 +405,7 @@ mod tests {
         let init = initial_config(&pds, st(0), &[a], Unweighted);
         let sat = post_star(&pds, &init);
         for n in 1..6 {
-            let word: Vec<SymbolId> = std::iter::repeat(a).take(n).collect();
+            let word: Vec<SymbolId> = std::iter::repeat_n(a, n).collect();
             assert!(sat.accepts(st(0), &word), "a^{n} must be reachable");
         }
         assert!(!sat.accepts(st(0), &[]));
@@ -393,6 +421,49 @@ mod tests {
         assert_eq!(sat.accept_weight(st(0), &[a]), Some(MinTotal(0)));
         assert_eq!(sat.accept_weight(st(0), &[a, a]), Some(MinTotal(1)));
         assert_eq!(sat.accept_weight(st(0), &[a, a, a, a]), Some(MinTotal(3)));
+    }
+
+    #[test]
+    fn budgeted_poststar_respects_transition_cap() {
+        use crate::budget::AbortReason;
+        let mut pds = Pds::<Unweighted>::new(1, 1);
+        let a = sym(0);
+        pds.add_rule(st(0), a, st(0), RuleOp::Push(a, a), Unweighted, 0);
+        let init = initial_config(&pds, st(0), &[a], Unweighted);
+
+        let err = post_star_budgeted(&pds, &init, &Budget::new().with_max_transitions(0))
+            .expect_err("cap of 0 must abort");
+        assert_eq!(err.reason, AbortReason::TransitionBudgetExceeded);
+        assert!(err.stats.worklist_pops >= 1);
+
+        // A generous budget must not change the result.
+        let (aut, _) =
+            post_star_budgeted(&pds, &init, &Budget::new().with_max_transitions(1 << 20))
+                .expect("generous budget completes");
+        assert!(aut.accepts(st(0), &[a, a, a]));
+    }
+
+    #[test]
+    fn budgeted_poststar_respects_expired_deadline() {
+        use crate::budget::AbortReason;
+        use std::time::{Duration, Instant};
+        let pds = classic_pds();
+        let init = initial_config(&pds, st(0), &[sym(0)], Unweighted);
+        let budget = Budget::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = post_star_budgeted(&pds, &init, &budget).expect_err("expired deadline");
+        assert_eq!(err.reason, AbortReason::DeadlineExceeded);
+    }
+
+    #[test]
+    fn budgeted_poststar_respects_cancellation() {
+        use crate::budget::{AbortReason, CancelToken};
+        let pds = classic_pds();
+        let init = initial_config(&pds, st(0), &[sym(0)], Unweighted);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::new().with_cancel(token);
+        let err = post_star_budgeted(&pds, &init, &budget).expect_err("pre-cancelled");
+        assert_eq!(err.reason, AbortReason::Cancelled);
     }
 
     #[test]

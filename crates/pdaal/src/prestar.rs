@@ -11,8 +11,10 @@
 //! `d`, then add `(p, γ, q)` with weight `f(r) ⊗ d`. No ε-transitions or
 //! extra states are ever introduced.
 
+use crate::budget::{Budget, SaturationAbort};
 use crate::pautomaton::{AutState, PAutomaton, Provenance, TLabel, TransId};
 use crate::pds::{Pds, RuleId, RuleOp, StateId, SymbolId};
+use crate::poststar::SaturationStats;
 use crate::semiring::Weight;
 use std::collections::{HashMap, VecDeque};
 
@@ -21,6 +23,29 @@ use std::collections::{HashMap, VecDeque};
 /// Requirements on `target` (checked): ε-free and no transitions into PDS
 /// control states.
 pub fn pre_star<W: Weight>(pds: &Pds<W>, target: &PAutomaton<W>) -> PAutomaton<W> {
+    pre_star_with_stats(pds, target).0
+}
+
+/// As [`pre_star`] but also returning [`SaturationStats`].
+///
+/// `pre*` introduces no mid-states, so
+/// [`mid_states`](SaturationStats::mid_states) is always zero.
+pub fn pre_star_with_stats<W: Weight>(
+    pds: &Pds<W>,
+    target: &PAutomaton<W>,
+) -> (PAutomaton<W>, SaturationStats) {
+    pre_star_budgeted(pds, target, &Budget::unlimited()).expect("unlimited budget cannot abort")
+}
+
+/// As [`pre_star_with_stats`] but stopping early — with the abort reason
+/// and the statistics accumulated so far — once `budget` is exhausted.
+pub fn pre_star_budgeted<W: Weight>(
+    pds: &Pds<W>,
+    target: &PAutomaton<W>,
+    budget: &Budget,
+) -> Result<(PAutomaton<W>, SaturationStats), SaturationAbort> {
+    let mut checker = budget.checker();
+    let mut stats = SaturationStats::default();
     for t in target.transitions() {
         assert!(
             matches!(t.label, TLabel::Sym(_)),
@@ -59,8 +84,7 @@ pub fn pre_star<W: Weight>(pds: &Pds<W>, target: &PAutomaton<W>) -> PAutomaton<W
     macro_rules! upd {
         ($from:expr, $sym:expr, $to:expr, $w:expr, $prov:expr) => {{
             let existed = aut.find($from, TLabel::Sym($sym), $to).is_some();
-            let (tid, improved) =
-                aut.insert_or_combine($from, TLabel::Sym($sym), $to, $w, $prov);
+            let (tid, improved) = aut.insert_or_combine($from, TLabel::Sym($sym), $to, $w, $prov);
             if !existed {
                 by_head.entry(($from, $sym)).or_default().push(tid);
             }
@@ -95,6 +119,11 @@ pub fn pre_star<W: Weight>(pds: &Pds<W>, target: &PAutomaton<W>) -> PAutomaton<W
     }
 
     while let Some(tid) = worklist.pop_front() {
+        stats.worklist_pops += 1;
+        if let Err(reason) = checker.tick(aut.transitions().len()) {
+            stats.transitions = aut.transitions().len();
+            return Err(SaturationAbort { reason, stats });
+        }
         let (from, label, to, d) = {
             let t = aut.transition(tid);
             let TLabel::Sym(sym) = t.label else {
@@ -115,7 +144,10 @@ pub fn pre_star<W: Weight>(pds: &Pds<W>, target: &PAutomaton<W>) -> PAutomaton<W
                         r.sym,
                         to,
                         w,
-                        Provenance::PreSwap { rule: rid, next: tid }
+                        Provenance::PreSwap {
+                            rule: rid,
+                            next: tid
+                        }
                     );
                 }
             }
@@ -124,11 +156,11 @@ pub fn pre_star<W: Weight>(pds: &Pds<W>, target: &PAutomaton<W>) -> PAutomaton<W
             if let Some(rules) = push_by_first.get(&(p_prime, label)) {
                 for &rid in rules {
                     let r = pds.rule(rid);
-                    let RuleOp::Push(_, g2) = r.op else { unreachable!() };
-                    let followers: Vec<TransId> = by_head
-                        .get(&(to, g2))
-                        .map(|v| v.clone())
-                        .unwrap_or_default();
+                    let RuleOp::Push(_, g2) = r.op else {
+                        unreachable!()
+                    };
+                    let followers: Vec<TransId> =
+                        by_head.get(&(to, g2)).cloned().unwrap_or_default();
                     for t2 in followers {
                         let (to2, d2) = {
                             let tt = aut.transition(t2);
@@ -155,10 +187,12 @@ pub fn pre_star<W: Weight>(pds: &Pds<W>, target: &PAutomaton<W>) -> PAutomaton<W
         if let Some(rules) = push_by_second.get(&label) {
             for &rid in rules {
                 let r = pds.rule(rid);
-                let RuleOp::Push(g1, _) = r.op else { unreachable!() };
+                let RuleOp::Push(g1, _) = r.op else {
+                    unreachable!()
+                };
                 let firsts: Vec<TransId> = by_head
                     .get(&(AutState(r.to.0), g1))
-                    .map(|v| v.clone())
+                    .cloned()
                     .unwrap_or_default();
                 for t1 in firsts {
                     let (to1, d1) = {
@@ -185,7 +219,8 @@ pub fn pre_star<W: Weight>(pds: &Pds<W>, target: &PAutomaton<W>) -> PAutomaton<W
         }
     }
 
-    aut
+    stats.transitions = aut.transitions().len();
+    Ok((aut, stats))
 }
 
 #[cfg(test)]
@@ -277,6 +312,24 @@ mod tests {
         let sat = pre_star(&pds, &target);
         assert!(sat.accepts(st(0), &[a]));
         assert!(!sat.accepts(st(0), &[b]));
+    }
+
+    #[test]
+    fn budgeted_prestar_respects_budget() {
+        use crate::budget::{AbortReason, Budget};
+        let mut pds = Pds::<Unweighted>::new(1, 1);
+        let a = sym(0);
+        pds.add_rule(st(0), a, st(0), RuleOp::Pop, Unweighted, 0);
+        let target = target_config(&pds, st(0), &[]);
+        let err = pre_star_budgeted(&pds, &target, &Budget::new().with_max_transitions(0))
+            .expect_err("cap of 0 must abort");
+        assert_eq!(err.reason, AbortReason::TransitionBudgetExceeded);
+
+        let (sat, stats) = pre_star_with_stats(&pds, &target);
+        assert!(sat.accepts(st(0), &[a, a]));
+        assert!(stats.worklist_pops >= 1);
+        assert_eq!(stats.mid_states, 0);
+        assert_eq!(stats.transitions, sat.transitions().len());
     }
 
     #[test]

@@ -193,7 +193,10 @@ pub fn forward_heads<W: Weight>(pds: &Pds<W>, initial: &PAutomaton<W>) -> Forwar
     // Rules by source state, for AllOf processing.
     let mut rules_of_state: HashMap<StateId, Vec<RuleId>> = HashMap::new();
     for (i, r) in pds.rules().iter().enumerate() {
-        rules_of_state.entry(r.from).or_default().push(RuleId(i as u32));
+        rules_of_state
+            .entry(r.from)
+            .or_default()
+            .push(RuleId(i as u32));
     }
 
     // What can a transition label read?
@@ -219,7 +222,9 @@ pub fn forward_heads<W: Weight>(pds: &Pds<W>, initial: &PAutomaton<W>) -> Forwar
     while changed {
         changed = false;
         for t in initial.transitions() {
-            let Some(reads) = label_syms(t.label) else { continue };
+            let Some(reads) = label_syms(t.label) else {
+                continue;
+            };
             let (fi, ti) = (t.from.index(), t.to.index());
             match &reads {
                 SymSet::All => changed |= suffix[fi].set_all().grew(),
@@ -257,7 +262,9 @@ pub fn forward_heads<W: Weight>(pds: &Pds<W>, initial: &PAutomaton<W>) -> Forwar
     }
 
     for t in initial.transitions() {
-        let Some(reads) = label_syms(t.label) else { continue };
+        let Some(reads) = label_syms(t.label) else {
+            continue;
+        };
         if !initial.is_pds_state(t.from) {
             continue;
         }

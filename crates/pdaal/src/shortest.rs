@@ -12,6 +12,7 @@
 //! symbol from the intersection of the two predicates, so the reported
 //! stack word is concrete.
 
+use crate::budget::{AbortReason, Budget};
 use crate::nfa::StackNfa;
 use crate::pautomaton::{AutState, PAutomaton, TLabel, TransId};
 use crate::pds::{StateId, SymbolId};
@@ -61,6 +62,20 @@ pub fn shortest_accepted<W: Weight>(
     starts: &[(StateId, W)],
     nfa: &StackNfa,
 ) -> Option<AcceptedPath<W>> {
+    shortest_accepted_budgeted(aut, starts, nfa, &Budget::unlimited())
+        .expect("unlimited budget cannot abort")
+}
+
+/// As [`shortest_accepted`] but stopping early once `budget` is
+/// exhausted (wall clock / cancellation; the transition cap does not
+/// apply to the search, which materializes no transitions).
+pub fn shortest_accepted_budgeted<W: Weight>(
+    aut: &PAutomaton<W>,
+    starts: &[(StateId, W)],
+    nfa: &StackNfa,
+    budget: &Budget,
+) -> Result<Option<AcceptedPath<W>>, AbortReason> {
+    let mut checker = budget.checker();
     let n_nfa = nfa.num_states() as u64;
     let node = |s: AutState, n: u32| -> u64 { s.0 as u64 * n_nfa + n as u64 };
     let n_symbols = aut.num_symbols();
@@ -78,7 +93,7 @@ pub fn shortest_accepted<W: Weight>(
         }
         for &n0 in nfa.initial_states() {
             let key = node(s, n0);
-            let better = best.get(&key).map_or(true, |b| *w0 < *b);
+            let better = best.get(&key).is_none_or(|b| *w0 < *b);
             if better {
                 best.insert(key, w0.clone());
                 origin.insert(key, *p);
@@ -91,7 +106,8 @@ pub fn shortest_accepted<W: Weight>(
         let Some(Reverse(HeapItem(w, key))) = heap.pop() else {
             break None;
         };
-        if best.get(&key).map_or(true, |b| *b < w) {
+        checker.tick(0)?;
+        if best.get(&key).is_none_or(|b| *b < w) {
             continue; // stale entry
         }
         let s = AutState((key / n_nfa) as u32);
@@ -106,7 +122,7 @@ pub fn shortest_accepted<W: Weight>(
                 TLabel::Eps => {
                     // ε: automaton moves, NFA stays.
                     let nk = node(t.to, n);
-                    if best.get(&nk).map_or(true, |b| nw < *b) {
+                    if best.get(&nk).is_none_or(|b| nw < *b) {
                         best.insert(nk, nw.clone());
                         pred.insert(nk, (key, tid, None));
                         heap.push(Reverse(HeapItem(nw, nk)));
@@ -118,7 +134,7 @@ pub fn shortest_accepted<W: Weight>(
                             continue;
                         }
                         let nk = node(t.to, e.to);
-                        if best.get(&nk).map_or(true, |b| nw < *b) {
+                        if best.get(&nk).is_none_or(|b| nw < *b) {
                             best.insert(nk, nw.clone());
                             pred.insert(nk, (key, tid, Some(sym)));
                             heap.push(Reverse(HeapItem(nw.clone(), nk)));
@@ -132,7 +148,7 @@ pub fn shortest_accepted<W: Weight>(
                             continue;
                         };
                         let nk = node(t.to, e.to);
-                        if best.get(&nk).map_or(true, |b| nw < *b) {
+                        if best.get(&nk).is_none_or(|b| nw < *b) {
                             best.insert(nk, nw.clone());
                             pred.insert(nk, (key, tid, Some(sym)));
                             heap.push(Reverse(HeapItem(nw.clone(), nk)));
@@ -143,7 +159,9 @@ pub fn shortest_accepted<W: Weight>(
         }
     };
 
-    let goal = goal?;
+    let Some(goal) = goal else {
+        return Ok(None);
+    };
     // Walk predecessors back to a start node.
     let mut rev: Vec<(TransId, Option<SymbolId>)> = Vec::new();
     let mut cur = goal;
@@ -158,12 +176,12 @@ pub fn shortest_accepted<W: Weight>(
     let word: Vec<SymbolId> = rev.iter().filter_map(|&(_, s)| s).collect();
     let transitions: Vec<TransId> = rev.iter().map(|&(t, _)| t).collect();
     let weight = best.remove(&goal).expect("goal weight present");
-    Some(AcceptedPath {
+    Ok(Some(AcceptedPath {
         start,
         transitions,
         word,
         weight,
-    })
+    }))
 }
 
 /// Convenience wrapper: is any configuration `<p ∈ starts, w ∈ L(nfa)>`
@@ -244,7 +262,13 @@ mod tests {
         let q = a.add_state();
         let f = a.add_state();
         a.set_final(f);
-        a.insert_or_combine(AutState(0), TLabel::Eps, q, MinTotal(3), Provenance::Initial);
+        a.insert_or_combine(
+            AutState(0),
+            TLabel::Eps,
+            q,
+            MinTotal(3),
+            Provenance::Initial,
+        );
         a.insert_or_combine(q, TLabel::Sym(sym(0)), f, MinTotal(4), Provenance::Initial);
         let nfa = StackNfa::universal();
         let p = shortest_accepted(&a, &[(StateId(0), MinTotal(0))], &nfa).expect("accepted");
@@ -287,6 +311,18 @@ mod tests {
         nfa.set_final(1);
         let p = shortest_accepted(&a, &[(StateId(0), MinTotal(0))], &nfa).expect("accepted");
         assert_eq!(p.word, vec![sym(2)]);
+    }
+
+    #[test]
+    fn budgeted_search_respects_expired_deadline() {
+        use std::time::{Duration, Instant};
+        let aut = two_start_automaton();
+        let nfa = StackNfa::single_word(&[sym(0)]);
+        let starts = [(StateId(0), MinTotal(0))];
+        let budget = Budget::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = shortest_accepted_budgeted(&aut, &starts, &nfa, &budget)
+            .expect_err("expired deadline must abort the search");
+        assert_eq!(err, AbortReason::DeadlineExceeded);
     }
 
     #[test]

@@ -241,8 +241,7 @@ mod tests {
     #[test]
     fn display_round_trip_shapes() {
         let q = Query {
-            initial: Regex::Atom(LabelAtom::Smpls)
-                .then(Regex::Atom(LabelAtom::Ip)),
+            initial: Regex::Atom(LabelAtom::Smpls).then(Regex::Atom(LabelAtom::Ip)),
             path: Regex::Atom(LinkAtom::any())
                 .then(Regex::Star(Box::new(Regex::Atom(LinkAtom::any())))),
             final_: Regex::Opt(Box::new(Regex::Atom(LabelAtom::Smpls)))

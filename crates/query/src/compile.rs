@@ -147,9 +147,7 @@ fn resolve_label_atom(atom: &LabelAtom, net: &Network) -> SymFilter {
     match atom {
         LabelAtom::Any => SymFilter::Any,
         LabelAtom::Ip => SymFilter::In(net.labels.of_kind(LabelKind::Ip).map(to_sym).collect()),
-        LabelAtom::Mpls => {
-            SymFilter::In(net.labels.of_kind(LabelKind::Mpls).map(to_sym).collect())
-        }
+        LabelAtom::Mpls => SymFilter::In(net.labels.of_kind(LabelKind::Mpls).map(to_sym).collect()),
         LabelAtom::Smpls => {
             SymFilter::In(net.labels.of_kind(LabelKind::MplsBos).map(to_sym).collect())
         }
@@ -210,9 +208,9 @@ fn endpoint_matches_src(net: &Network, ep: &Endpoint, link: netmodel::LinkId) ->
         Endpoint::Router(name) => topo
             .router_by_name(name)
             .is_some_and(|r| topo.src(link) == r),
-        Endpoint::RouterIface(name, iface) => topo.router_by_name(name).is_some_and(|r| {
-            topo.src(link) == r && topo.link(link).src_if == *iface
-        }),
+        Endpoint::RouterIface(name, iface) => topo
+            .router_by_name(name)
+            .is_some_and(|r| topo.src(link) == r && topo.link(link).src_if == *iface),
     }
 }
 
@@ -223,9 +221,9 @@ fn endpoint_matches_dst(net: &Network, ep: &Endpoint, link: netmodel::LinkId) ->
         Endpoint::Router(name) => topo
             .router_by_name(name)
             .is_some_and(|r| topo.dst(link) == r),
-        Endpoint::RouterIface(name, iface) => topo.router_by_name(name).is_some_and(|r| {
-            topo.dst(link) == r && topo.link(link).dst_if == *iface
-        }),
+        Endpoint::RouterIface(name, iface) => topo
+            .router_by_name(name)
+            .is_some_and(|r| topo.dst(link) == r && topo.link(link).dst_if == *iface),
     }
 }
 
@@ -281,9 +279,8 @@ pub fn compile_link_regex(r: &Regex<LinkAtom>, net: &Network) -> LinkNfa {
 /// automata only accepting members of `H`.
 pub fn restrict_to_valid_headers(nfa: &StackNfa, net: &Network) -> StackNfa {
     let to_sym = |id: netmodel::LabelId| SymbolId(id.0);
-    let kind_set = |k: LabelKind| -> HashSet<SymbolId> {
-        net.labels.of_kind(k).map(to_sym).collect()
-    };
+    let kind_set =
+        |k: LabelKind| -> HashSet<SymbolId> { net.labels.of_kind(k).map(to_sym).collect() };
     let mpls = kind_set(LabelKind::Mpls);
     let bos = kind_set(LabelKind::MplsBos);
     let ip = kind_set(LabelKind::Ip);
@@ -545,8 +542,10 @@ mod tests {
         assert!(a.accepts(&[sym(&net, "s20"), sym(&net, "ip1")]));
         // Valid-header intersection still applies on top.
         let cq = compile(&q, &net);
-        assert!(!cq.initial.accepts(&[sym(&net, "31"), sym(&net, "ip1")]),
-            "31 on ip without a BOS label is not a valid header");
+        assert!(
+            !cq.initial.accepts(&[sym(&net, "31"), sym(&net, "ip1")]),
+            "31 on ip without a BOS label is not a valid header"
+        );
         assert!(cq.initial.accepts(&[sym(&net, "s20"), sym(&net, "ip1")]));
     }
 

@@ -149,7 +149,9 @@ impl LinkNfa {
 
     /// Edges leaving `s`.
     pub fn edges_from(&self, s: u32) -> impl Iterator<Item = &LinkEdge> + '_ {
-        self.out[s as usize].iter().map(move |&i| &self.edges[i as usize])
+        self.out[s as usize]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// All edges.

@@ -33,7 +33,10 @@ struct P<'a> {
 
 impl<'a> P<'a> {
     fn new(s: &'a str) -> Self {
-        P { s: s.as_bytes(), i: 0 }
+        P {
+            s: s.as_bytes(),
+            i: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -122,10 +125,11 @@ impl<'a> P<'a> {
 
 // ---- generic regex machinery -------------------------------------------
 
-fn parse_alt<A>(
-    p: &mut P,
-    atom: &mut dyn FnMut(&mut P) -> Result<Option<Regex<A>>, ParseError>,
-) -> Result<Regex<A>, ParseError> {
+/// Atom sub-parser: returns `Ok(None)` when the next token does not
+/// start an atom (ends a concatenation).
+type AtomParser<'a, A> = &'a mut dyn FnMut(&mut P) -> Result<Option<Regex<A>>, ParseError>;
+
+fn parse_alt<A>(p: &mut P, atom: AtomParser<A>) -> Result<Regex<A>, ParseError> {
     let mut parts = vec![parse_concat(p, atom)?];
     while p.peek() == Some('|') {
         p.bump();
@@ -138,10 +142,7 @@ fn parse_alt<A>(
     })
 }
 
-fn parse_concat<A>(
-    p: &mut P,
-    atom: &mut dyn FnMut(&mut P) -> Result<Option<Regex<A>>, ParseError>,
-) -> Result<Regex<A>, ParseError> {
+fn parse_concat<A>(p: &mut P, atom: AtomParser<A>) -> Result<Regex<A>, ParseError> {
     let mut acc = Regex::Epsilon;
     while let Some(part) = parse_postfix(p, atom)? {
         acc = acc.then(part);
@@ -149,10 +150,7 @@ fn parse_concat<A>(
     Ok(acc)
 }
 
-fn parse_postfix<A>(
-    p: &mut P,
-    atom: &mut dyn FnMut(&mut P) -> Result<Option<Regex<A>>, ParseError>,
-) -> Result<Option<Regex<A>>, ParseError> {
+fn parse_postfix<A>(p: &mut P, atom: AtomParser<A>) -> Result<Option<Regex<A>>, ParseError> {
     let Some(mut r) = atom(p)? else {
         return Ok(None);
     };

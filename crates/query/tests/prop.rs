@@ -1,9 +1,12 @@
-//! Property tests for the query compiler: the compiled NFAs must agree
+//! Randomized tests for the query compiler: the compiled NFAs must agree
 //! with a reference regex interpreter on random regexes and words.
+//!
+//! The regexes are generated with a seeded deterministic RNG so the
+//! campaign is hermetic; `--features slow-tests` multiplies the cases.
 
+use detrand::DetRng;
 use netmodel::{LabelTable, Network, Topology};
 use pdaal::SymbolId;
-use proptest::prelude::*;
 use query::ast::{LabelAtom, Regex};
 use query::compile_label_regex;
 
@@ -15,8 +18,8 @@ fn matches_ref(r: &Regex<LabelAtom>, word: &[char]) -> bool {
             word.len() == 1
                 && match a {
                     LabelAtom::Any => true,
-                    LabelAtom::Lit(n) => n.chars().next() == Some(word[0]),
-                    LabelAtom::Set(ns) => ns.iter().any(|n| n.chars().next() == Some(word[0])),
+                    LabelAtom::Lit(n) => n.starts_with(word[0]),
+                    LabelAtom::Set(ns) => ns.iter().any(|n| n.starts_with(word[0])),
                     // class atoms unused in this generator
                     _ => false,
                 }
@@ -36,42 +39,50 @@ fn matches_ref(r: &Regex<LabelAtom>, word: &[char]) -> bool {
             if word.is_empty() {
                 return true;
             }
-            (1..=word.len())
-                .any(|i| matches_ref(inner, &word[..i]) && matches_ref(r, &word[i..]))
+            (1..=word.len()).any(|i| matches_ref(inner, &word[..i]) && matches_ref(r, &word[i..]))
         }
         // x+ ≡ x x*; the first x may match ε when x is nullable.
         Regex::Plus(inner) => (0..=word.len()).any(|i| {
-            matches_ref(inner, &word[..i])
-                && matches_ref(&Regex::Star(inner.clone()), &word[i..])
+            matches_ref(inner, &word[..i]) && matches_ref(&Regex::Star(inner.clone()), &word[i..])
         }),
         Regex::Opt(inner) => word.is_empty() || matches_ref(inner, word),
     }
 }
 
-fn regex_strategy() -> impl Strategy<Value = Regex<LabelAtom>> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        Just(Regex::Atom(LabelAtom::Any)),
-        (0..4u8).prop_map(|i| Regex::Atom(LabelAtom::Lit(
-            char::from(b'a' + i).to_string()
-        ))),
-        proptest::collection::vec(0..4u8, 1..3).prop_map(|v| {
-            Regex::Atom(LabelAtom::Set(
-                v.into_iter()
-                    .map(|i| char::from(b'a' + i).to_string())
-                    .collect(),
-            ))
-        }),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 2..4).prop_map(Regex::Concat),
-            proptest::collection::vec(inner.clone(), 2..3).prop_map(Regex::Alt),
-            inner.clone().prop_map(|r| Regex::Star(Box::new(r))),
-            inner.clone().prop_map(|r| Regex::Plus(Box::new(r))),
-            inner.prop_map(|r| Regex::Opt(Box::new(r))),
-        ]
-    })
+/// Random regex over labels a..d, recursion bounded by `depth`.
+fn gen_regex(rng: &mut DetRng, depth: u32) -> Regex<LabelAtom> {
+    let leaf = depth == 0 || rng.gen_bool(0.4);
+    if leaf {
+        match rng.gen_range(0..4u32) {
+            0 => Regex::Epsilon,
+            1 => Regex::Atom(LabelAtom::Any),
+            2 => Regex::Atom(LabelAtom::Lit(
+                char::from(b'a' + rng.gen_range(0..4u32) as u8).to_string(),
+            )),
+            _ => {
+                let n = rng.gen_range(1..3usize);
+                Regex::Atom(LabelAtom::Set(
+                    (0..n)
+                        .map(|_| char::from(b'a' + rng.gen_range(0..4u32) as u8).to_string())
+                        .collect(),
+                ))
+            }
+        }
+    } else {
+        match rng.gen_range(0..5u32) {
+            0 => {
+                let n = rng.gen_range(2..4usize);
+                Regex::Concat((0..n).map(|_| gen_regex(rng, depth - 1)).collect())
+            }
+            1 => {
+                let n = rng.gen_range(2..3usize);
+                Regex::Alt((0..n).map(|_| gen_regex(rng, depth - 1)).collect())
+            }
+            2 => Regex::Star(Box::new(gen_regex(rng, depth - 1))),
+            3 => Regex::Plus(Box::new(gen_regex(rng, depth - 1))),
+            _ => Regex::Opt(Box::new(gen_regex(rng, depth - 1))),
+        }
+    }
 }
 
 fn four_label_net() -> Network {
@@ -84,27 +95,30 @@ fn four_label_net() -> Network {
     Network::new(t, labels)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Thompson construction + ε-elimination agrees with the reference
-    /// interpreter on every word up to length 4.
-    #[test]
-    fn compiled_nfa_matches_reference(
-        r in regex_strategy(),
-        words in proptest::collection::vec(proptest::collection::vec(0..4u8, 0..5), 1..8),
-    ) {
-        let net = four_label_net();
+/// Thompson construction + ε-elimination agrees with the reference
+/// interpreter on every generated word up to length 4.
+#[test]
+fn compiled_nfa_matches_reference() {
+    let cases: u64 = if cfg!(feature = "slow-tests") {
+        1600
+    } else {
+        200
+    };
+    let mut rng = DetRng::seed_from_u64(0x5EED_0101);
+    let net = four_label_net();
+    for case in 0..cases {
+        let r = gen_regex(&mut rng, 3);
         let nfa = compile_label_regex(&r, &net);
-        for w in &words {
+        let n_words = rng.gen_range(1..8usize);
+        for _ in 0..n_words {
+            let len = rng.gen_range(0..5usize);
+            let w: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4u32) as u8).collect();
             let chars: Vec<char> = w.iter().map(|&i| char::from(b'a' + i)).collect();
             let syms: Vec<SymbolId> = w.iter().map(|&i| SymbolId(i as u32)).collect();
-            prop_assert_eq!(
+            assert_eq!(
                 nfa.accepts(&syms),
                 matches_ref(&r, &chars),
-                "regex {} on word {:?}",
-                r,
-                chars
+                "case {case}: regex {r} on word {chars:?}"
             );
         }
     }

@@ -240,13 +240,10 @@ pub fn topology_from_gml(doc: &str) -> Result<Topology, GmlError> {
         if !k.eq_ignore_ascii_case("node") {
             continue;
         }
-        let id = v
-            .get("id")
-            .and_then(GmlValue::as_i64)
-            .ok_or(GmlError {
-                pos: 0,
-                msg: "node without id".into(),
-            })?;
+        let id = v.get("id").and_then(GmlValue::as_i64).ok_or(GmlError {
+            pos: 0,
+            msg: "node without id".into(),
+        })?;
         let raw = v
             .get("label")
             .and_then(GmlValue::as_str)
@@ -299,10 +296,25 @@ pub fn topology_from_gml(doc: &str) -> Result<Topology, GmlError> {
             format!("_{idx}")
         };
         *idx += 1;
-        let km = topo.geo_distance(a, b).map(|d| d.max(1.0) as u64).unwrap_or(1);
+        let km = topo
+            .geo_distance(a, b)
+            .map(|d| d.max(1.0) as u64)
+            .unwrap_or(1);
         let (na, nb) = (topo.router(a).name.clone(), topo.router(b).name.clone());
-        topo.add_link(a, &format!("to_{nb}{suffix}"), b, &format!("to_{na}{suffix}"), km);
-        topo.add_link(b, &format!("to_{na}{suffix}"), a, &format!("to_{nb}{suffix}"), km);
+        topo.add_link(
+            a,
+            &format!("to_{nb}{suffix}"),
+            b,
+            &format!("to_{na}{suffix}"),
+            km,
+        );
+        topo.add_link(
+            b,
+            &format!("to_{na}{suffix}"),
+            a,
+            &format!("to_{nb}{suffix}"),
+            km,
+        );
     }
     Ok(topo)
 }
@@ -403,7 +415,7 @@ mod tests {
         let a = dp.net.topology.router(dp.edge_routers[0]).name.clone();
         let b = dp.net.topology.router(dp.edge_routers[1]).name.clone();
         let q = parse_query(&format!("<ip> [.#{a}] .* [.#{b}] <ip> 0")).unwrap();
-        use aalwines::{Verifier, VerifyOptions};
+        use aalwines::{Engine, Verifier, VerifyOptions};
         let _ = Verifier::new(&dp.net).verify(&q, &VerifyOptions::default());
     }
 }

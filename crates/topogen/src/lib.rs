@@ -2,10 +2,10 @@
 //!
 //! The paper evaluates on (a) the NORDUnet operator network (31 routers,
 //! >250 000 forwarding rules — proprietary) and (b) variants of Internet
-//! Topology Zoo networks "with label switching paths between any two
-//! edge routers and with local fast failover protection by introducing
-//! tunnels based on shortest paths". Neither dataset ships with this
-//! repository, so this crate builds faithful synthetic stand-ins:
+//! > Topology Zoo networks "with label switching paths between any two
+//! > edge routers and with local fast failover protection by introducing
+//! > tunnels based on shortest paths". Neither dataset ships with this
+//! > repository, so this crate builds faithful synthetic stand-ins:
 //!
 //! * [`zoo`] — deterministic geometric random topologies matching the
 //!   Zoo's size distribution (average 84 routers, up to 240), with

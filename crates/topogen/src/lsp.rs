@@ -22,9 +22,8 @@
 //!   router and leaving at another with per-hop swaps (the `s40…s44`
 //!   pattern of Figure 1), used to reach operator-scale rule counts.
 
+use detrand::DetRng;
 use netmodel::{LabelId, LabelTable, LinkId, Network, Op, RouterId, RoutingEntry, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Parameters of the data-plane construction.
@@ -119,7 +118,7 @@ fn shortest_path(
 /// Build an MPLS data plane over `core` (consumed and extended with
 /// external stub routers).
 pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
     let n_core = core.num_routers();
     let n_core_links = core.num_links();
 
@@ -239,8 +238,8 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
         let s = edge_routers[rng.gen_range(0..edge_routers.len())];
         let mut t = edge_routers[rng.gen_range(0..edge_routers.len())];
         if s == t {
-            t = edge_routers[(edge_routers.iter().position(|&x| x == s).unwrap() + 1)
-                % edge_routers.len()];
+            t = edge_routers
+                [(edge_routers.iter().position(|&x| x == s).unwrap() + 1) % edge_routers.len()];
         }
         let Some(path) = shortest_path(&core, s, t, &|l| is_core_link(l)) else {
             continue;
@@ -303,8 +302,7 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
         let mut new_rules: Vec<(LinkId, LabelId, usize, RoutingEntry)> = Vec::new();
         for e in protected {
             let (u, v) = (core.src(e), core.dst(e));
-            let Some(bypass) = shortest_path(&core, u, v, &|l| is_core_link(l) && l != e)
-            else {
+            let Some(bypass) = shortest_path(&core, u, v, &|l| is_core_link(l) && l != e) else {
                 continue; // no protection possible
             };
             if bypass.len() == 1 {
@@ -331,9 +329,7 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
                 continue;
             }
             // Bypass labels (plain MPLS) along the detour.
-            let bp = |labels: &mut LabelTable, i: usize| {
-                labels.mpls(&format!("bp{}_{}", e.0, i))
-            };
+            let bp = |labels: &mut LabelTable, i: usize| labels.mpls(&format!("bp{}_{}", e.0, i));
             // Priority-2 clones at u.
             let first_bp = bp(&mut labels, 1);
             for &i in &over_link[&e] {

@@ -45,11 +45,7 @@ mod tests {
     #[test]
     fn small_scale_builds_quickly() {
         let dp = nordunet_like(0.01);
-        assert_eq!(
-            dp.edge_routers.len(),
-            16,
-            "16 of the 31 routers are edges"
-        );
+        assert_eq!(dp.edge_routers.len(), 16, "16 of the 31 routers are edges");
         assert!(dp.net.num_rules() > 1_000);
         assert!(dp.net.validate().is_empty());
     }

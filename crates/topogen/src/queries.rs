@@ -8,8 +8,7 @@
 //! routers and labels with a seeded RNG.
 
 use crate::lsp::Dataplane;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detrand::DetRng;
 
 /// The six Table-1 query shapes, instantiated against a data plane.
 ///
@@ -21,9 +20,9 @@ use rand::{Rng, SeedableRng};
 /// 5. the same with `k = 1`
 /// 6. `<smpls? ip> .* <. smpls ip> 0`
 pub fn table1_queries(dp: &Dataplane, seed: u64) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let name = |r: netmodel::RouterId| dp.net.topology.router(r).name.clone();
-    let pick = |rng: &mut StdRng| dp.edge_routers[rng.gen_range(0..dp.edge_routers.len())];
+    let pick = |rng: &mut DetRng| dp.edge_routers[rng.gen_range(0..dp.edge_routers.len())];
     let ra = name(pick(&mut rng));
     let rb = {
         let mut r = name(pick(&mut rng));
@@ -62,7 +61,7 @@ pub fn table1_queries(dp: &Dataplane, seed: u64) -> Vec<String> {
 /// A mixed batch of `count` queries in the style of Table 1 and the
 /// running example, for the Figure-4 sweep.
 pub fn figure4_queries(dp: &Dataplane, count: usize, seed: u64) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let name = |r: netmodel::RouterId| dp.net.topology.router(r).name.clone();
     let mut out = Vec::with_capacity(count);
     for i in 0..count {

@@ -9,9 +9,8 @@
 //! physical edge becomes two directed links with interface names and a
 //! kilometre distance, giving the `Distance` quantity real units.
 
+use detrand::DetRng;
 use netmodel::Topology;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of the generator.
 #[derive(Clone, Debug)]
@@ -41,7 +40,7 @@ impl Default for ZooConfig {
 /// (`to_R7`).
 pub fn zoo_like(cfg: &ZooConfig) -> Topology {
     assert!(cfg.routers >= 2, "need at least two routers");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = DetRng::seed_from_u64(cfg.seed);
     let n = cfg.routers as usize;
 
     // Place routers in a rough European bounding box.

@@ -10,8 +10,10 @@
 //! snapshot → files → verification backend.
 
 use aalwines::examples::paper_network;
-use aalwines::{Outcome, Verifier, VerifyOptions};
-use formats::{parse_locations, parse_routes, parse_topology, write_locations, write_routes, write_topology};
+use aalwines::{Engine, Outcome, Verifier, VerifyOptions};
+use formats::{
+    parse_locations, parse_routes, parse_topology, write_locations, write_routes, write_topology,
+};
 use query::parse_query;
 use std::path::PathBuf;
 
@@ -52,7 +54,10 @@ fn main() {
         reloaded.labels.len()
     );
     let problems = reloaded.validate();
-    assert!(problems.is_empty(), "reloaded network invalid: {problems:?}");
+    assert!(
+        problems.is_empty(),
+        "reloaded network invalid: {problems:?}"
+    );
 
     // ---- verify the reloaded data plane ---------------------------------
     let verifier = Verifier::new(&reloaded);
@@ -66,6 +71,7 @@ fn main() {
             Outcome::Satisfied(_) => "satisfied",
             Outcome::Unsatisfied => "unsatisfied",
             Outcome::Inconclusive => "inconclusive",
+            Outcome::Aborted(_) => "aborted",
         };
         println!("  {text}  →  {verdict}");
     }

@@ -16,7 +16,7 @@
 //! 3. *stretch*: how many extra hops does the worst-case reroute cost
 //!    (minimum-hop witness at k=0 vs k=1)?
 
-use aalwines::{AtomicQuantity, Outcome, Verifier, VerifyOptions, WeightSpec};
+use aalwines::{AtomicQuantity, Engine, Outcome, Verifier, VerifyOptions, WeightSpec};
 use query::parse_query;
 use topogen::{build_mpls_dataplane, zoo_like, LspConfig, ZooConfig};
 
@@ -65,7 +65,7 @@ fn main() {
                 match verifier.verify(&q, &VerifyOptions::default()).outcome {
                     Outcome::Satisfied(_) => "yes",
                     Outcome::Unsatisfied => "no",
-                    Outcome::Inconclusive => "unknown",
+                    _ => "unknown",
                 }
             };
             // Transparency: a trace that leaves the network (crosses the
@@ -80,17 +80,14 @@ fn main() {
             let leak = match verifier.verify(&leak_q, &VerifyOptions::default()).outcome {
                 Outcome::Satisfied(_) => "LEAK",
                 Outcome::Unsatisfied => "clean",
-                Outcome::Inconclusive => "unknown",
+                _ => "unknown",
             };
             // Stretch: minimum-hop witness without and with one failure.
             let hops = |k: u32| -> Option<u64> {
                 let q = parse_query(&format!("<ip> [.#{a}] .* [.#{b}] <ip> {k}")).unwrap();
                 let ans = verifier.verify(
                     &q,
-                    &VerifyOptions {
-                        weights: Some(WeightSpec::single(AtomicQuantity::Hops)),
-                        ..Default::default()
-                    },
+                    &VerifyOptions::new().with_weights(WeightSpec::single(AtomicQuantity::Hops)),
                 );
                 match ans.outcome {
                     Outcome::Satisfied(w) => w.weight.and_then(|v| v.first().copied()),

@@ -12,7 +12,7 @@
 //! kind of answer the AalWiNes GUI renders when the operator drags the
 //! minimization vector to `(Distance)`.
 
-use aalwines::{AtomicQuantity, LinearExpr, Outcome, Verifier, VerifyOptions, WeightSpec};
+use aalwines::{AtomicQuantity, Engine, LinearExpr, Outcome, Verifier, VerifyOptions, WeightSpec};
 use query::parse_query;
 use topogen::{build_mpls_dataplane, zoo_like, LspConfig, ZooConfig};
 
@@ -44,13 +44,7 @@ fn main() {
     let min_by = |q: &str, spec: WeightSpec| -> Option<Vec<u64>> {
         let parsed = parse_query(q).ok()?;
         match verifier
-            .verify(
-                &parsed,
-                &VerifyOptions {
-                    weights: Some(spec),
-                    ..Default::default()
-                },
-            )
+            .verify(&parsed, &VerifyOptions::new().with_weights(spec))
             .outcome
         {
             Outcome::Satisfied(w) => w.weight,

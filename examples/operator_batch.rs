@@ -51,7 +51,11 @@ fn main() {
         .iter()
         .map(|t| parse_query(t).expect("generated queries parse"))
         .collect();
-    println!("policy suite: {} queries, {} worker threads\n", queries.len(), threads);
+    println!(
+        "policy suite: {} queries, {} worker threads\n",
+        queries.len(),
+        threads
+    );
 
     let t0 = Instant::now();
     let answers = verify_batch(&dp.net, &queries, &VerifyOptions::default(), threads);
@@ -65,6 +69,7 @@ fn main() {
             Outcome::Satisfied(_) => sat += 1,
             Outcome::Unsatisfied => unsat += 1,
             Outcome::Inconclusive => inconclusive.push(text.clone()),
+            Outcome::Aborted(reason) => panic!("unbudgeted batch aborted: {reason}"),
         }
     }
     println!(

@@ -10,7 +10,7 @@
 //! tunnel-free service path σ₃ over the failover path σ₂.
 
 use aalwines::examples::paper_network;
-use aalwines::{AtomicQuantity, LinearExpr, Outcome, Verifier, VerifyOptions, WeightSpec};
+use aalwines::{AtomicQuantity, Engine, LinearExpr, Outcome, Verifier, VerifyOptions, WeightSpec};
 use query::parse_query;
 
 fn main() {
@@ -52,6 +52,7 @@ fn main() {
             }
             Outcome::Unsatisfied => println!("UNSATISFIED (conclusive: no such trace exists)"),
             Outcome::Inconclusive => println!("INCONCLUSIVE"),
+            Outcome::Aborted(reason) => println!("ABORTED ({reason})"),
         }
         println!();
     }
@@ -63,13 +64,7 @@ fn main() {
         LinearExpr::atom(AtomicQuantity::Failures).plus(3, AtomicQuantity::Tunnels),
     ]);
     let q = parse_query(queries[4].1).unwrap();
-    let answer = verifier.verify(
-        &q,
-        &VerifyOptions {
-            weights: Some(spec.clone()),
-            ..Default::default()
-        },
-    );
+    let answer = verifier.verify(&q, &VerifyOptions::new().with_weights(spec.clone()));
     match answer.outcome {
         Outcome::Satisfied(w) => {
             println!("  weight {spec} = {:?}", w.weight.as_deref().unwrap_or(&[]));

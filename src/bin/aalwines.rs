@@ -16,56 +16,40 @@
 //! Exit code 0: all queries conclusive; 2: at least one inconclusive;
 //! 1: usage or input error.
 
-use aalwines::moped::verify_moped;
-use aalwines::{Answer, AtomicQuantity, LinearExpr, Outcome, Verifier, VerifyOptions, WeightSpec};
+use aalwines::{
+    Answer, BatchOptions, BatchSummary, Engine, MopedEngine, Outcome, Verifier, VerifyOptions,
+    WeightSpec,
+};
 use netmodel::Network;
 use query::parse_query;
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: aalwines (--demo | --isis mapping.txt | --topology topo.xml --routing route.xml)\n\
          \x20        [--locations loc.json] (--query '<a> b <c> k' ... | --stdin)\n\
          \x20        [--weight 'expr, expr, ...'] [--engine dual|moped] [--no-reduction]\n\
-         \x20        [--stats] [--json] [--write-topology out.xml] [--write-routing out.xml]"
+         \x20        [--deadline-ms N] [--batch-deadline-ms N] [--max-transitions N]\n\
+         \x20        [--threads N] [--stats] [--json]\n\
+         \x20        [--write-topology out.xml] [--write-routing out.xml]\n\
+         \n\
+         --demo without --query/--stdin runs the paper's six benchmark queries."
     );
     std::process::exit(1)
 }
 
-/// Parse a weight specification like `Hops, Failures + 3*Tunnels`.
-fn parse_weight_spec(text: &str) -> Result<WeightSpec, String> {
-    let mut exprs = Vec::new();
-    for part in text.split(',') {
-        let mut expr = LinearExpr::default();
-        for term in part.split('+') {
-            let term = term.trim();
-            if term.is_empty() {
-                return Err(format!("empty term in {part:?}"));
-            }
-            let (coeff, name) = match term.split_once('*') {
-                Some((a, q)) => (
-                    a.trim()
-                        .parse::<u64>()
-                        .map_err(|e| format!("bad coefficient in {term:?}: {e}"))?,
-                    q.trim(),
-                ),
-                None => (1, term),
-            };
-            let quantity = match name.to_ascii_lowercase().as_str() {
-                "links" => AtomicQuantity::Links,
-                "hops" => AtomicQuantity::Hops,
-                "distance" | "latency" => AtomicQuantity::Distance,
-                "failures" => AtomicQuantity::Failures,
-                "tunnels" => AtomicQuantity::Tunnels,
-                other => return Err(format!("unknown quantity {other:?}")),
-            };
-            expr = expr.plus(coeff, quantity);
-        }
-        exprs.push(expr);
-    }
-    Ok(WeightSpec::lexicographic(exprs))
-}
+/// The paper's six running-example queries, used as the default workload
+/// of `--demo`.
+const DEMO_QUERIES: [&str; 6] = [
+    "<ip> [.#v0] .* [v3#.] <ip> 0",
+    "<ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2",
+    "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0",
+    "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1",
+    "<smpls? ip> [.#v0] . . . .* [v3#.] <smpls? ip> 1",
+    "<ip> [.#v3] .* [v0#.] <ip> 2",
+];
 
 fn report(net: &Network, text: &str, answer: &Answer, show_stats: bool) -> bool {
     let conclusive = match &answer.outcome {
@@ -95,20 +79,13 @@ fn report(net: &Network, text: &str, answer: &Answer, show_stats: bool) -> bool 
             println!("{text}\n  INCONCLUSIVE");
             false
         }
+        Outcome::Aborted(reason) => {
+            println!("{text}\n  ABORTED ({reason})");
+            false
+        }
     };
     if show_stats {
-        let s = &answer.stats;
-        println!(
-            "  stats: rules={} (-{} reduced), sat-transitions={}, under-approx={}, \
-             construct={:?} reduce={:?} solve={:?}",
-            s.rules_over,
-            s.rules_removed,
-            s.sat_transitions,
-            s.used_under,
-            s.t_construct,
-            s.t_reduce,
-            s.t_solve
-        );
+        println!("  stats: {}", answer.stats.to_json());
     }
     conclusive
 }
@@ -281,7 +258,7 @@ fn main() -> ExitCode {
     }
 
     // ---- options ----------------------------------------------------------
-    let weights = match value("--weight").map(|w| parse_weight_spec(&w)) {
+    let weights = match value("--weight").map(|w| WeightSpec::parse(&w)) {
         Some(Ok(spec)) => Some(spec),
         Some(Err(e)) => {
             eprintln!("--weight: {e}");
@@ -289,15 +266,59 @@ fn main() -> ExitCode {
         }
         None => None,
     };
-    let engine = value("--engine").unwrap_or_else(|| "dual".into());
-    if engine == "moped" && weights.is_some() {
+    let engine_name = value("--engine").unwrap_or_else(|| "dual".into());
+    if engine_name == "moped" && weights.is_some() {
         eprintln!("the moped engine cannot handle weighted queries (as in the paper)");
         return ExitCode::FAILURE;
     }
-    let opts = VerifyOptions {
-        weights,
-        no_reduction: has("--no-reduction"),
+    let parse_millis = |key: &str| -> Result<Option<Duration>, ExitCode> {
+        match value(key) {
+            None => Ok(None),
+            Some(v) => match v.parse::<u64>() {
+                Ok(ms) => Ok(Some(Duration::from_millis(ms))),
+                Err(_) => {
+                    eprintln!("{key}: expected milliseconds, got {v:?}");
+                    Err(ExitCode::FAILURE)
+                }
+            },
+        }
     };
+    let mut opts = VerifyOptions::new();
+    if let Some(w) = weights {
+        opts = opts.with_weights(w);
+    }
+    if has("--no-reduction") {
+        opts = opts.without_reduction();
+    }
+    match parse_millis("--deadline-ms") {
+        Ok(Some(t)) => opts = opts.with_timeout(t),
+        Ok(None) => {}
+        Err(code) => return code,
+    }
+    if let Some(v) = value("--max-transitions") {
+        match v.parse::<usize>() {
+            Ok(max) => opts = opts.with_transition_budget(max),
+            Err(_) => {
+                eprintln!("--max-transitions: expected a count, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let mut batch = BatchOptions::new();
+    if let Some(v) = value("--threads") {
+        match v.parse::<usize>() {
+            Ok(n) => batch = batch.with_threads(n),
+            Err(_) => {
+                eprintln!("--threads: expected a count, got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match parse_millis("--batch-deadline-ms") {
+        Ok(Some(t)) => batch = batch.with_timeout(t),
+        Ok(None) => {}
+        Err(code) => return code,
+    }
     let show_stats = has("--stats");
     let json_output = has("--json");
 
@@ -313,36 +334,63 @@ fn main() -> ExitCode {
         }
     }
     if queries.is_empty() {
-        usage()
+        if has("--demo") {
+            queries = DEMO_QUERIES.iter().map(|q| q.to_string()).collect();
+        } else {
+            usage()
+        }
     }
-
-    let verifier = Verifier::new(&net);
-    let mut all_conclusive = true;
+    let mut parsed = Vec::with_capacity(queries.len());
     for text in &queries {
-        let parsed = match parse_query(text) {
-            Ok(q) => q,
+        match parse_query(text) {
+            Ok(q) => parsed.push(q),
             Err(e) => {
                 eprintln!("{text}: {e}");
                 return ExitCode::FAILURE;
             }
-        };
-        let answer = match engine.as_str() {
-            "dual" => verifier.verify(&parsed, &opts),
-            "moped" => verify_moped(&net, &parsed),
-            other => {
-                eprintln!("unknown engine {other:?} (use dual or moped)");
-                return ExitCode::FAILURE;
-            }
-        };
+        }
+    }
+
+    let verifier = Verifier::new(&net);
+    let moped = MopedEngine::new(&net);
+    let engine: &dyn Engine = match engine_name.as_str() {
+        "dual" => &verifier,
+        "moped" => &moped,
+        other => {
+            eprintln!("unknown engine {other:?} (use dual or moped)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let answers = aalwines::verify_batch_with(engine, &parsed, &opts, &batch);
+    let mut all_conclusive = true;
+    for (text, answer) in queries.iter().zip(&answers) {
         if json_output {
             println!(
                 "{}",
-                aalwines_suite::gui::answer_to_json(&net, text, &answer).to_json()
+                aalwines_suite::gui::answer_to_json(&net, text, answer).to_json()
             );
-            all_conclusive &= !matches!(answer.outcome, Outcome::Inconclusive);
+            all_conclusive &= answer.outcome.is_conclusive();
         } else {
-            all_conclusive &= report(&net, text, &answer, show_stats);
+            all_conclusive &= report(&net, text, answer, show_stats);
         }
+    }
+    let summary = BatchSummary::summarize(&answers);
+    if json_output {
+        println!("{}", summary.to_json());
+    } else if show_stats {
+        println!(
+            "summary: {} queries — {} satisfied, {} unsatisfied, {} inconclusive, {} aborted; \
+             solve p50 {:.3} ms, p95 {:.3} ms, max {:.3} ms",
+            summary.total,
+            summary.satisfied,
+            summary.unsatisfied,
+            summary.inconclusive,
+            summary.aborted,
+            summary.t_solve.p50,
+            summary.t_solve.p95,
+            summary.t_solve.max
+        );
     }
     if all_conclusive {
         ExitCode::SUCCESS

@@ -36,13 +36,19 @@ fn link_json(net: &Network, l: LinkId) -> Value {
     if let Some((lat, lng)) = net.topology.router(link.src).coord {
         entries.push((
             "fromCoord",
-            obj(vec![("lat", Value::Number(lat)), ("lng", Value::Number(lng))]),
+            obj(vec![
+                ("lat", Value::Number(lat)),
+                ("lng", Value::Number(lng)),
+            ]),
         ));
     }
     if let Some((lat, lng)) = net.topology.router(link.dst).coord {
         entries.push((
             "toCoord",
-            obj(vec![("lat", Value::Number(lat)), ("lng", Value::Number(lng))]),
+            obj(vec![
+                ("lat", Value::Number(lat)),
+                ("lng", Value::Number(lng)),
+            ]),
         ));
     }
     obj(entries)
@@ -90,26 +96,16 @@ pub fn answer_to_json(net: &Network, query: &str, answer: &Answer) -> Value {
         }
         Outcome::Unsatisfied => entries.push(("result", s("unsatisfied"))),
         Outcome::Inconclusive => entries.push(("result", s("inconclusive"))),
+        Outcome::Aborted(reason) => {
+            entries.push(("result", s("aborted")));
+            entries.push(("abortReason", s(reason.as_str())));
+        }
     }
-    entries.push((
-        "stats",
-        obj(vec![
-            ("rules", Value::Number(answer.stats.rules_over as f64)),
-            (
-                "rulesRemoved",
-                Value::Number(answer.stats.rules_removed as f64),
-            ),
-            (
-                "satTransitions",
-                Value::Number(answer.stats.sat_transitions as f64),
-            ),
-            ("usedUnder", Value::Bool(answer.stats.used_under)),
-            (
-                "solveMillis",
-                Value::Number(answer.stats.t_solve.as_secs_f64() * 1000.0),
-            ),
-        ]),
-    ));
+    // The per-query telemetry, embedded by parsing the hand-rolled
+    // serializer's output (keeps the two JSON paths consistent).
+    let stats = formats::json::parse(&answer.stats.to_json())
+        .expect("EngineStats::to_json emits valid JSON");
+    entries.push(("stats", stats));
     obj(entries)
 }
 
@@ -140,8 +136,25 @@ pub fn network_to_json(net: &Network) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aalwines::{Verifier, VerifyOptions};
+    use aalwines::{Engine, Verifier, VerifyOptions};
     use query::parse_query;
+
+    #[test]
+    fn aborted_answer_serializes_reason() {
+        let net = aalwines::examples::paper_network();
+        let text = "<ip> [.#v0] .* [v3#.] <ip> 0";
+        let q = parse_query(text).unwrap();
+        let opts = VerifyOptions::new().with_transition_budget(0);
+        let ans = Verifier::new(&net).verify(&q, &opts);
+        let v = answer_to_json(&net, text, &ans);
+        assert_eq!(v.get("result").and_then(Value::as_str), Some("aborted"));
+        assert_eq!(
+            v.get("abortReason").and_then(Value::as_str),
+            Some("transition-budget")
+        );
+        let parsed = formats::json::parse(&v.to_json()).unwrap();
+        assert_eq!(parsed, v);
+    }
 
     #[test]
     fn satisfied_answer_serializes_with_trace() {

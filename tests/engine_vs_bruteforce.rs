@@ -10,19 +10,20 @@
 //! reference finds nothing); Inconclusive is allowed only when the
 //! approximations genuinely disagree.
 
-use aalwines::{Outcome, Verifier, VerifyOptions};
-use netmodel::{Header, LabelId, LabelKind, LabelTable, LinkId, Network, Op, RoutingEntry, Topology};
+use aalwines::{Engine, Outcome, Verifier, VerifyOptions};
+use detrand::DetRng;
+use netmodel::{
+    Header, LabelId, LabelKind, LabelTable, LinkId, Network, Op, RoutingEntry, Topology,
+};
 use pdaal::SymbolId;
 use query::{compile, parse_query, CompiledQuery};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 const MAX_TRACE_LEN: usize = 6;
 const MAX_HEADER: usize = 4;
 
 fn random_network(seed: u64) -> Network {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut topo = Topology::new();
     let n = rng.gen_range(3..6u32);
     for i in 0..n {
@@ -60,20 +61,23 @@ fn random_network(seed: u64) -> Network {
         let out = outs[rng.gen_range(0..outs.len())];
         // Kind-appropriate operation sequences (so most rules are
         // applicable to some header).
-        let pick = |v: &[LabelId], rng: &mut StdRng| v[rng.gen_range(0..v.len())];
+        let pick = |v: &[LabelId], rng: &mut DetRng| v[rng.gen_range(0..v.len())];
         let ops: Vec<Op> = match labels.kind(label) {
-            LabelKind::Ip => match rng.gen_range(0..3) {
+            LabelKind::Ip => match rng.gen_range(0u32..3) {
                 0 => vec![],
                 1 => vec![Op::Swap(pick(&ips, &mut rng))],
                 _ => vec![Op::Push(pick(&bos, &mut rng))],
             },
-            LabelKind::MplsBos => match rng.gen_range(0..4) {
+            LabelKind::MplsBos => match rng.gen_range(0u32..4) {
                 0 => vec![Op::Swap(pick(&bos, &mut rng))],
                 1 => vec![Op::Pop],
                 2 => vec![Op::Push(pick(&mpls, &mut rng))],
-                _ => vec![Op::Swap(pick(&bos, &mut rng)), Op::Push(pick(&mpls, &mut rng))],
+                _ => vec![
+                    Op::Swap(pick(&bos, &mut rng)),
+                    Op::Push(pick(&mpls, &mut rng)),
+                ],
             },
-            LabelKind::Mpls => match rng.gen_range(0..3) {
+            LabelKind::Mpls => match rng.gen_range(0u32..3) {
                 0 => vec![Op::Swap(pick(&mpls, &mut rng))],
                 1 => vec![Op::Pop],
                 _ => vec![Op::Push(pick(&mpls, &mut rng))],
@@ -86,8 +90,8 @@ fn random_network(seed: u64) -> Network {
 }
 
 fn random_query(net: &Network, seed: u64) -> String {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x51EED);
-    let router = |rng: &mut StdRng| {
+    let mut rng = DetRng::seed_from_u64(seed ^ 0x51EED);
+    let router = |rng: &mut DetRng| {
         let r = rng.gen_range(0..net.topology.num_routers());
         net.topology.router(netmodel::RouterId(r)).name.clone()
     };
@@ -95,7 +99,7 @@ fn random_query(net: &Network, seed: u64) -> String {
     let a = heads[rng.gen_range(0..heads.len())];
     let c = heads[rng.gen_range(0..heads.len())];
     let k = rng.gen_range(0..2u32);
-    let b = match rng.gen_range(0..4) {
+    let b = match rng.gen_range(0u32..4) {
         0 => ".*".to_string(),
         1 => format!("[.#{}] .*", router(&mut rng)),
         2 => format!(".* [.#{}]", router(&mut rng)),
@@ -225,7 +229,15 @@ fn search(
         if next_states.is_empty() {
             continue;
         }
-        if search(net, cq, failed, next_link, next_header, &next_states, depth + 1) {
+        if search(
+            net,
+            cq,
+            failed,
+            next_link,
+            next_header,
+            &next_states,
+            depth + 1,
+        ) {
             return true;
         }
     }
@@ -294,11 +306,17 @@ fn engine_agrees_with_bruteforce_on_random_networks() {
                 Outcome::Inconclusive => {
                     inconclusive += 1;
                 }
+                Outcome::Aborted(reason) => {
+                    panic!("unbudgeted run aborted: seed {seed}, {text}: {reason}")
+                }
             }
         }
     }
     eprintln!("checked {checked} instances: {sat} satisfied, {inconclusive} inconclusive");
-    assert!(sat > checked / 10, "workload should include satisfiable queries");
+    assert!(
+        sat > checked / 10,
+        "workload should include satisfiable queries"
+    );
     assert!(
         inconclusive <= checked / 10,
         "inconclusive rate unexpectedly high: {inconclusive}/{checked}"
@@ -380,7 +398,16 @@ fn search_len(
         if next_states.is_empty() {
             continue;
         }
-        if search_len(net, cq, failed, next_link, next_header, &next_states, depth + 1, target) {
+        if search_len(
+            net,
+            cq,
+            failed,
+            next_link,
+            next_header,
+            &next_states,
+            depth + 1,
+            target,
+        ) {
             return true;
         }
     }
@@ -403,10 +430,7 @@ fn weighted_links_matches_bruteforce_minimum() {
         };
         let ans = Verifier::new(&net).verify(
             &q,
-            &VerifyOptions {
-                weights: Some(WeightSpec::single(AtomicQuantity::Links)),
-                ..Default::default()
-            },
+            &VerifyOptions::new().with_weights(WeightSpec::single(AtomicQuantity::Links)),
         );
         let Outcome::Satisfied(w) = ans.outcome else {
             panic!("brute force found a trace the engine missed: seed {seed}, {text}");
@@ -429,7 +453,10 @@ fn weighted_links_matches_bruteforce_minimum() {
         }
         compared += 1;
     }
-    assert!(compared >= 10, "need enough satisfiable comparisons, got {compared}");
+    assert!(
+        compared >= 10,
+        "need enough satisfiable comparisons, got {compared}"
+    );
 }
 
 /// The engine must never report Unsatisfied for a query whose witness the

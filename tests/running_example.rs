@@ -5,9 +5,7 @@
 
 use aalwines::examples::{paper_network, paper_network_with_map};
 use aalwines::moped::verify_moped;
-use aalwines::{
-    AtomicQuantity, LinearExpr, Outcome, Verifier, VerifyOptions, WeightSpec,
-};
+use aalwines::{AtomicQuantity, Engine, LinearExpr, Outcome, Verifier, VerifyOptions, WeightSpec};
 use query::parse_query;
 
 fn verify(net: &netmodel::Network, q: &str) -> aalwines::Answer {
@@ -17,13 +15,7 @@ fn verify(net: &netmodel::Network, q: &str) -> aalwines::Answer {
 
 fn verify_weighted(net: &netmodel::Network, q: &str, spec: WeightSpec) -> aalwines::Answer {
     let q = parse_query(q).expect("query parses");
-    Verifier::new(net).verify(
-        &q,
-        &VerifyOptions {
-            weights: Some(spec),
-            ..Default::default()
-        },
-    )
+    Verifier::new(net).verify(&q, &VerifyOptions::new().with_weights(spec))
 }
 
 const PHI0: &str = "<ip> [.#v0] .* [v3#.] <ip> 0";
@@ -172,8 +164,7 @@ fn weighted_engine_agrees_on_satisfiability() {
     let net = paper_network();
     for q in [PHI0, PHI1, PHI2, PHI3, PHI4] {
         let dual = verify(&net, q);
-        let weighted =
-            verify_weighted(&net, q, WeightSpec::single(AtomicQuantity::Failures));
+        let weighted = verify_weighted(&net, q, WeightSpec::single(AtomicQuantity::Failures));
         assert_eq!(
             dual.outcome.is_satisfied(),
             weighted.outcome.is_satisfied(),
@@ -188,13 +179,8 @@ fn reduction_does_not_change_outcomes() {
     for q in [PHI0, PHI1, PHI2, PHI3, PHI4] {
         let parsed = parse_query(q).unwrap();
         let with = Verifier::new(&net).verify(&parsed, &VerifyOptions::default());
-        let without = Verifier::new(&net).verify(
-            &parsed,
-            &VerifyOptions {
-                no_reduction: true,
-                ..Default::default()
-            },
-        );
+        let without =
+            Verifier::new(&net).verify(&parsed, &VerifyOptions::new().without_reduction());
         assert_eq!(
             with.outcome.is_satisfied(),
             without.outcome.is_satisfied(),

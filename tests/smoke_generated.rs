@@ -1,30 +1,61 @@
-use aalwines::{Outcome, Verifier, VerifyOptions, WeightSpec, AtomicQuantity};
+use aalwines::{AtomicQuantity, Engine, Outcome, Verifier, VerifyOptions, WeightSpec};
 use query::parse_query;
-use topogen::{build_mpls_dataplane, zoo_like, LspConfig, ZooConfig};
 use topogen::queries::{figure4_queries, table1_queries};
+use topogen::{build_mpls_dataplane, zoo_like, LspConfig, ZooConfig};
 
 #[test]
 fn generated_zoo_workload_verifies() {
-    let topo = zoo_like(&ZooConfig { routers: 30, avg_degree: 3.0, seed: 13 });
-    let dp = build_mpls_dataplane(topo, &LspConfig {
-        edge_routers: 8, max_pairs: 56, protect: true, service_chains: 6, seed: 14,
+    let topo = zoo_like(&ZooConfig {
+        routers: 30,
+        avg_degree: 3.0,
+        seed: 13,
     });
-    eprintln!("rules: {} labels: {}", dp.net.num_rules(), dp.net.labels.len());
+    let dp = build_mpls_dataplane(
+        topo,
+        &LspConfig {
+            edge_routers: 8,
+            max_pairs: 56,
+            protect: true,
+            service_chains: 6,
+            seed: 14,
+        },
+    );
+    eprintln!(
+        "rules: {} labels: {}",
+        dp.net.num_rules(),
+        dp.net.labels.len()
+    );
     let v = Verifier::new(&dp.net);
-    let mut sat = 0; let mut unsat = 0; let mut inc = 0;
+    let mut sat = 0;
+    let mut unsat = 0;
+    let mut inc = 0;
     let t0 = std::time::Instant::now();
     for qs in [table1_queries(&dp, 1), figure4_queries(&dp, 12, 2)] {
         for q in qs {
             let parsed = parse_query(&q).unwrap();
             let ans = v.verify(&parsed, &VerifyOptions::default());
             match ans.outcome {
-                Outcome::Satisfied(ref w) => { sat += 1; assert!(w.trace.is_valid(&dp.net, &w.failed_links), "invalid witness for {q}"); }
+                Outcome::Satisfied(ref w) => {
+                    sat += 1;
+                    assert!(
+                        w.trace.is_valid(&dp.net, &w.failed_links),
+                        "invalid witness for {q}"
+                    );
+                }
                 Outcome::Unsatisfied => unsat += 1,
                 Outcome::Inconclusive => inc += 1,
+                Outcome::Aborted(reason) => panic!("unbudgeted run aborted on {q}: {reason}"),
             }
             // weighted agrees
-            let wans = v.verify(&parsed, &VerifyOptions { weights: Some(WeightSpec::single(AtomicQuantity::Failures)), ..Default::default() });
-            assert_eq!(ans.outcome.is_satisfied(), wans.outcome.is_satisfied(), "weighted disagrees on {q}");
+            let wans = v.verify(
+                &parsed,
+                &VerifyOptions::new().with_weights(WeightSpec::single(AtomicQuantity::Failures)),
+            );
+            assert_eq!(
+                ans.outcome.is_satisfied(),
+                wans.outcome.is_satisfied(),
+                "weighted disagrees on {q}"
+            );
         }
     }
     eprintln!("sat={sat} unsat={unsat} inc={inc} in {:?}", t0.elapsed());
@@ -36,31 +67,50 @@ fn generated_zoo_workload_verifies() {
 /// evaluated on the returned trace (ground truth from netmodel).
 #[test]
 fn weighted_vectors_match_trace_quantities() {
-    let topo = zoo_like(&ZooConfig { routers: 24, avg_degree: 3.0, seed: 21 });
-    let dp = build_mpls_dataplane(topo, &LspConfig {
-        edge_routers: 6, max_pairs: 30, protect: true, service_chains: 5, seed: 22,
+    let topo = zoo_like(&ZooConfig {
+        routers: 24,
+        avg_degree: 3.0,
+        seed: 21,
     });
+    let dp = build_mpls_dataplane(
+        topo,
+        &LspConfig {
+            edge_routers: 6,
+            max_pairs: 30,
+            protect: true,
+            service_chains: 5,
+            seed: 22,
+        },
+    );
     let v = Verifier::new(&dp.net);
     let mut satisfied = 0;
     for q in figure4_queries(&dp, 21, 5) {
         let parsed = parse_query(&q).unwrap();
-        let ans = v.verify(&parsed, &VerifyOptions {
-            weights: Some(WeightSpec::lexicographic(vec![
+        let ans = v.verify(
+            &parsed,
+            &VerifyOptions::new().with_weights(WeightSpec::lexicographic(vec![
                 aalwines::LinearExpr::atom(AtomicQuantity::Links),
                 aalwines::LinearExpr::atom(AtomicQuantity::Distance),
                 aalwines::LinearExpr::atom(AtomicQuantity::Failures),
                 aalwines::LinearExpr::atom(AtomicQuantity::Tunnels),
             ])),
-            ..Default::default()
-        });
-        let Outcome::Satisfied(w) = ans.outcome else { continue };
+        );
+        let Outcome::Satisfied(w) = ans.outcome else {
+            continue;
+        };
         satisfied += 1;
         let weight = w.weight.as_ref().expect("weighted run reports weights");
         assert_eq!(weight[0], w.trace.links(), "Links mismatch on {q}");
-        assert_eq!(weight[1], w.trace.distance(&dp.net), "Distance mismatch on {q}");
+        assert_eq!(
+            weight[1],
+            w.trace.distance(&dp.net),
+            "Distance mismatch on {q}"
+        );
         assert_eq!(
             weight[2],
-            w.trace.failures(&dp.net, &w.failed_links).expect("valid trace"),
+            w.trace
+                .failures(&dp.net, &w.failed_links)
+                .expect("valid trace"),
             "Failures mismatch on {q}"
         );
         assert_eq!(weight[3], w.trace.tunnels(), "Tunnels mismatch on {q}");
