@@ -123,7 +123,24 @@ pub fn verify_batch_with(
     let effective = batch.fold_into(opts);
     let answer_one = |q: &Query| match batch.exhausted() {
         Some(reason) => Answer::aborted(reason, EngineStats::new()),
-        None => engine.verify(q, &effective),
+        // Panic isolation: a residual panic in one query (corrupt input
+        // an engine cannot tolerate, or a genuine bug) becomes
+        // `Outcome::Error` instead of poisoning the whole batch.
+        None => {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.verify(q, &effective)
+            })) {
+                Ok(answer) => answer,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "engine panicked (non-string payload)".to_string());
+                    Answer::error(format!("engine '{}' panicked: {msg}", engine.name()))
+                }
+            }
+        }
     };
 
     if batch.threads <= 1 || queries.len() <= 1 {
@@ -271,6 +288,60 @@ mod tests {
         assert!(out
             .iter()
             .all(|a| matches!(a.outcome, Outcome::Aborted(AbortReason::DeadlineExceeded))));
+    }
+
+    #[test]
+    fn panicking_engine_is_isolated_per_query() {
+        /// An engine that panics on every odd query index (tracked by a
+        /// shared counter) to exercise the batch panic isolation.
+        struct FlakyEngine<'a> {
+            inner: Verifier<'a>,
+            calls: AtomicUsize,
+        }
+        impl Engine for FlakyEngine<'_> {
+            fn name(&self) -> &'static str {
+                "flaky"
+            }
+            fn network(&self) -> &Network {
+                self.inner.network()
+            }
+            fn verify_compiled(&self, cq: &query::CompiledQuery, opts: &VerifyOptions) -> Answer {
+                if self.calls.fetch_add(1, Ordering::Relaxed) % 2 == 1 {
+                    panic!("injected engine failure");
+                }
+                self.inner.verify_compiled(cq, opts)
+            }
+        }
+
+        let net = paper_network();
+        let qs = queries();
+        let engine = FlakyEngine {
+            inner: Verifier::new(&net),
+            calls: AtomicUsize::new(0),
+        };
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let out = verify_batch_with(&engine, &qs, &VerifyOptions::new(), &BatchOptions::new());
+        std::panic::set_hook(prev_hook);
+        assert_eq!(out.len(), qs.len());
+        let errors: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a.outcome, Outcome::Error(_)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(errors, vec![1, 3, 5], "odd queries panic, rest survive");
+        for (i, a) in out.iter().enumerate() {
+            if let Outcome::Error(msg) = &a.outcome {
+                assert!(msg.contains("injected engine failure"), "slot {i}: {msg}");
+                assert!(msg.contains("flaky"), "slot {i} names the engine: {msg}");
+            } else {
+                assert!(
+                    a.outcome.is_conclusive() || matches!(a.outcome, Outcome::Inconclusive),
+                    "slot {i} should carry a real verdict"
+                );
+            }
+        }
     }
 
     #[test]

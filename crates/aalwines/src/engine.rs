@@ -151,6 +151,10 @@ pub enum Outcome {
     /// The verification exceeded its [`Budget`] (deadline, transition
     /// cap, or cancellation) before reaching a verdict.
     Aborted(AbortReason),
+    /// The engine panicked or otherwise failed; the message describes
+    /// the failure. Produced by the batch runner's panic isolation so a
+    /// single poisoned query cannot take down a whole batch.
+    Error(String),
 }
 
 impl Outcome {
@@ -172,6 +176,7 @@ impl Outcome {
             Outcome::Unsatisfied => "unsatisfied",
             Outcome::Inconclusive => "inconclusive",
             Outcome::Aborted(_) => "aborted",
+            Outcome::Error(_) => "error",
         }
     }
 }
@@ -196,6 +201,9 @@ pub struct EngineStats {
     pub mid_states: usize,
     /// How many times the under-approximation ran (0 or 1 per query).
     pub under_runs: usize,
+    /// Issues [`Network::validate`] reported for the engine's network at
+    /// construction time (0 for a well-formed network).
+    pub validation_issues: usize,
     /// Why the verification aborted, if it did.
     pub aborted: Option<AbortReason>,
     /// Time spent building PDSs.
@@ -229,6 +237,7 @@ impl EngineStats {
         o.number("worklistPops", self.worklist_pops as f64);
         o.number("midStates", self.mid_states as f64);
         o.number("underRuns", self.under_runs as f64);
+        o.number("validationIssues", self.validation_issues as f64);
         match self.aborted {
             Some(reason) => o.string("aborted", reason.as_str()),
             None => o.null("aborted"),
@@ -264,6 +273,15 @@ impl Answer {
         Answer {
             outcome: Outcome::Aborted(reason),
             stats,
+        }
+    }
+
+    /// An error answer (engine failure or caught panic) with empty
+    /// statistics.
+    pub fn error(message: impl Into<String>) -> Self {
+        Answer {
+            outcome: Outcome::Error(message.into()),
+            stats: EngineStats::new(),
         }
     }
 }
@@ -401,12 +419,18 @@ fn run_phase<W: Weight>(
 /// The AalWiNes verification engine bound to a network.
 pub struct Verifier<'a> {
     net: &'a Network,
+    validation_issues: usize,
 }
 
 impl<'a> Verifier<'a> {
-    /// A verifier for `net`.
+    /// A verifier for `net`. Runs [`Network::validate`] once so every
+    /// answer's [`EngineStats::validation_issues`] reports how clean the
+    /// network was.
     pub fn new(net: &'a Network) -> Self {
-        Verifier { net }
+        Verifier {
+            net,
+            validation_issues: net.validate().len(),
+        }
     }
 }
 
@@ -422,6 +446,7 @@ impl Engine for Verifier<'_> {
     fn verify_compiled(&self, cq: &CompiledQuery, opts: &VerifyOptions) -> Answer {
         let t_start = Instant::now();
         let mut stats = EngineStats::new();
+        stats.validation_issues = self.validation_issues;
         let budget = opts.budget();
 
         // ---- over-approximation --------------------------------------

@@ -320,12 +320,18 @@ pub fn verify_moped(net: &Network, q: &Query) -> Answer {
 /// unweighted and always reduces.
 pub struct MopedEngine<'a> {
     net: &'a Network,
+    validation_issues: usize,
 }
 
 impl<'a> MopedEngine<'a> {
-    /// A Moped-style engine for `net`.
+    /// A Moped-style engine for `net`. Runs [`Network::validate`] once
+    /// so every answer's [`EngineStats::validation_issues`] reports how
+    /// clean the network was.
     pub fn new(net: &'a Network) -> Self {
-        MopedEngine { net }
+        MopedEngine {
+            net,
+            validation_issues: net.validate().len(),
+        }
     }
 }
 
@@ -341,6 +347,7 @@ impl Engine for MopedEngine<'_> {
     fn verify_compiled(&self, cq: &CompiledQuery, opts: &VerifyOptions) -> Answer {
         let t_start = Instant::now();
         let mut stats = EngineStats::new();
+        stats.validation_issues = self.validation_issues;
         let budget = opts.budget();
         // A fresh checker's first tick polls the clock and the token.
         let over_budget = |b: &pdaal::Budget| b.checker().tick(0).err();

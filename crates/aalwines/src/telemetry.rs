@@ -159,8 +159,14 @@ pub struct BatchSummary {
     pub inconclusive: usize,
     /// Queries that exceeded their budget.
     pub aborted: usize,
+    /// Queries whose engine failed (isolated panics).
+    pub errors: usize,
     /// Total under-approximation runs across the batch.
     pub under_runs: usize,
+    /// Network validation issues observed by the answering engines
+    /// (maximum across the batch; every answer from one engine reports
+    /// the same network-level count).
+    pub validation_issues: usize,
     /// Construction-time distribution (milliseconds).
     pub t_construct: Percentiles,
     /// Reduction-time distribution (milliseconds).
@@ -189,8 +195,10 @@ impl BatchSummary {
                 Outcome::Unsatisfied => s.unsatisfied += 1,
                 Outcome::Inconclusive => s.inconclusive += 1,
                 Outcome::Aborted(_) => s.aborted += 1,
+                Outcome::Error(_) => s.errors += 1,
             }
             s.under_runs += a.stats.under_runs;
+            s.validation_issues = s.validation_issues.max(a.stats.validation_issues);
             construct.push(millis(a.stats.t_construct));
             reduce.push(millis(a.stats.t_reduce));
             solve.push(millis(a.stats.t_solve));
@@ -212,7 +220,9 @@ impl BatchSummary {
         o.number("unsatisfied", self.unsatisfied as f64);
         o.number("inconclusive", self.inconclusive as f64);
         o.number("aborted", self.aborted as f64);
+        o.number("errors", self.errors as f64);
         o.number("underRuns", self.under_runs as f64);
+        o.number("validationIssues", self.validation_issues as f64);
         o.raw("constructMillis", &self.t_construct.to_json());
         o.raw("reduceMillis", &self.t_reduce.to_json());
         o.raw("solveMillis", &self.t_solve.to_json());

@@ -108,6 +108,7 @@ fn main() {
                 Outcome::Unsatisfied => "unsat",
                 Outcome::Inconclusive => "inconclusive",
                 Outcome::Aborted(_) => "aborted",
+                Outcome::Error(_) => "error",
             };
             rows.push((
                 inst.net_idx,

@@ -98,6 +98,7 @@ pub fn outcome_cell(o: &Outcome) -> &'static str {
         Outcome::Unsatisfied => "unsat",
         Outcome::Inconclusive => "inconcl",
         Outcome::Aborted(_) => "abort",
+        Outcome::Error(_) => "error",
     }
 }
 

@@ -1,0 +1,62 @@
+//! The chaos acceptance campaign: ≥500 seeded mutants across all
+//! mutation kinds, zero invariant violations, zero panics.
+
+use aalwines::examples::paper_network;
+use chaos::{paper_queries, run_chaos, ChaosOptions, MutationKind};
+
+#[test]
+fn chaos_campaign_500_mutants_no_violations() {
+    let base = paper_network();
+    let queries = paper_queries();
+    assert_eq!(queries.len(), 6);
+
+    let report = run_chaos(&base, &queries, &ChaosOptions::new(0xAA17ED, 520));
+
+    assert!(
+        report.violations.is_empty(),
+        "invariant violations:\n{}",
+        report.violations.join("\n")
+    );
+    assert_eq!(report.engine_errors, 0, "engines must not panic");
+    assert!(report.mutants >= 500, "only {} mutants ran", report.mutants);
+
+    // Coverage: at least 5 distinct mutation kinds actually fired.
+    let kinds_hit = report.per_kind.iter().filter(|&&n| n > 0).count();
+    assert!(kinds_hit >= 5, "only {kinds_hit} mutation kinds exercised");
+
+    // The corrupting mutations must have produced (and repaired) broken
+    // networks, and the benign ones clean mutants — both paths covered.
+    assert!(report.repaired > 0, "no mutant needed repair");
+    assert!(report.clean > 0, "no mutant was clean");
+    assert_eq!(report.rejected, 0, "repair must fix every mutant");
+
+    // Every mutant ran its rotating pair of queries on both engines.
+    assert_eq!(report.verifications, report.mutants * 4);
+    assert!(report.decided_pairs > 0);
+    assert!(report.witnesses_replayed > 0);
+}
+
+#[test]
+fn campaigns_with_same_seed_are_identical() {
+    let base = paper_network();
+    let queries = paper_queries();
+    let a = run_chaos(&base, &queries, &ChaosOptions::new(42, 60));
+    let b = run_chaos(&base, &queries, &ChaosOptions::new(42, 60));
+    assert_eq!(a.to_json(), b.to_json());
+    // A different seed explores a different mutant population.
+    let c = run_chaos(&base, &queries, &ChaosOptions::new(43, 60));
+    assert!(c.ok());
+    assert_ne!(
+        a.per_kind, c.per_kind,
+        "different seeds should draw different mutation mixes"
+    );
+}
+
+#[test]
+fn all_mutation_kinds_have_stable_names() {
+    let names: Vec<&str> = MutationKind::ALL.iter().map(|k| k.as_str()).collect();
+    let mut unique = names.clone();
+    unique.sort();
+    unique.dedup();
+    assert_eq!(unique.len(), names.len(), "duplicate kind names");
+}

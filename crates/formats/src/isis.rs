@@ -218,6 +218,12 @@ pub fn network_from_isis(
     let mut topo = Topology::new();
     let mut by_alias: HashMap<String, RouterId> = HashMap::new();
     for entry in &mapping {
+        if topo.router_by_name(entry.name()).is_some() {
+            return Err(FormatError::Semantic(format!(
+                "duplicate router name {:?} in mapping",
+                entry.name()
+            )));
+        }
         let id = topo.add_router(entry.name(), None);
         for alias in &entry.aliases {
             by_alias.insert(alias.clone(), id);

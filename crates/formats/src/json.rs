@@ -187,8 +187,7 @@ impl<'a> P<'a> {
                 break;
             }
         }
-        std::str::from_utf8(&self.s[start..self.i])
-            .unwrap()
+        String::from_utf8_lossy(&self.s[start..self.i])
             .parse::<f64>()
             .map(Value::Number)
             .map_err(|e| self.err(format!("bad number: {e}")))

@@ -30,6 +30,18 @@ impl fmt::Display for FormatError {
     }
 }
 
+impl FormatError {
+    /// The byte offset of the error in the source document, when the
+    /// failure happened at the syntax level. Semantic errors (valid
+    /// XML describing an invalid network) have no single offset.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            FormatError::Xml(e) => Some(e.pos),
+            FormatError::Semantic(_) => None,
+        }
+    }
+}
+
 impl std::error::Error for FormatError {}
 
 impl From<XmlError> for FormatError {
@@ -126,6 +138,11 @@ pub fn parse_topology(doc: &str) -> Result<Topology, FormatError> {
         .ok_or_else(|| FormatError::Semantic("missing <routers>".into()))?;
     for r in routers.children_named("router") {
         let name = r.require_attr("name")?;
+        if topo.router_by_name(name).is_some() {
+            return Err(FormatError::Semantic(format!(
+                "duplicate router name {name:?}"
+            )));
+        }
         topo.add_router(name, None);
     }
     let links = root

@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod header;
 pub mod label;
@@ -30,7 +31,9 @@ pub mod trace;
 
 pub use header::Header;
 pub use label::{LabelId, LabelKind, LabelTable};
-pub use routing::{Network, Op, RoutingEntry, TeGroup};
+pub use routing::{
+    IssueKind, Network, Op, RepairReport, RoutingEntry, Severity, TeGroup, ValidationIssue,
+};
 pub use sim::{feasible_failures, successors};
 pub use topology::{LinkId, RouterId, Topology};
 pub use trace::{Trace, TraceStep};

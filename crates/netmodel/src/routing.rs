@@ -11,6 +11,7 @@
 use crate::label::{LabelId, LabelTable};
 use crate::topology::{LinkId, Topology};
 use std::collections::HashMap;
+use std::fmt;
 
 /// A single MPLS stack operation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -34,6 +35,89 @@ pub struct RoutingEntry {
 
 /// A traffic-engineering group: a set of equally preferred alternatives.
 pub type TeGroup = Vec<RoutingEntry>;
+
+/// How serious a [`ValidationIssue`] is.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Benign inconsistency the engines tolerate (e.g. an empty
+    /// priority group shadowed by a later one).
+    Warning,
+    /// A well-formedness violation that can make verification results
+    /// meaningless or crash the engine (dangling links, unknown labels).
+    Error,
+}
+
+/// The category of a [`ValidationIssue`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[non_exhaustive]
+pub enum IssueKind {
+    /// A rule is keyed on, or an operation references, a label id that
+    /// is not interned in the network's label table.
+    UnknownLabel,
+    /// A rule references a link id outside the topology.
+    LinkOutOfRange,
+    /// A forwarding entry's outgoing link does not leave the router the
+    /// incoming link enters (Definition 2's `t(e) = s(e_j)`).
+    NonAdjacentRule,
+    /// An empty priority group shadowed by a non-empty lower-priority
+    /// one (harmless, but usually a sign of a truncated table).
+    EmptyGroup,
+}
+
+impl IssueKind {
+    /// A stable lower-case identifier (used in JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IssueKind::UnknownLabel => "unknown-label",
+            IssueKind::LinkOutOfRange => "link-out-of-range",
+            IssueKind::NonAdjacentRule => "non-adjacent-rule",
+            IssueKind::EmptyGroup => "empty-group",
+        }
+    }
+}
+
+/// One problem found by [`Network::validate`]: what is wrong
+/// (`kind`), how bad it is (`severity`), and where (`location`, a
+/// human-readable rendering of the offending rule).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ValidationIssue {
+    /// How serious the issue is.
+    pub severity: Severity,
+    /// The category of the issue.
+    pub kind: IssueKind,
+    /// Where the issue was found (rule key, link, label …).
+    pub location: String,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev}[{}]: {}", self.kind.as_str(), self.location)
+    }
+}
+
+/// What [`Network::repair`] changed, for telemetry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RepairReport {
+    /// `(link, label)` keys dropped entirely (unknown label,
+    /// out-of-range incoming link, or no surviving entries).
+    pub dropped_keys: usize,
+    /// Individual forwarding entries dropped (dangling or non-adjacent
+    /// outgoing link, ops referencing unknown labels).
+    pub dropped_entries: usize,
+    /// Empty priority groups removed (priorities clamped down).
+    pub removed_groups: usize,
+}
+
+impl RepairReport {
+    /// Whether the repair pass changed nothing.
+    pub fn is_clean(&self) -> bool {
+        self.dropped_keys == 0 && self.dropped_entries == 0 && self.removed_groups == 0
+    }
+}
 
 /// An MPLS network: topology, labels, and the routing function `τ`.
 #[derive(Clone, Debug, Default)]
@@ -84,6 +168,92 @@ impl Network {
         groups[priority - 1].push(entry);
     }
 
+    /// Fallible variant of [`Network::add_rule`]: returns a typed
+    /// [`ValidationIssue`] instead of panicking when the rule is
+    /// ill-formed (bad priority, out-of-range links, non-adjacent
+    /// outgoing link, or unknown labels).
+    pub fn try_add_rule(
+        &mut self,
+        in_link: LinkId,
+        label: LabelId,
+        priority: usize,
+        entry: RoutingEntry,
+    ) -> Result<(), ValidationIssue> {
+        let issue = |kind, location: String| ValidationIssue {
+            severity: Severity::Error,
+            kind,
+            location,
+        };
+        if priority == 0 {
+            return Err(issue(
+                IssueKind::EmptyGroup,
+                "priorities are 1-based; got 0".to_string(),
+            ));
+        }
+        if in_link.index() >= self.topology.num_links() as usize {
+            return Err(issue(
+                IssueKind::LinkOutOfRange,
+                format!("incoming link id {} out of range", in_link.index()),
+            ));
+        }
+        if entry.out.index() >= self.topology.num_links() as usize {
+            return Err(issue(
+                IssueKind::LinkOutOfRange,
+                format!("outgoing link id {} out of range", entry.out.index()),
+            ));
+        }
+        if label.index() >= self.labels.len() {
+            return Err(issue(
+                IssueKind::UnknownLabel,
+                format!("rule keyed on unknown label id {}", label.index()),
+            ));
+        }
+        for op in &entry.ops {
+            if let Op::Swap(l) | Op::Push(l) = op {
+                if l.index() >= self.labels.len() {
+                    return Err(issue(
+                        IssueKind::UnknownLabel,
+                        format!("operation references unknown label id {}", l.index()),
+                    ));
+                }
+            }
+        }
+        if self.topology.dst(in_link) != self.topology.src(entry.out) {
+            return Err(issue(
+                IssueKind::NonAdjacentRule,
+                format!(
+                    "rule forwards from {} over non-adjacent {}",
+                    self.topology.link_name(in_link),
+                    self.topology.link_name(entry.out),
+                ),
+            ));
+        }
+        self.add_rule(in_link, label, priority, entry);
+        Ok(())
+    }
+
+    /// Insert a rule **without any well-formedness checks**.
+    ///
+    /// This exists for fault injection (the chaos harness deliberately
+    /// creates corrupt tables that [`Network::validate`] and
+    /// [`Network::repair`] must catch) and for format loaders that
+    /// validate in bulk afterwards. Regular construction should use
+    /// [`Network::add_rule`] or [`Network::try_add_rule`].
+    pub fn add_rule_unchecked(
+        &mut self,
+        in_link: LinkId,
+        label: LabelId,
+        priority: usize,
+        entry: RoutingEntry,
+    ) {
+        let priority = priority.max(1);
+        let groups = self.table.entry((in_link, label)).or_default();
+        if groups.len() < priority {
+            groups.resize(priority, TeGroup::new());
+        }
+        groups[priority - 1].push(entry);
+    }
+
     /// The full priority-ordered group sequence `τ(e, ℓ)`; empty slice if
     /// no rule exists.
     pub fn groups(&self, in_link: LinkId, label: LabelId) -> &[TeGroup] {
@@ -107,38 +277,156 @@ impl Network {
             .sum()
     }
 
-    /// Validate internal consistency; returns human-readable problems.
+    /// A printable name for a link id that may be out of range (the
+    /// panicking [`Topology::link_name`] must not see corrupt ids).
+    fn safe_link_name(&self, link: LinkId) -> String {
+        if link.index() < self.topology.num_links() as usize {
+            self.topology.link_name(link)
+        } else {
+            format!("link#{}", link.index())
+        }
+    }
+
+    /// A printable name for a label id that may be out of range.
+    fn safe_label_name(&self, label: LabelId) -> String {
+        if label.index() < self.labels.len() {
+            self.labels.name(label).to_string()
+        } else {
+            format!("label#{}", label.index())
+        }
+    }
+
+    /// Validate internal consistency; returns typed issues.
     ///
-    /// Checks: every outgoing link leaves the right router, every group
-    /// sequence is non-empty per group, and every operation's labels are
-    /// interned.
-    pub fn validate(&self) -> Vec<String> {
+    /// `Error`-severity issues (out-of-range links, unknown labels,
+    /// non-adjacent rules) can crash or mislead the engines;
+    /// `Warning`-severity issues (empty shadowed priority groups) are
+    /// tolerated. All index accesses are range-guarded, so this is safe
+    /// to call on arbitrarily corrupt tables — e.g. ones produced by
+    /// fault injection via [`Network::add_rule_unchecked`].
+    pub fn validate(&self) -> Vec<ValidationIssue> {
         let mut problems = Vec::new();
+        let mut push = |severity, kind, location: String| {
+            problems.push(ValidationIssue {
+                severity,
+                kind,
+                location,
+            })
+        };
         for ((in_link, label), groups) in &self.table {
+            let key_loc = format!(
+                "({}, {})",
+                self.safe_link_name(*in_link),
+                self.safe_label_name(*label)
+            );
             if label.index() >= self.labels.len() {
-                problems.push(format!("rule for unknown label id {label:?}"));
+                push(
+                    Severity::Error,
+                    IssueKind::UnknownLabel,
+                    format!("rule {key_loc} keyed on unknown label id {}", label.index()),
+                );
+            }
+            let in_ok = in_link.index() < self.topology.num_links() as usize;
+            if !in_ok {
+                push(
+                    Severity::Error,
+                    IssueKind::LinkOutOfRange,
+                    format!(
+                        "rule {key_loc} keyed on out-of-range link id {}",
+                        in_link.index()
+                    ),
+                );
             }
             for (gi, group) in groups.iter().enumerate() {
                 if group.is_empty() && gi + 1 != groups.len() {
-                    problems.push(format!(
-                        "empty priority group {} for ({}, {})",
-                        gi + 1,
-                        self.topology.link_name(*in_link),
-                        self.labels.name(*label),
-                    ));
+                    push(
+                        Severity::Warning,
+                        IssueKind::EmptyGroup,
+                        format!("empty priority group {} for {key_loc}", gi + 1),
+                    );
                 }
                 for entry in group {
-                    if self.topology.dst(*in_link) != self.topology.src(entry.out) {
-                        problems.push(format!(
-                            "rule forwards from {} over non-adjacent {}",
-                            self.topology.link_name(*in_link),
-                            self.topology.link_name(entry.out),
-                        ));
+                    if entry.out.index() >= self.topology.num_links() as usize {
+                        push(
+                            Severity::Error,
+                            IssueKind::LinkOutOfRange,
+                            format!(
+                                "rule {key_loc} forwards over out-of-range link id {}",
+                                entry.out.index()
+                            ),
+                        );
+                    } else if in_ok && self.topology.dst(*in_link) != self.topology.src(entry.out) {
+                        push(
+                            Severity::Error,
+                            IssueKind::NonAdjacentRule,
+                            format!(
+                                "rule {key_loc} forwards over non-adjacent {}",
+                                self.safe_link_name(entry.out)
+                            ),
+                        );
+                    }
+                    for op in &entry.ops {
+                        if let Op::Swap(l) | Op::Push(l) = op {
+                            if l.index() >= self.labels.len() {
+                                push(
+                                    Severity::Error,
+                                    IssueKind::UnknownLabel,
+                                    format!(
+                                        "rule {key_loc} operation references unknown label id {}",
+                                        l.index()
+                                    ),
+                                );
+                            }
+                        }
                     }
                 }
             }
         }
         problems
+    }
+
+    /// Opt-in repair: drop everything [`Network::validate`] flags as
+    /// `Error` severity and tidy up `Warning`-level noise, leaving a
+    /// network on which `validate()` reports no `Error` issues.
+    ///
+    /// Concretely: keys with an unknown label or out-of-range incoming
+    /// link are dropped wholesale; entries with a dangling, non-adjacent
+    /// outgoing link or ops referencing unknown labels are dropped;
+    /// empty priority groups are removed (clamping lower priorities up);
+    /// keys left without any entries are dropped.
+    pub fn repair(&mut self) -> RepairReport {
+        let mut report = RepairReport::default();
+        let num_links = self.topology.num_links() as usize;
+        let num_labels = self.labels.len();
+        let topo = &self.topology;
+        self.table.retain(|(in_link, label), groups| {
+            if label.index() >= num_labels || in_link.index() >= num_links {
+                report.dropped_keys += 1;
+                return false;
+            }
+            let enters = topo.dst(*in_link);
+            for group in groups.iter_mut() {
+                let before = group.len();
+                group.retain(|entry| {
+                    entry.out.index() < num_links
+                        && topo.src(entry.out) == enters
+                        && entry.ops.iter().all(|op| match op {
+                            Op::Swap(l) | Op::Push(l) => l.index() < num_labels,
+                            Op::Pop => true,
+                        })
+                });
+                report.dropped_entries += before - group.len();
+            }
+            let before_groups = groups.len();
+            groups.retain(|g| !g.is_empty());
+            report.removed_groups += before_groups - groups.len();
+            if groups.is_empty() {
+                report.dropped_keys += 1;
+                return false;
+            }
+            true
+        });
+        report
     }
 }
 
@@ -230,5 +518,156 @@ mod tests {
         let ip = labels.ip("ip1");
         let net = Network::new(t, labels);
         assert!(net.groups(e[0], ip).is_empty());
+    }
+
+    #[test]
+    fn try_add_rule_reports_typed_issues() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let mut net = Network::new(t, labels);
+        // Non-adjacent: e1 enters v2 but e0 leaves v0.
+        let err = net
+            .try_add_rule(
+                e[1],
+                ip,
+                1,
+                RoutingEntry {
+                    out: e[0],
+                    ops: vec![],
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, IssueKind::NonAdjacentRule);
+        assert_eq!(err.severity, Severity::Error);
+        // Out-of-range link id.
+        let err = net
+            .try_add_rule(
+                LinkId(99),
+                ip,
+                1,
+                RoutingEntry {
+                    out: e[1],
+                    ops: vec![],
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, IssueKind::LinkOutOfRange);
+        // Unknown label in an op.
+        let err = net
+            .try_add_rule(
+                e[0],
+                ip,
+                1,
+                RoutingEntry {
+                    out: e[1],
+                    ops: vec![Op::Swap(LabelId(42))],
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, IssueKind::UnknownLabel);
+        // A valid rule still goes through.
+        assert!(net
+            .try_add_rule(
+                e[0],
+                ip,
+                1,
+                RoutingEntry {
+                    out: e[1],
+                    ops: vec![],
+                },
+            )
+            .is_ok());
+        assert_eq!(net.num_rules(), 1);
+    }
+
+    #[test]
+    fn validate_survives_corrupt_tables() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let mut net = Network::new(t, labels);
+        // Corrupt state only add_rule_unchecked can create.
+        net.add_rule_unchecked(
+            LinkId(77),
+            ip,
+            1,
+            RoutingEntry {
+                out: e[1],
+                ops: vec![],
+            },
+        );
+        net.add_rule_unchecked(
+            e[0],
+            LabelId(99),
+            1,
+            RoutingEntry {
+                out: e[1],
+                ops: vec![],
+            },
+        );
+        net.add_rule_unchecked(
+            e[0],
+            ip,
+            2,
+            RoutingEntry {
+                out: LinkId(88),
+                ops: vec![Op::Push(LabelId(55))],
+            },
+        );
+        let issues = net.validate();
+        assert!(issues.iter().any(|i| i.kind == IssueKind::LinkOutOfRange));
+        assert!(issues.iter().any(|i| i.kind == IssueKind::UnknownLabel));
+        assert!(issues.iter().any(|i| i.kind == IssueKind::EmptyGroup));
+        assert!(issues.iter().all(|i| !i.location.is_empty()));
+        // Display renders severity + kind + location.
+        let rendered = issues[0].to_string();
+        assert!(rendered.contains('['));
+    }
+
+    #[test]
+    fn repair_removes_all_error_issues() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let mut net = Network::new(t, labels);
+        net.add_rule(
+            e[0],
+            ip,
+            1,
+            RoutingEntry {
+                out: e[1],
+                ops: vec![],
+            },
+        );
+        net.add_rule_unchecked(
+            LinkId(77),
+            ip,
+            1,
+            RoutingEntry {
+                out: e[1],
+                ops: vec![],
+            },
+        );
+        net.add_rule_unchecked(
+            e[0],
+            ip,
+            3,
+            RoutingEntry {
+                out: LinkId(88),
+                ops: vec![],
+            },
+        );
+        let report = net.repair();
+        assert!(!report.is_clean());
+        assert_eq!(report.dropped_keys, 1);
+        assert_eq!(report.dropped_entries, 1);
+        assert!(report.removed_groups >= 1);
+        assert!(net.validate().iter().all(|i| i.severity != Severity::Error));
+        // The valid rule survived.
+        assert_eq!(net.num_rules(), 1);
+        assert_eq!(net.groups(e[0], ip)[0][0].out, e[1]);
+        // A second repair is a no-op.
+        assert!(net.repair().is_clean());
     }
 }

@@ -103,8 +103,7 @@ impl<'a> P<'a> {
         if self.i == start {
             return Err(self.err("expected a number".into()));
         }
-        std::str::from_utf8(&self.s[start..self.i])
-            .unwrap()
+        String::from_utf8_lossy(&self.s[start..self.i])
             .parse()
             .map_err(|e| self.err(format!("bad number: {e}")))
     }
@@ -136,7 +135,7 @@ fn parse_alt<A>(p: &mut P, atom: AtomParser<A>) -> Result<Regex<A>, ParseError> 
         parts.push(parse_concat(p, atom)?);
     }
     Ok(if parts.len() == 1 {
-        parts.pop().unwrap()
+        parts.remove(0)
     } else {
         Regex::Alt(parts)
     })
@@ -470,5 +469,58 @@ mod tests {
         let q = parse_query("<> .* <> 0").unwrap();
         assert_eq!(q.initial, Regex::Epsilon);
         assert_eq!(q.final_, Regex::Epsilon);
+    }
+
+    #[test]
+    fn unclosed_label_set_is_typed_error() {
+        let e = parse_query("<[s40 ip> .* <ip> 0").unwrap_err();
+        assert!(e.pos > 0, "error should carry a position: {e}");
+        assert!(e.msg.contains("',' or ']'"), "unexpected message: {e}");
+    }
+
+    #[test]
+    fn unclosed_angle_bracket_is_typed_error() {
+        for bad in ["<ip .* <ip> 0", "<ip> .* <ip 0", "<ip> .* <ip"] {
+            let e = parse_query(bad).unwrap_err();
+            assert!(e.pos <= bad.len(), "position out of bounds for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_label_set_is_typed_error() {
+        let e = parse_query("<[] ip> .* <ip> 0").unwrap_err();
+        assert!(e.msg.contains("label name"), "unexpected message: {e}");
+    }
+
+    #[test]
+    fn unclosed_link_atom_is_typed_error() {
+        for bad in ["<ip> [v0#v1 <ip> 0", "<ip> [v0 <ip> 0", "<ip> [ <ip> 0"] {
+            let e = parse_query(bad).unwrap_err();
+            assert!(e.pos <= bad.len());
+        }
+    }
+
+    #[test]
+    fn missing_failure_bound_is_typed_error() {
+        let e = parse_query("<ip> .* <ip>").unwrap_err();
+        assert!(e.msg.contains("number"), "unexpected message: {e}");
+    }
+
+    #[test]
+    fn empty_alternation_part_is_epsilon_not_panic() {
+        // `a||b` and `(|a)` have empty parts; they parse as epsilon
+        // alternatives rather than aborting.
+        let q = parse_query("<mpls||ip> .* <ip> 0").unwrap();
+        let Regex::Alt(parts) = &q.initial else {
+            panic!("not an alt")
+        };
+        assert!(parts.contains(&Regex::Epsilon));
+        assert!(parse_query("<(|mpls) ip> .* <ip> 0").is_ok());
+    }
+
+    #[test]
+    fn huge_failure_bound_is_typed_error() {
+        let e = parse_query("<ip> .* <ip> 99999999999999999999").unwrap_err();
+        assert!(e.msg.contains("bad number"), "unexpected message: {e}");
     }
 }

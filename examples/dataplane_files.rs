@@ -72,6 +72,7 @@ fn main() {
             Outcome::Unsatisfied => "unsatisfied",
             Outcome::Inconclusive => "inconclusive",
             Outcome::Aborted(_) => "aborted",
+            Outcome::Error(_) => "error",
         };
         println!("  {text}  →  {verdict}");
     }

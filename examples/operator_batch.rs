@@ -70,6 +70,7 @@ fn main() {
             Outcome::Unsatisfied => unsat += 1,
             Outcome::Inconclusive => inconclusive.push(text.clone()),
             Outcome::Aborted(reason) => panic!("unbudgeted batch aborted: {reason}"),
+            Outcome::Error(ref msg) => panic!("engine error: {msg}"),
         }
     }
     println!(

@@ -53,6 +53,7 @@ fn main() {
             Outcome::Unsatisfied => println!("UNSATISFIED (conclusive: no such trace exists)"),
             Outcome::Inconclusive => println!("INCONCLUSIVE"),
             Outcome::Aborted(reason) => println!("ABORTED ({reason})"),
+            Outcome::Error(ref msg) => println!("ERROR ({msg})"),
         }
         println!();
     }

@@ -32,8 +32,9 @@ fn usage() -> ! {
          \x20        [--locations loc.json] (--query '<a> b <c> k' ... | --stdin)\n\
          \x20        [--weight 'expr, expr, ...'] [--engine dual|moped] [--no-reduction]\n\
          \x20        [--deadline-ms N] [--batch-deadline-ms N] [--max-transitions N]\n\
-         \x20        [--threads N] [--stats] [--json]\n\
+         \x20        [--threads N] [--stats] [--json] [--repair]\n\
          \x20        [--write-topology out.xml] [--write-routing out.xml]\n\
+         \x20        [--chaos-seed N] [--chaos-mutants M]\n\
          \n\
          --demo without --query/--stdin runs the paper's six benchmark queries."
     );
@@ -81,6 +82,10 @@ fn report(net: &Network, text: &str, answer: &Answer, show_stats: bool) -> bool 
         }
         Outcome::Aborted(reason) => {
             println!("{text}\n  ABORTED ({reason})");
+            false
+        }
+        Outcome::Error(msg) => {
+            println!("{text}\n  ERROR ({msg})");
             false
         }
     };
@@ -191,42 +196,53 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let mut topo = match formats::parse_topology(&topo_text) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("{tp}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        if let Some(lp) = value("--locations") {
-            let loc_text = match std::fs::read_to_string(&lp) {
-                Ok(t) => t,
+        let loc_text = match value("--locations") {
+            None => None,
+            Some(lp) => match std::fs::read_to_string(&lp) {
+                Ok(t) => Some(t),
                 Err(e) => {
                     eprintln!("cannot read {lp}: {e}");
                     return ExitCode::FAILURE;
                 }
-            };
-            if let Err(e) = formats::parse_locations(&loc_text, &mut topo) {
-                eprintln!("{lp}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        match formats::parse_routes(&route_text, topo) {
+            },
+        };
+        // The unified load path: every parse failure is a typed
+        // LoadError with a byte offset where one exists.
+        match aalwines_suite::load_dataplane(
+            &topo_text,
+            &route_text,
+            loc_text.as_deref(),
+            has("--repair"),
+        ) {
             Ok(n) => n,
             Err(e) => {
-                eprintln!("{rp}: {e}");
+                eprintln!("cannot load {tp} + {rp}: {e}");
                 return ExitCode::FAILURE;
             }
         }
     };
+    let mut net = net;
     let problems = net.validate();
     if !problems.is_empty() {
-        eprintln!("invalid network:");
-        for p in problems {
+        for p in &problems {
             eprintln!("  {p}");
         }
-        return ExitCode::FAILURE;
+        let errors = problems
+            .iter()
+            .filter(|p| p.severity == netmodel::Severity::Error)
+            .count();
+        if has("--repair") {
+            let report = net.repair();
+            eprintln!(
+                "repaired network: dropped {} rule keys, {} entries; removed {} empty groups",
+                report.dropped_keys, report.dropped_entries, report.removed_groups
+            );
+        } else if errors > 0 {
+            eprintln!("invalid network: {errors} error(s) (re-run with --repair to drop them)");
+            return ExitCode::FAILURE;
+        }
     }
+    let net = net;
     eprintln!(
         "loaded network: {} routers, {} links, {} rules, {} labels",
         net.topology.num_routers(),
@@ -234,6 +250,69 @@ fn main() -> ExitCode {
         net.num_rules(),
         net.labels.len()
     );
+
+    // ---- chaos mode -------------------------------------------------------
+    // `--chaos-seed N` runs the fault-injection campaign against this
+    // network instead of verifying queries: seeded mutants, validate/
+    // repair, dual-vs-moped agreement, witness replay. Exit 0 iff no
+    // invariant was violated.
+    if let Some(seed_text) = value("--chaos-seed") {
+        let Ok(seed) = seed_text.parse::<u64>() else {
+            eprintln!("--chaos-seed: expected an integer, got {seed_text:?}");
+            return ExitCode::FAILURE;
+        };
+        let mutants = match value("--chaos-mutants") {
+            None => 100,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--chaos-mutants: expected a count, got {v:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        let mut chaos_queries = Vec::new();
+        for text in values("--query") {
+            match parse_query(&text) {
+                Ok(q) => chaos_queries.push(q),
+                Err(e) => {
+                    eprintln!("{text}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if chaos_queries.is_empty() {
+            chaos_queries = chaos::paper_queries();
+        }
+        let report = chaos::run_chaos(
+            &net,
+            &chaos_queries,
+            &chaos::ChaosOptions::new(seed, mutants),
+        );
+        if has("--json") {
+            println!("{}", report.to_json());
+        } else {
+            println!(
+                "chaos: {} mutants ({} clean, {} repaired, {} rejected), \
+                 {} verifications, {} decided pairs, {} witnesses replayed",
+                report.mutants,
+                report.clean,
+                report.repaired,
+                report.rejected,
+                report.verifications,
+                report.decided_pairs,
+                report.witnesses_replayed
+            );
+            for v in &report.violations {
+                println!("  VIOLATION: {v}");
+            }
+        }
+        return if report.ok() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     // ---- conversion mode (paper Appendix A.1) -------------------------
     let mut converted = false;
@@ -326,7 +405,13 @@ fn main() -> ExitCode {
     let mut queries = values("--query");
     if has("--stdin") {
         for line in std::io::stdin().lock().lines() {
-            let line = line.expect("read stdin");
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot read stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let line = line.trim();
             if !line.is_empty() && !line.starts_with('#') {
                 queries.push(line.to_string());
@@ -380,13 +465,14 @@ fn main() -> ExitCode {
         println!("{}", summary.to_json());
     } else if show_stats {
         println!(
-            "summary: {} queries — {} satisfied, {} unsatisfied, {} inconclusive, {} aborted; \
-             solve p50 {:.3} ms, p95 {:.3} ms, max {:.3} ms",
+            "summary: {} queries — {} satisfied, {} unsatisfied, {} inconclusive, {} aborted, \
+             {} errors; solve p50 {:.3} ms, p95 {:.3} ms, max {:.3} ms",
             summary.total,
             summary.satisfied,
             summary.unsatisfied,
             summary.inconclusive,
             summary.aborted,
+            summary.errors,
             summary.t_solve.p50,
             summary.t_solve.p95,
             summary.t_solve.max

@@ -1,0 +1,143 @@
+//! The unified load-time error taxonomy of the suite.
+//!
+//! Every way of getting a data plane into the verifier — topology XML,
+//! routing XML, locations JSON, IS-IS snapshots, the query language —
+//! has its own typed error carrying a byte offset where one exists.
+//! [`LoadError`] folds them into a single type so the CLI and GUI can
+//! render any ingestion failure uniformly (message + optional offset)
+//! and never abort on malformed input.
+
+use formats::json::JsonError;
+use formats::topo_xml::FormatError;
+use netmodel::ValidationIssue;
+use query::ParseError;
+use std::fmt;
+
+/// Any error that can occur while loading and validating inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LoadError {
+    /// A topology/routing/IS-IS document failed to parse or did not
+    /// describe a valid network.
+    Format(FormatError),
+    /// A locations (coordinates) JSON document failed to parse.
+    Json(JsonError),
+    /// A query failed to parse.
+    Query(ParseError),
+    /// The loaded network carried `Error`-severity validation issues
+    /// (and repair was not requested).
+    Validation(Vec<ValidationIssue>),
+}
+
+impl LoadError {
+    /// The byte offset of the failure in its source document, when the
+    /// failure happened at the syntax level.
+    pub fn offset(&self) -> Option<usize> {
+        match self {
+            LoadError::Format(e) => e.offset(),
+            LoadError::Json(e) => Some(e.pos),
+            LoadError::Query(e) => Some(e.pos),
+            LoadError::Validation(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Format(e) => write!(f, "{e}"),
+            LoadError::Json(e) => write!(f, "{e}"),
+            LoadError::Query(e) => write!(f, "{e}"),
+            LoadError::Validation(issues) => {
+                write!(f, "invalid network ({} issues)", issues.len())?;
+                for i in issues {
+                    write!(f, "\n  {i}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<FormatError> for LoadError {
+    fn from(e: FormatError) -> Self {
+        LoadError::Format(e)
+    }
+}
+
+impl From<JsonError> for LoadError {
+    fn from(e: JsonError) -> Self {
+        LoadError::Json(e)
+    }
+}
+
+impl From<ParseError> for LoadError {
+    fn from(e: ParseError) -> Self {
+        LoadError::Query(e)
+    }
+}
+
+/// Parse a full data-plane snapshot from in-memory documents: topology
+/// XML, routing XML, and optionally the locations JSON.
+///
+/// With `repair` false, a network whose [`netmodel::Network::validate`]
+/// reports `Error`-severity issues is rejected as
+/// [`LoadError::Validation`]; with `repair` true those issues are
+/// dropped via [`netmodel::Network::repair`] instead.
+pub fn load_dataplane(
+    topo_xml: &str,
+    route_xml: &str,
+    locations_json: Option<&str>,
+    repair: bool,
+) -> Result<netmodel::Network, LoadError> {
+    let mut topo = formats::parse_topology(topo_xml)?;
+    if let Some(doc) = locations_json {
+        formats::parse_locations(doc, &mut topo)?;
+    }
+    let mut net = formats::parse_routes(route_xml, topo)?;
+    let issues = net.validate();
+    let has_errors = issues
+        .iter()
+        .any(|i| i.severity == netmodel::Severity::Error);
+    if has_errors {
+        if repair {
+            net.repair();
+        } else {
+            return Err(LoadError::Validation(issues));
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syntax_errors_carry_offsets() {
+        let e = load_dataplane("<network>", "<routes/>", None, false).unwrap_err();
+        assert!(e.offset().is_some(), "XML error should have an offset: {e}");
+        let e: LoadError = query::parse_query("no angle").unwrap_err().into();
+        assert!(e.offset().is_some());
+        let e = load_dataplane(
+            "<network><routers/><links/></network>",
+            "<routes><routings/></routes>",
+            Some("{ bad json"),
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(e, LoadError::Json(_)));
+        assert!(e.offset().is_some());
+    }
+
+    #[test]
+    fn round_trip_of_paper_network_loads_clean() {
+        let net = aalwines::examples::paper_network();
+        let topo = formats::write_topology(&net.topology);
+        let routes = formats::write_routes(&net);
+        let back = load_dataplane(&topo, &routes, None, false).unwrap();
+        assert_eq!(back.num_rules(), net.num_rules());
+    }
+}

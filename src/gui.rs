@@ -100,12 +100,32 @@ pub fn answer_to_json(net: &Network, query: &str, answer: &Answer) -> Value {
             entries.push(("result", s("aborted")));
             entries.push(("abortReason", s(reason.as_str())));
         }
+        Outcome::Error(msg) => {
+            entries.push(("result", s("error")));
+            entries.push(("error", s(msg)));
+        }
     }
     // The per-query telemetry, embedded by parsing the hand-rolled
-    // serializer's output (keeps the two JSON paths consistent).
-    let stats = formats::json::parse(&answer.stats.to_json())
-        .expect("EngineStats::to_json emits valid JSON");
+    // serializer's output (keeps the two JSON paths consistent). A
+    // serializer bug degrades to a null stats field instead of aborting
+    // the GUI feed.
+    let stats = formats::json::parse(&answer.stats.to_json()).unwrap_or(Value::Null);
     entries.push(("stats", stats));
+    obj(entries)
+}
+
+/// Render a query-level failure (parse or load error) as a GUI payload,
+/// so the front end can show a structured message — with a byte offset
+/// when one is known — instead of the process aborting.
+pub fn error_to_json(query: &str, message: &str, offset: Option<usize>) -> Value {
+    let mut entries = vec![
+        ("query", s(query)),
+        ("result", s("error")),
+        ("error", s(message)),
+    ];
+    if let Some(pos) = offset {
+        entries.push(("offset", Value::Number(pos as f64)));
+    }
     obj(entries)
 }
 
@@ -182,6 +202,31 @@ mod tests {
         let v = answer_to_json(&net, text, &ans);
         assert_eq!(v.get("result").and_then(Value::as_str), Some("unsatisfied"));
         assert!(v.get("trace").is_none());
+    }
+
+    #[test]
+    fn error_answer_serializes_message() {
+        let net = aalwines::examples::paper_network();
+        let ans = Answer::error("engine 'dual' panicked: boom");
+        let v = answer_to_json(&net, "<ip> .* <ip> 0", &ans);
+        assert_eq!(v.get("result").and_then(Value::as_str), Some("error"));
+        assert_eq!(
+            v.get("error").and_then(Value::as_str),
+            Some("engine 'dual' panicked: boom")
+        );
+        let parsed = formats::json::parse(&v.to_json()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_failure_renders_structured_error() {
+        let bad = "<ip> [#v0 <ip> 0";
+        let err = parse_query(bad).unwrap_err();
+        let v = error_to_json(bad, &err.to_string(), Some(err.pos));
+        assert_eq!(v.get("result").and_then(Value::as_str), Some("error"));
+        assert!(v.get("offset").and_then(Value::as_f64).is_some());
+        let parsed = formats::json::parse(&v.to_json()).unwrap();
+        assert_eq!(parsed, v);
     }
 
     #[test]

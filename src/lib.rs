@@ -6,10 +6,14 @@
 //! overview and `DESIGN.md` for the system inventory.
 
 pub use aalwines;
+pub use chaos;
 pub use formats;
 pub use netmodel;
 pub use pdaal;
 pub use query;
 pub use topogen;
 
+pub mod error;
 pub mod gui;
+
+pub use error::{load_dataplane, LoadError};

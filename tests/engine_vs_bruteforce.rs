@@ -309,6 +309,9 @@ fn engine_agrees_with_bruteforce_on_random_networks() {
                 Outcome::Aborted(reason) => {
                     panic!("unbudgeted run aborted: seed {seed}, {text}: {reason}")
                 }
+                Outcome::Error(ref msg) => {
+                    panic!("engine error: seed {seed}, {text}: {msg}")
+                }
             }
         }
     }

@@ -1,0 +1,226 @@
+//! The input mangler: byte-mutate every valid input format 1000× each
+//! and assert the parsers never panic and every rejection is a typed
+//! error carrying a location (a byte offset at the syntax level, a
+//! named location at the semantic level).
+//!
+//! Seeded by `detrand` so a failure reproduces from its iteration
+//! number alone.
+
+use aalwines::examples::paper_network;
+use detrand::DetRng;
+use formats::topo_xml::FormatError;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+const ROUNDS: usize = 1000;
+
+/// Apply 1–4 byte-level mutations: flip, insert, delete, truncate,
+/// or splice a duplicated slice.
+fn mangle(rng: &mut DetRng, doc: &str) -> String {
+    let mut bytes = doc.as_bytes().to_vec();
+    let n = rng.gen_range(1usize..5);
+    for _ in 0..n {
+        if bytes.is_empty() {
+            bytes.push(rng.gen_range(0usize..256) as u8);
+            continue;
+        }
+        let pos = rng.gen_range(0usize..bytes.len());
+        match rng.gen_range(0usize..5) {
+            0 => bytes[pos] = rng.gen_range(0usize..256) as u8,
+            1 => bytes.insert(pos, rng.gen_range(0usize..256) as u8),
+            2 => {
+                bytes.remove(pos);
+            }
+            3 => bytes.truncate(pos),
+            4 => {
+                let end = rng.gen_range(pos..bytes.len() + 1);
+                let slice: Vec<u8> = bytes[pos..end].to_vec();
+                let at = rng.gen_range(0usize..bytes.len() + 1);
+                for (i, b) in slice.into_iter().enumerate() {
+                    bytes.insert(at + i, b);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Run `parse` on a mangled document inside `catch_unwind`; panics fail
+/// the test with the iteration number, errors are handed to `check`.
+fn assert_no_panic<E: std::fmt::Debug>(
+    what: &str,
+    round: usize,
+    doc: &str,
+    parse: impl FnOnce(&str) -> Result<(), E>,
+    check: impl FnOnce(&E),
+) {
+    let result = catch_unwind(AssertUnwindSafe(|| parse(doc)));
+    match result {
+        Err(_) => panic!("{what} parser panicked on round {round}:\n{doc}"),
+        Ok(Err(e)) => check(&e),
+        Ok(Ok(())) => {}
+    }
+}
+
+fn check_format_error(e: &FormatError, doc: &str, what: &str, round: usize) {
+    match e.offset() {
+        Some(pos) => assert!(
+            pos <= doc.len(),
+            "{what} round {round}: offset {pos} beyond document ({} bytes)",
+            doc.len()
+        ),
+        None => assert!(
+            !e.to_string().is_empty(),
+            "{what} round {round}: semantic error without a message"
+        ),
+    }
+}
+
+#[test]
+fn mangled_topology_xml_never_panics() {
+    let topo = paper_network().topology;
+    let doc = formats::write_topology(&topo);
+    let mut rng = DetRng::seed_from_u64(0x7010);
+    for round in 0..ROUNDS {
+        let mangled = mangle(&mut rng, &doc);
+        assert_no_panic(
+            "topology",
+            round,
+            &mangled,
+            |d| formats::parse_topology(d).map(|_| ()),
+            |e| check_format_error(e, &mangled, "topology", round),
+        );
+    }
+}
+
+#[test]
+fn mangled_route_xml_never_panics() {
+    let net = paper_network();
+    let doc = formats::write_routes(&net);
+    let mut rng = DetRng::seed_from_u64(0x2007E);
+    for round in 0..ROUNDS {
+        let mangled = mangle(&mut rng, &doc);
+        let topo = net.topology.clone();
+        assert_no_panic(
+            "routes",
+            round,
+            &mangled,
+            move |d| formats::parse_routes(d, topo).map(|_| ()),
+            |e| check_format_error(e, &mangled, "routes", round),
+        );
+    }
+}
+
+#[test]
+fn mangled_locations_json_never_panics() {
+    let net = paper_network();
+    let doc = formats::write_locations(&net.topology);
+    let mut rng = DetRng::seed_from_u64(0x10C5);
+    for round in 0..ROUNDS {
+        let mangled = mangle(&mut rng, &doc);
+        let mut topo = net.topology.clone();
+        assert_no_panic(
+            "locations",
+            round,
+            &mangled,
+            move |d| formats::parse_locations(d, &mut topo),
+            |e| {
+                assert!(
+                    e.pos <= mangled.len(),
+                    "locations round {round}: offset {} beyond document",
+                    e.pos
+                )
+            },
+        );
+    }
+}
+
+#[test]
+fn mangled_isis_snapshot_never_panics() {
+    let net = paper_network();
+    let (mapping, files) = formats::write_isis_snapshot(&net);
+    let by_name: HashMap<String, String> = files.into_iter().collect();
+    let mut rng = DetRng::seed_from_u64(0x1515);
+    for round in 0..ROUNDS {
+        // Alternate between mangling the mapping file and one snapshot
+        // member so both the mapping parser and the per-router XML
+        // readers see hostile bytes.
+        let (map_doc, mangled_member) = if round % 2 == 0 {
+            (mangle(&mut rng, &mapping), None)
+        } else {
+            let names: Vec<&String> = by_name.keys().collect();
+            let mut sorted = names.clone();
+            sorted.sort();
+            let victim = (*rng.choose(&sorted)).clone();
+            let broken = mangle(&mut rng, &by_name[&victim]);
+            (mapping.clone(), Some((victim, broken)))
+        };
+        let by_name = &by_name;
+        let mangled_member = &mangled_member;
+        let reader = move |name: &str| -> Result<String, String> {
+            if let Some((victim, broken)) = mangled_member {
+                if victim == name {
+                    return Ok(broken.clone());
+                }
+            }
+            by_name
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("no such file: {name}"))
+        };
+        // An offset can point into whichever document failed — the
+        // mapping, the mangled member, or an intact member — so bound
+        // it by the largest document the parser saw.
+        let max_len = by_name
+            .values()
+            .map(String::len)
+            .chain([map_doc.len()])
+            .chain(mangled_member.iter().map(|(_, b)| b.len()))
+            .max()
+            .unwrap_or(0);
+        assert_no_panic(
+            "isis",
+            round,
+            &map_doc,
+            move |d| formats::network_from_isis(d, &reader).map(|_| ()),
+            |e| match e.offset() {
+                Some(pos) => assert!(
+                    pos <= max_len,
+                    "isis round {round}: offset {pos} beyond every document"
+                ),
+                None => assert!(!e.to_string().is_empty()),
+            },
+        );
+    }
+}
+
+#[test]
+fn mangled_queries_never_panic() {
+    let seeds = [
+        "<.> .* <.> 0",
+        "<smpls ip> .* [s1#.] .* <ip> 0",
+        "<.> [.#s2] .* [s5#.] <.> 1",
+        "<[^smpls]*> [.#s1] .* [s2#.] <[^smpls]*> 2",
+        "<.*> . <.*> 3",
+        "<pre> ([.#s1] .* [s2#.])+ <post> 1",
+    ];
+    let mut rng = DetRng::seed_from_u64(0x90E7);
+    for round in 0..ROUNDS {
+        let doc = seeds[round % seeds.len()];
+        let mangled = mangle(&mut rng, doc);
+        assert_no_panic(
+            "query",
+            round,
+            &mangled,
+            |d| query::parse_query(d).map(|_| ()),
+            |e| {
+                assert!(
+                    e.pos <= mangled.len(),
+                    "query round {round}: offset {} beyond document",
+                    e.pos
+                )
+            },
+        );
+    }
+}

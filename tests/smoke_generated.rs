@@ -45,6 +45,7 @@ fn generated_zoo_workload_verifies() {
                 Outcome::Unsatisfied => unsat += 1,
                 Outcome::Inconclusive => inc += 1,
                 Outcome::Aborted(reason) => panic!("unbudgeted run aborted on {q}: {reason}"),
+                Outcome::Error(ref msg) => panic!("engine error on {q}: {msg}"),
             }
             // weighted agrees
             let wans = v.verify(
