@@ -127,6 +127,59 @@ impl VerifyOptions {
     }
 }
 
+/// Why the quick-decide pre-pass answered a query without building a
+/// pushdown system.
+///
+/// All three reasons witness an *empty regular language* in the compiled
+/// query, which makes the query unsatisfiable regardless of the network's
+/// forwarding behaviour — e.g. a label atom naming a label the network
+/// does not have, or a link atom matching no link. The paper notes most
+/// operator queries on stale snapshots are decided this way before any
+/// saturation runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuickReason {
+    /// The initial-header constraint `a` (after valid-header
+    /// intersection) accepts no header.
+    EmptyInitial,
+    /// The final-header constraint `c` accepts no header.
+    EmptyFinal,
+    /// The path constraint `b` accepts no link sequence.
+    EmptyPath,
+}
+
+impl QuickReason {
+    /// A stable lower-case identifier (used in JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QuickReason::EmptyInitial => "empty-initial",
+            QuickReason::EmptyFinal => "empty-final",
+            QuickReason::EmptyPath => "empty-path",
+        }
+    }
+}
+
+/// The quick-decide pre-pass: statically decide a compiled query without
+/// constructing a pushdown system, where possible.
+///
+/// Returns `Some(reason)` when one of the query's three automata has an
+/// empty language over the network's label/link universe — a conclusive
+/// **no** (the over-approximation would necessarily come back empty).
+/// Returns `None` when the full analysis is needed. O(automaton size);
+/// never wrong, only incomplete.
+pub fn quick_decide(cq: &CompiledQuery, net: &Network) -> Option<QuickReason> {
+    let n_labels = net.labels.len() as u32;
+    if cq.initial.language_empty(n_labels) {
+        return Some(QuickReason::EmptyInitial);
+    }
+    if cq.path.language_empty() {
+        return Some(QuickReason::EmptyPath);
+    }
+    if cq.final_.language_empty(n_labels) {
+        return Some(QuickReason::EmptyFinal);
+    }
+    None
+}
+
 /// A satisfied query's witness.
 #[derive(Clone, Debug)]
 pub struct Witness {
@@ -204,6 +257,9 @@ pub struct EngineStats {
     /// Issues [`Network::validate`] reported for the engine's network at
     /// construction time (0 for a well-formed network).
     pub validation_issues: usize,
+    /// Set when the quick-decide pre-pass answered the query without
+    /// building a PDS; `None` when the full analysis ran.
+    pub quick_decided: Option<QuickReason>,
     /// Why the verification aborted, if it did.
     pub aborted: Option<AbortReason>,
     /// Time spent building PDSs.
@@ -238,6 +294,10 @@ impl EngineStats {
         o.number("midStates", self.mid_states as f64);
         o.number("underRuns", self.under_runs as f64);
         o.number("validationIssues", self.validation_issues as f64);
+        match self.quick_decided {
+            Some(reason) => o.string("quickDecided", reason.as_str()),
+            None => o.null("quickDecided"),
+        }
         match self.aborted {
             Some(reason) => o.string("aborted", reason.as_str()),
             None => o.null("aborted"),
@@ -447,6 +507,17 @@ impl Engine for Verifier<'_> {
         let t_start = Instant::now();
         let mut stats = EngineStats::new();
         stats.validation_issues = self.validation_issues;
+
+        // ---- quick-decide pre-pass -----------------------------------
+        // An empty header or path language means no configuration can be
+        // accepted; the over-approximation would come back empty, so
+        // answer the conclusive "no" without constructing any PDS.
+        if let Some(reason) = quick_decide(cq, self.net) {
+            stats.quick_decided = Some(reason);
+            stats.t_total = t_start.elapsed();
+            return Answer::new(Outcome::Unsatisfied, stats);
+        }
+
         let budget = opts.budget();
 
         // ---- over-approximation --------------------------------------

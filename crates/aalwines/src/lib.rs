@@ -73,7 +73,10 @@ pub mod quantities;
 pub mod telemetry;
 
 pub use batch::{verify_batch, verify_batch_with, BatchOptions};
-pub use engine::{Answer, Engine, EngineStats, Outcome, Verifier, VerifyOptions, Witness};
+pub use engine::{
+    quick_decide, Answer, Engine, EngineStats, Outcome, QuickReason, Verifier, VerifyOptions,
+    Witness,
+};
 pub use moped::MopedEngine;
 pub use pdaal::budget::{AbortReason, Budget, CancelToken};
 pub use quantities::{AtomicQuantity, LinearExpr, WeightSpec, WeightSpecError};

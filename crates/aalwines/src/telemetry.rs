@@ -163,6 +163,8 @@ pub struct BatchSummary {
     pub errors: usize,
     /// Total under-approximation runs across the batch.
     pub under_runs: usize,
+    /// Queries answered by the quick-decide pre-pass (no PDS built).
+    pub quick_decided: usize,
     /// Network validation issues observed by the answering engines
     /// (maximum across the batch; every answer from one engine reports
     /// the same network-level count).
@@ -198,6 +200,9 @@ impl BatchSummary {
                 Outcome::Error(_) => s.errors += 1,
             }
             s.under_runs += a.stats.under_runs;
+            if a.stats.quick_decided.is_some() {
+                s.quick_decided += 1;
+            }
             s.validation_issues = s.validation_issues.max(a.stats.validation_issues);
             construct.push(millis(a.stats.t_construct));
             reduce.push(millis(a.stats.t_reduce));
@@ -222,6 +227,7 @@ impl BatchSummary {
         o.number("aborted", self.aborted as f64);
         o.number("errors", self.errors as f64);
         o.number("underRuns", self.under_runs as f64);
+        o.number("quickDecided", self.quick_decided as f64);
         o.number("validationIssues", self.validation_issues as f64);
         o.raw("constructMillis", &self.t_construct.to_json());
         o.raw("reduceMillis", &self.t_reduce.to_json());

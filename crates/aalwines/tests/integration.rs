@@ -303,3 +303,32 @@ fn links_vs_hops_on_self_loops() {
     assert_eq!(wl.weight.as_deref(), Some(&[3][..]), "3 links traversed");
     assert_eq!(wh.weight.as_deref(), Some(&[2][..]), "self-loop not a hop");
 }
+
+#[test]
+fn quick_decide_answers_vacuous_queries_without_pds() {
+    use aalwines::QuickReason;
+    let net = aalwines::examples::paper_network();
+
+    // Unknown label in the initial constraint: empty header language.
+    let ans = verify(&net, "<nosuchlabel> .* <ip> 0");
+    assert!(matches!(ans.outcome, Outcome::Unsatisfied));
+    assert_eq!(ans.stats.quick_decided, Some(QuickReason::EmptyInitial));
+    assert_eq!(ans.stats.rules_over, 0, "no PDS was built");
+    assert_eq!(ans.stats.worklist_pops, 0);
+
+    // Unknown router in a path atom: empty path language.
+    let ans = verify(&net, "<ip> [.#ghost] <ip> 0");
+    assert!(matches!(ans.outcome, Outcome::Unsatisfied));
+    assert_eq!(ans.stats.quick_decided, Some(QuickReason::EmptyPath));
+    assert_eq!(ans.stats.rules_over, 0);
+
+    // Unknown label in the final constraint only.
+    let ans = verify(&net, "<ip> .* <nosuchlabel> 0");
+    assert!(matches!(ans.outcome, Outcome::Unsatisfied));
+    assert_eq!(ans.stats.quick_decided, Some(QuickReason::EmptyFinal));
+
+    // A satisfiable query is untouched by the pre-pass.
+    let ans = verify(&net, "<ip> .* <ip> 0");
+    assert!(matches!(ans.outcome, Outcome::Satisfied(_)));
+    assert_eq!(ans.stats.quick_decided, None);
+}

@@ -1,0 +1,135 @@
+//! Cross-check between the chaos mutators and the `dplint` static
+//! analyzer: every *statically detectable* defect class the mutators
+//! inject must be flagged, and the unmutated networks must lint
+//! completely clean (the zero-false-positive contract).
+//!
+//! The campaign is seeded and fixed-size, so the assertions are exact
+//! and reproducible:
+//!
+//! * `SpliceBogusLabel` always introduces a label id outside the label
+//!   table — `DP001` must fire on every such mutant.
+//! * `CorruptNextHop` may produce an out-of-range or non-adjacent next
+//!   hop (statically detectable, `DP002`/`DP003`) or a legal-but-wrong
+//!   one (not statically detectable without flow assumptions). Whenever
+//!   `Network::validate` rejects the mutant, dplint must too.
+//! * `TruncateTable` drops a suffix of the rule keys. Dropping *all*
+//!   keys is `DP015`; otherwise the cut is visible exactly when some
+//!   surviving rule forwards a definite label at a router that kept
+//!   other rules (`DP010`) — routers stripped of every rule look like
+//!   egress points to the conservative analysis. The fraction flagged
+//!   is asserted against an empirical floor.
+
+use chaos::{mutate, MutationKind};
+use detrand::DetRng;
+use dplint::{lint_network, LintRule};
+use netmodel::{Network, Severity};
+use topogen::{build_mpls_dataplane, zoo_like, LspConfig, ZooConfig};
+
+fn zoo_net(zoo_seed: u64, lsp_seed: u64) -> Network {
+    let topo = zoo_like(&ZooConfig {
+        routers: 16,
+        avg_degree: 3.0,
+        seed: zoo_seed,
+    });
+    build_mpls_dataplane(
+        topo,
+        &LspConfig {
+            edge_routers: 5,
+            max_pairs: 30,
+            protect: true,
+            service_chains: 3,
+            seed: lsp_seed,
+        },
+    )
+    .net
+}
+
+#[test]
+fn statically_detectable_mutations_are_flagged() {
+    let bases = [
+        ("paper", aalwines::examples::paper_network()),
+        ("zoo-a", zoo_net(5, 9)),
+        ("zoo-b", zoo_net(23, 41)),
+    ];
+    for (name, base) in &bases {
+        let report = lint_network(base);
+        assert!(
+            report.is_clean(),
+            "unmutated {name} must lint clean:\n{report}"
+        );
+    }
+
+    const PER_CELL: usize = 25; // 3 networks x 3 kinds x 25 = 225 mutants
+    let kinds = [
+        MutationKind::CorruptNextHop,
+        MutationKind::SpliceBogusLabel,
+        MutationKind::TruncateTable,
+    ];
+    let mut rng = DetRng::seed_from_u64(0xD91_147);
+    let mut mutants = 0usize;
+    let mut truncations = 0usize;
+    let mut truncations_flagged = 0usize;
+    let mut corrupt_invalid = 0usize;
+
+    for (name, base) in &bases {
+        for kind in kinds {
+            for i in 0..PER_CELL {
+                let Some(mutant) = mutate(base, kind, &mut rng) else {
+                    panic!("{name}: {} #{i} not applicable", kind.as_str());
+                };
+                mutants += 1;
+                let report = lint_network(&mutant);
+                let ctx = || format!("{name}: {} #{i}:\n{report}", kind.as_str());
+                match kind {
+                    MutationKind::SpliceBogusLabel => {
+                        // A label id outside the table is always visible.
+                        assert!(report.has_rule(LintRule::UnknownLabel), "{}", ctx());
+                    }
+                    MutationKind::CorruptNextHop => {
+                        // Statically detectable iff validation rejects it.
+                        let invalid = mutant
+                            .validate()
+                            .iter()
+                            .any(|p| p.severity == Severity::Error);
+                        if invalid {
+                            corrupt_invalid += 1;
+                            assert!(
+                                report.has_rule(LintRule::LinkOutOfRange)
+                                    || report.has_rule(LintRule::NonAdjacentRule),
+                                "{}",
+                                ctx()
+                            );
+                        }
+                    }
+                    MutationKind::TruncateTable => {
+                        truncations += 1;
+                        if mutant.num_rules() == 0 {
+                            assert!(report.has_rule(LintRule::EmptyTable), "{}", ctx());
+                            truncations_flagged += 1;
+                        } else if report.has_rule(LintRule::Blackhole)
+                            || report.has_rule(LintRule::EmptyTable)
+                        {
+                            truncations_flagged += 1;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    eprintln!("campaign: {mutants} mutants, {corrupt_invalid} invalid corrupt-next-hop, {truncations_flagged}/{truncations} truncations flagged");
+    assert!(mutants >= 200, "campaign too small: {mutants}");
+    // The detectable subclasses must actually occur, or the class
+    // assertions above are vacuous.
+    assert!(
+        corrupt_invalid >= 20,
+        "too few invalid corrupt-next-hop mutants: {corrupt_invalid}"
+    );
+    // Empirical floor for this seed; a drop means the blackhole
+    // analysis lost power (e.g. the egress carve-out widened).
+    assert!(
+        truncations_flagged * 2 >= truncations,
+        "only {truncations_flagged}/{truncations} truncations flagged"
+    );
+}

@@ -1,0 +1,169 @@
+//! Query lints: atoms resolving to empty sets and vacuously
+//! unsatisfiable queries.
+//!
+//! These share their resolution and emptiness machinery with the query
+//! compiler ([`query::resolve_label_atom`], [`query::resolve_link_atom`],
+//! the NFA `language_empty` checks), so a query flagged `QL003` here is
+//! exactly one the engine's quick-decide pre-pass answers without
+//! building a pushdown system.
+
+use crate::report::{LintFinding, LintReport, LintRule};
+use netmodel::Network;
+use query::{compile, resolve_label_atom, resolve_link_atom, LabelAtom, LinkAtom, Query, Regex};
+
+/// Walk a regex and visit every atom.
+fn visit_atoms<'r, A>(r: &'r Regex<A>, f: &mut impl FnMut(&'r A)) {
+    match r {
+        Regex::Epsilon => {}
+        Regex::Atom(a) => f(a),
+        Regex::Concat(parts) | Regex::Alt(parts) => {
+            for p in parts {
+                visit_atoms(p, f);
+            }
+        }
+        Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => visit_atoms(inner, f),
+    }
+}
+
+fn lint_label_regex(r: &Regex<LabelAtom>, which: &str, net: &Network, report: &mut LintReport) {
+    let n_labels = net.labels.len() as u32;
+    visit_atoms(r, &mut |atom: &LabelAtom| {
+        if !resolve_label_atom(atom, net).is_satisfiable(n_labels) {
+            report.push(LintFinding::new(
+                LintRule::EmptyLabelAtom,
+                format!("{which} header constraint, atom `{atom}`"),
+                "the atom matches no label of this network".to_string(),
+            ));
+        }
+    });
+}
+
+fn lint_link_regex(r: &Regex<LinkAtom>, net: &Network, report: &mut LintReport) {
+    visit_atoms(r, &mut |atom: &LinkAtom| {
+        if resolve_link_atom(atom, net).is_empty() {
+            report.push(LintFinding::new(
+                LintRule::EmptyLinkAtom,
+                format!("path constraint, atom `{atom}`"),
+                "the atom matches no link of this network".to_string(),
+            ));
+        }
+    });
+}
+
+/// Lint one query against `net`. Findings come back sorted.
+pub fn lint_query(net: &Network, q: &Query) -> LintReport {
+    let mut report = LintReport::new();
+    lint_label_regex(&q.initial, "initial", net, &mut report);
+    lint_link_regex(&q.path, net, &mut report);
+    lint_label_regex(&q.final_, "final", net, &mut report);
+
+    // Whole-query vacuity: any of the three compiled automata with an
+    // empty language makes the query unsatisfiable on every network
+    // state. (Atom-level emptiness above is the usual cause, but
+    // vacuity also arises structurally, e.g. `<a>` intersected with the
+    // valid-header language.)
+    let cq = compile(q, net);
+    let n_labels = net.labels.len() as u32;
+    let empty_part = if cq.initial.language_empty(n_labels) {
+        Some("initial header constraint")
+    } else if cq.path.language_empty() {
+        Some("path constraint")
+    } else if cq.final_.language_empty(n_labels) {
+        Some("final header constraint")
+    } else {
+        None
+    };
+    if let Some(part) = empty_part {
+        report.push(LintFinding::new(
+            LintRule::VacuousQuery,
+            format!("query `{q}`"),
+            format!(
+                "the {part} accepts no word, so the query is trivially unsatisfiable \
+                 (the engine answers it without building a pushdown system)"
+            ),
+        ));
+    }
+    report.sort();
+    report
+}
+
+/// Lint a batch of queries; locations are prefixed with the query index.
+pub fn lint_queries(net: &Network, queries: &[Query]) -> LintReport {
+    let mut report = LintReport::new();
+    for (i, q) in queries.iter().enumerate() {
+        for mut f in lint_query(net, q).findings {
+            f.location = format!("query #{i}: {}", f.location);
+            report.push(f);
+        }
+    }
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use query::parse_query;
+
+    fn q(s: &str) -> Query {
+        parse_query(s).unwrap_or_else(|e| panic!("{s}: {e}"))
+    }
+
+    #[test]
+    fn clean_queries_lint_clean() {
+        let net = aalwines::examples::paper_network();
+        for s in [
+            "<ip> .* <ip> 0",
+            "<s40 ip> [.#v0] .* <s44 ip> 1",
+            "<[30,31] smpls ip> .* <ip> 2",
+        ] {
+            let report = lint_query(&net, &q(s));
+            assert!(report.is_clean(), "{s}:\n{report}");
+        }
+    }
+
+    #[test]
+    fn unknown_label_atom_flagged_and_vacuous() {
+        let net = aalwines::examples::paper_network();
+        let report = lint_query(&net, &q("<nosuch> .* <ip> 0"));
+        assert!(report.has_rule(LintRule::EmptyLabelAtom), "{report}");
+        assert!(report.has_rule(LintRule::VacuousQuery), "{report}");
+        let atom = report
+            .findings
+            .iter()
+            .find(|f| f.rule == LintRule::EmptyLabelAtom)
+            .expect("atom finding");
+        assert!(atom.location.contains("initial"));
+        assert!(atom.location.contains("nosuch"));
+    }
+
+    #[test]
+    fn unknown_router_in_link_atom_flagged() {
+        let net = aalwines::examples::paper_network();
+        let report = lint_query(&net, &q("<ip> [.#ghost] <ip> 0"));
+        assert!(report.has_rule(LintRule::EmptyLinkAtom), "{report}");
+        assert!(report.has_rule(LintRule::VacuousQuery));
+    }
+
+    #[test]
+    fn dead_alternative_flagged_but_query_not_vacuous() {
+        let net = aalwines::examples::paper_network();
+        // One branch of the alternation is dead; the query itself still
+        // has satisfiable words.
+        let report = lint_query(&net, &q("<(30|nosuch) smpls ip> .* <ip> 1"));
+        assert!(report.has_rule(LintRule::EmptyLabelAtom), "{report}");
+        assert!(!report.has_rule(LintRule::VacuousQuery), "{report}");
+    }
+
+    #[test]
+    fn batch_lint_prefixes_query_index() {
+        let net = aalwines::examples::paper_network();
+        let queries = vec![q("<ip> .* <ip> 0"), q("<nosuch> .* <ip> 0")];
+        let report = lint_queries(&net, &queries);
+        assert!(!report.is_clean());
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.location.starts_with("query #1")));
+    }
+}

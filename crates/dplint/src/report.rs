@@ -1,0 +1,333 @@
+//! Typed lint findings and the report container.
+
+use aalwines::telemetry::JsonObject;
+use netmodel::Severity;
+use std::fmt;
+
+/// Every lint rule, with a stable code. `DP…` codes analyze the
+/// dataplane (routing tables), `QL…` codes analyze queries.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum LintRule {
+    /// `DP001` — a rule is keyed on, or an operation references, a
+    /// label id outside the label table.
+    UnknownLabel,
+    /// `DP002` — a rule references a link id outside the topology.
+    LinkOutOfRange,
+    /// `DP003` — a rule's outgoing link does not leave the router its
+    /// incoming link enters.
+    NonAdjacentRule,
+    /// `DP004` — an empty priority group shadowed by a later one.
+    EmptyGroup,
+    /// `DP010` — a rule provably rewrites the header top to an MPLS
+    /// label no downstream rule matches.
+    Blackhole,
+    /// `DP011` — a backup entry forwards over a link that already
+    /// appears in a higher-priority group, so it can never forward.
+    ShadowedRule,
+    /// `DP012` — a zero-failure forwarding loop (an SCC of the
+    /// label-abstracted forwarding graph).
+    ForwardingLoop,
+    /// `DP013` — an MPLS operation applied to an `L_IP` header or
+    /// targeting an `L_IP` label.
+    PartitionViolation,
+    /// `DP014` — all priority levels of a protected rule forward over
+    /// one single link, so one failure defeats the protection.
+    SharedFate,
+    /// `DP015` — the routing table has no rules at all.
+    EmptyTable,
+    /// `QL001` — a label atom of a query resolves to the empty set.
+    EmptyLabelAtom,
+    /// `QL002` — a link atom of a query resolves to the empty set.
+    EmptyLinkAtom,
+    /// `QL003` — a query automaton accepts the empty language, so the
+    /// query is vacuously unsatisfiable.
+    VacuousQuery,
+}
+
+impl LintRule {
+    /// The stable code (`DP010`, `QL003`, …) used in reports and CI
+    /// baselines.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintRule::UnknownLabel => "DP001",
+            LintRule::LinkOutOfRange => "DP002",
+            LintRule::NonAdjacentRule => "DP003",
+            LintRule::EmptyGroup => "DP004",
+            LintRule::Blackhole => "DP010",
+            LintRule::ShadowedRule => "DP011",
+            LintRule::ForwardingLoop => "DP012",
+            LintRule::PartitionViolation => "DP013",
+            LintRule::SharedFate => "DP014",
+            LintRule::EmptyTable => "DP015",
+            LintRule::EmptyLabelAtom => "QL001",
+            LintRule::EmptyLinkAtom => "QL002",
+            LintRule::VacuousQuery => "QL003",
+        }
+    }
+
+    /// A stable lower-case name, matching the codes one-to-one.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintRule::UnknownLabel => "unknown-label",
+            LintRule::LinkOutOfRange => "link-out-of-range",
+            LintRule::NonAdjacentRule => "non-adjacent-rule",
+            LintRule::EmptyGroup => "empty-group",
+            LintRule::Blackhole => "blackhole",
+            LintRule::ShadowedRule => "shadowed-rule",
+            LintRule::ForwardingLoop => "forwarding-loop",
+            LintRule::PartitionViolation => "partition-violation",
+            LintRule::SharedFate => "shared-fate",
+            LintRule::EmptyTable => "empty-table",
+            LintRule::EmptyLabelAtom => "empty-label-atom",
+            LintRule::EmptyLinkAtom => "empty-link-atom",
+            LintRule::VacuousQuery => "vacuous-query",
+        }
+    }
+
+    /// The severity findings of this rule carry.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintRule::UnknownLabel
+            | LintRule::LinkOutOfRange
+            | LintRule::NonAdjacentRule
+            | LintRule::Blackhole
+            | LintRule::ForwardingLoop
+            | LintRule::PartitionViolation => Severity::Error,
+            LintRule::EmptyGroup
+            | LintRule::ShadowedRule
+            | LintRule::SharedFate
+            | LintRule::EmptyTable
+            | LintRule::EmptyLabelAtom
+            | LintRule::EmptyLinkAtom
+            | LintRule::VacuousQuery => Severity::Warning,
+        }
+    }
+}
+
+/// One finding: which rule fired, how serious it is, where, and why.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LintFinding {
+    /// The lint rule that fired.
+    pub rule: LintRule,
+    /// How serious the finding is (normally [`LintRule::severity`]).
+    pub severity: Severity,
+    /// Where the defect is (rule key, query atom, …).
+    pub location: String,
+    /// Why this is a defect, in one sentence.
+    pub explanation: String,
+}
+
+impl LintFinding {
+    /// A finding for `rule` with its default severity.
+    pub fn new(
+        rule: LintRule,
+        location: impl Into<String>,
+        explanation: impl Into<String>,
+    ) -> Self {
+        LintFinding {
+            rule,
+            severity: rule.severity(),
+            location: location.into(),
+            explanation: explanation.into(),
+        }
+    }
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(
+            f,
+            "{sev} {}[{}] {}: {}",
+            self.rule.code(),
+            self.rule.name(),
+            self.location,
+            self.explanation
+        )
+    }
+}
+
+/// A set of findings, kept sorted (by code, then location, then
+/// explanation) so reports are deterministic and diffable.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// The findings, in sorted order.
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        LintReport::default()
+    }
+
+    /// Add a finding (re-sorts lazily on access via [`LintReport::merge`]
+    /// — callers building reports push then sort once).
+    pub(crate) fn push(&mut self, finding: LintFinding) {
+        self.findings.push(finding);
+    }
+
+    /// Restore the sorted order after pushes.
+    pub(crate) fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.rule.code(), &a.location, &a.explanation).cmp(&(
+                b.rule.code(),
+                &b.location,
+                &b.explanation,
+            ))
+        });
+    }
+
+    /// Fold another report into this one, keeping the sorted order.
+    pub fn merge(&mut self, other: LintReport) {
+        self.findings.extend(other.findings);
+        self.sort();
+    }
+
+    /// Whether no lint fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning`-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// The most severe finding, if any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// Whether any finding of `rule` is present.
+    pub fn has_rule(&self, rule: LintRule) -> bool {
+        self.findings.iter().any(|f| f.rule == rule)
+    }
+
+    /// The exit code the CLI maps this report to: `0` clean, `2`
+    /// warnings only, `1` at least one error.
+    pub fn exit_code(&self) -> i32 {
+        match self.max_severity() {
+            None => 0,
+            Some(Severity::Warning) => 2,
+            Some(Severity::Error) => 1,
+        }
+    }
+
+    /// Serialize as one JSON object (hand-rolled, serde-free, matching
+    /// the repo's other telemetry emitters).
+    pub fn to_json(&self) -> String {
+        let mut arr = String::from("[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                arr.push(',');
+            }
+            let mut o = JsonObject::new();
+            o.string("code", f.rule.code());
+            o.string("rule", f.rule.name());
+            o.string(
+                "severity",
+                match f.severity {
+                    Severity::Warning => "warning",
+                    Severity::Error => "error",
+                },
+            );
+            o.string("location", &f.location);
+            o.string("explanation", &f.explanation);
+            arr.push_str(&o.finish());
+        }
+        arr.push(']');
+        let mut o = JsonObject::new();
+        o.string("kind", "lint-report");
+        o.number("errors", self.errors() as f64);
+        o.number("warnings", self.warnings() as f64);
+        o.raw("findings", &arr);
+        o.finish()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s)",
+            self.errors(),
+            self.warnings()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_names_and_severities_are_stable() {
+        let rules = [
+            (LintRule::UnknownLabel, "DP001", Severity::Error),
+            (LintRule::LinkOutOfRange, "DP002", Severity::Error),
+            (LintRule::NonAdjacentRule, "DP003", Severity::Error),
+            (LintRule::EmptyGroup, "DP004", Severity::Warning),
+            (LintRule::Blackhole, "DP010", Severity::Error),
+            (LintRule::ShadowedRule, "DP011", Severity::Warning),
+            (LintRule::ForwardingLoop, "DP012", Severity::Error),
+            (LintRule::PartitionViolation, "DP013", Severity::Error),
+            (LintRule::SharedFate, "DP014", Severity::Warning),
+            (LintRule::EmptyTable, "DP015", Severity::Warning),
+            (LintRule::EmptyLabelAtom, "QL001", Severity::Warning),
+            (LintRule::EmptyLinkAtom, "QL002", Severity::Warning),
+            (LintRule::VacuousQuery, "QL003", Severity::Warning),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (rule, code, sev) in rules {
+            assert_eq!(rule.code(), code);
+            assert_eq!(rule.severity(), sev);
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert!(!rule.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_sorts_counts_and_serializes() {
+        let mut r = LintReport::new();
+        r.push(LintFinding::new(LintRule::EmptyTable, "table", "no rules"));
+        r.push(LintFinding::new(LintRule::Blackhole, "(e1, s2)", "dangles"));
+        r.sort();
+        assert_eq!(r.findings[0].rule, LintRule::Blackhole, "DP010 < DP015");
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        assert_eq!(r.max_severity(), Some(Severity::Error));
+        assert_eq!(r.exit_code(), 1);
+        let json = r.to_json();
+        assert!(json.contains("\"kind\":\"lint-report\""));
+        assert!(json.contains("\"code\":\"DP010\""));
+        let text = r.to_string();
+        assert!(text.contains("error DP010[blackhole]"));
+        assert!(text.ends_with("1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn exit_codes_follow_severity() {
+        let mut clean = LintReport::new();
+        assert_eq!(clean.exit_code(), 0);
+        clean.push(LintFinding::new(LintRule::SharedFate, "x", "y"));
+        assert_eq!(clean.exit_code(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! Golden-file lint-report tests: the paper's running example plus two
+//! synthetic Topology-Zoo-style networks from `topogen`, linted clean
+//! and with deterministically injected defects, asserting the exact
+//! finding codes and locations.
+//!
+//! Regenerate the golden files with `DPLINT_BLESS=1 cargo test -p
+//! dplint --test golden` after an intentional report change, and review
+//! the diff.
+
+use dplint::lint_network;
+use netmodel::{LabelId, LinkId, Network, Op, RoutingEntry};
+use topogen::{build_mpls_dataplane, zoo_like, LspConfig, ZooConfig};
+
+fn zoo_net(zoo_seed: u64, lsp_seed: u64) -> Network {
+    let topo = zoo_like(&ZooConfig {
+        routers: 16,
+        avg_degree: 3.0,
+        seed: zoo_seed,
+    });
+    build_mpls_dataplane(
+        topo,
+        &LspConfig {
+            edge_routers: 5,
+            max_pairs: 30,
+            protect: true,
+            service_chains: 3,
+            seed: lsp_seed,
+        },
+    )
+    .net
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("DPLINT_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "lint report drifted from {}; run with DPLINT_BLESS=1 to regenerate",
+        path.display()
+    );
+}
+
+#[test]
+fn paper_network_clean_golden() {
+    let report = lint_network(&aalwines::examples::paper_network());
+    check_golden("paper_clean.txt", &format!("{report}\n"));
+    assert!(report.is_clean());
+}
+
+#[test]
+fn paper_network_defects_golden() {
+    let (mut net, map) = aalwines::examples::paper_network_with_map();
+    let [_e0, e1, e2, _e3, _e4, e5, e6, e7] = map.links;
+    let l = |net: &Network, n: &str| net.labels.get(n).expect("label");
+    let (s10, s20, s40, s44, ip1) = (
+        l(&net, "s10"),
+        l(&net, "s20"),
+        l(&net, "s40"),
+        l(&net, "s44"),
+        l(&net, "ip1"),
+    );
+
+    // DP002: an out-of-range next hop (the corrupt-next-hop defect).
+    net.add_rule_unchecked(
+        e2,
+        s10,
+        1,
+        RoutingEntry {
+            out: LinkId(99),
+            ops: vec![],
+        },
+    );
+    // DP001: a key label outside the label table (spliced bogus label).
+    net.add_rule_unchecked(
+        e1,
+        LabelId(77),
+        1,
+        RoutingEntry {
+            out: e5,
+            ops: vec![],
+        },
+    );
+    // DP010: a definite out-label v3 has no rule for.
+    net.add_rule(
+        e5,
+        s44,
+        1,
+        RoutingEntry {
+            out: e6,
+            ops: vec![Op::Swap(s40)],
+        },
+    );
+    // DP011: a backup for (e0, ip1) that reuses e1, which the primary
+    // group already forwards over — it can never be consulted.
+    net.add_rule(
+        map.links[0],
+        ip1,
+        2,
+        RoutingEntry {
+            out: e1,
+            ops: vec![Op::Push(s20)],
+        },
+    );
+    // DP013: popping a bare IP header.
+    net.add_rule(
+        e6,
+        ip1,
+        1,
+        RoutingEntry {
+            out: e7,
+            ops: vec![Op::Pop],
+        },
+    );
+
+    let report = lint_network(&net);
+    check_golden("paper_defects.txt", &format!("{report}\n"));
+    assert_eq!(report.errors(), 4);
+    assert_eq!(report.warnings(), 1);
+}
+
+#[test]
+fn zoo_network_a_clean_golden() {
+    let report = lint_network(&zoo_net(5, 9));
+    check_golden("zoo_a_clean.txt", &format!("{report}\n"));
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn zoo_network_b_clean_golden() {
+    let report = lint_network(&zoo_net(23, 41));
+    check_golden("zoo_b_clean.txt", &format!("{report}\n"));
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn zoo_network_defects_golden() {
+    let mut net = zoo_net(5, 9);
+
+    // DP012: a zero-failure swap loop over the first bidirectional link
+    // pair of the zoo core (links 2i and 2i+1 connect the same pair).
+    let fwd = LinkId(0);
+    let back = LinkId(1);
+    assert_eq!(net.topology.src(fwd), net.topology.dst(back));
+    assert_eq!(net.topology.dst(fwd), net.topology.src(back));
+    let la = net.labels.mpls_bos("loop_a");
+    let lb = net.labels.mpls_bos("loop_b");
+    net.add_rule(
+        fwd,
+        la,
+        1,
+        RoutingEntry {
+            out: back,
+            ops: vec![Op::Swap(lb)],
+        },
+    );
+    net.add_rule(
+        back,
+        lb,
+        1,
+        RoutingEntry {
+            out: fwd,
+            ops: vec![Op::Swap(la)],
+        },
+    );
+
+    // DP014: protection whose levels all share one link — clone the
+    // first single-entry priority-1 key at priority 2.
+    let mut keys: Vec<_> = net.routing_keys().collect();
+    keys.sort_by_key(|(l, lab)| (l.index(), lab.index()));
+    let (ck, cl) = keys
+        .iter()
+        .copied()
+        .find(|&(l, lab)| {
+            let gs = net.groups(l, lab);
+            gs.len() == 1 && gs[0].len() == 1
+        })
+        .expect("single-entry key");
+    let clone = net.groups(ck, cl)[0][0].clone();
+    net.add_rule(ck, cl, 2, clone);
+
+    let report = lint_network(&net);
+    check_golden("zoo_defects.txt", &format!("{report}\n"));
+    assert!(report.findings.iter().any(|f| f.rule.code() == "DP012"));
+    assert!(report.findings.iter().any(|f| f.rule.code() == "DP014"));
+}

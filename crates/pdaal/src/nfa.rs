@@ -40,6 +40,21 @@ impl SymFilter {
         SymFilter::In(HashSet::new())
     }
 
+    /// Whether the filter matches at least one symbol of a universe of
+    /// `n_symbols` dense symbols (`0..n_symbols`).
+    ///
+    /// `In` sets may contain out-of-universe symbols (e.g. filters built
+    /// against a different network); those do not count as satisfiable.
+    pub fn is_satisfiable(&self, n_symbols: u32) -> bool {
+        match self {
+            SymFilter::Any => n_symbols > 0,
+            SymFilter::In(set) => set.iter().any(|s| s.0 < n_symbols),
+            SymFilter::NotIn(set) => {
+                (set.iter().filter(|s| s.0 < n_symbols).count() as u32) < n_symbols
+            }
+        }
+    }
+
     /// Pick some symbol matched by both `self` and `other`, given the
     /// size of the symbol universe. Returns `None` iff the intersection
     /// is empty.
@@ -175,6 +190,37 @@ impl StackNfa {
         cur.iter().any(|&s| self.is_final(s))
     }
 
+    /// Whether the accepted language is empty over a universe of
+    /// `n_symbols` dense symbols.
+    ///
+    /// Sound and complete for ε-free NFAs: the language is non-empty iff
+    /// some final state is reachable from an initial state through edges
+    /// whose filters each match at least one symbol of the universe
+    /// (each edge consumes one symbol independently, so any such path
+    /// spells a concrete accepted word).
+    pub fn language_empty(&self, n_symbols: u32) -> bool {
+        let mut seen = vec![false; self.n_states as usize];
+        let mut stack: Vec<u32> = Vec::new();
+        for &s in &self.initial {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            if self.is_final(s) {
+                return false;
+            }
+            for e in self.edges_from(s) {
+                if !seen[e.to as usize] && e.filter.is_satisfiable(n_symbols) {
+                    seen[e.to as usize] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        true
+    }
+
     /// An NFA accepting exactly the single word `word`.
     pub fn single_word(word: &[SymbolId]) -> Self {
         let mut nfa = StackNfa::new(word.len() as u32 + 1);
@@ -229,6 +275,48 @@ mod tests {
         let nfa = StackNfa::universal();
         assert!(nfa.accepts(&[]));
         assert!(nfa.accepts(&[s(0), s(5), s(9)]));
+    }
+
+    #[test]
+    fn filter_satisfiability_respects_universe() {
+        assert!(SymFilter::Any.is_satisfiable(1));
+        assert!(!SymFilter::Any.is_satisfiable(0));
+        assert!(!SymFilter::none().is_satisfiable(10));
+        // An `In` member outside the universe does not help.
+        assert!(!SymFilter::one(s(9)).is_satisfiable(5));
+        assert!(SymFilter::one(s(4)).is_satisfiable(5));
+        // `NotIn` covering the whole universe is unsatisfiable.
+        let all: SymFilter = SymFilter::NotIn([s(0), s(1)].into_iter().collect());
+        assert!(!all.is_satisfiable(2));
+        assert!(all.is_satisfiable(3));
+    }
+
+    #[test]
+    fn language_emptiness() {
+        // Accepting the empty word: non-empty language.
+        let mut nfa = StackNfa::new(1);
+        nfa.add_initial(0);
+        nfa.set_final(0);
+        assert!(!nfa.language_empty(0));
+
+        // Reachable final through a satisfiable edge.
+        let word = StackNfa::single_word(&[s(1)]);
+        assert!(!word.language_empty(2));
+        // ... but empty when the symbol is outside the universe.
+        assert!(word.language_empty(1));
+
+        // A final state only reachable through an unsatisfiable filter.
+        let mut dead = StackNfa::new(2);
+        dead.add_initial(0);
+        dead.add_edge(0, SymFilter::none(), 1);
+        dead.set_final(1);
+        assert!(dead.language_empty(10));
+
+        // No final state at all.
+        let mut no_final = StackNfa::new(2);
+        no_final.add_initial(0);
+        no_final.add_edge(0, SymFilter::Any, 1);
+        assert!(no_final.language_empty(10));
     }
 
     #[test]

@@ -142,7 +142,9 @@ impl<T> Thompson<T> {
 
 // ---- label regex → StackNfa -------------------------------------------------
 
-fn resolve_label_atom(atom: &LabelAtom, net: &Network) -> SymFilter {
+/// Resolve a label atom to the symbol filter it matches on `net`
+/// (unknown names match nothing). Shared with the `dplint` query lints.
+pub fn resolve_label_atom(atom: &LabelAtom, net: &Network) -> SymFilter {
     let to_sym = |id: netmodel::LabelId| SymbolId(id.0);
     match atom {
         LabelAtom::Any => SymFilter::Any,
@@ -227,7 +229,9 @@ fn endpoint_matches_dst(net: &Network, ep: &Endpoint, link: netmodel::LinkId) ->
     }
 }
 
-fn resolve_link_atom(atom: &LinkAtom, net: &Network) -> LinkSet {
+/// Resolve a link atom to the set of links it matches on `net` (unknown
+/// router names match nothing). Shared with the `dplint` query lints.
+pub fn resolve_link_atom(atom: &LinkAtom, net: &Network) -> LinkSet {
     let n = net.topology.num_links() as usize;
     let mut set = LinkSet::empty(n);
     for link in net.topology.links() {

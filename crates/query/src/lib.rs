@@ -38,6 +38,9 @@ pub mod linknfa;
 pub mod parse;
 
 pub use ast::{Endpoint, LabelAtom, LinkAtom, Query, Regex};
-pub use compile::{compile, compile_label_regex, compile_link_regex, CompiledQuery};
+pub use compile::{
+    compile, compile_label_regex, compile_link_regex, resolve_label_atom, resolve_link_atom,
+    CompiledQuery,
+};
 pub use linknfa::{LinkNfa, LinkSet};
 pub use parse::{parse_query, ParseError};

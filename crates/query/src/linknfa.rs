@@ -159,6 +159,34 @@ impl LinkNfa {
         &self.edges
     }
 
+    /// Whether the accepted language is empty.
+    ///
+    /// Sound and complete for ε-free NFAs: non-empty iff some final
+    /// state is reachable from an initial state through edges whose link
+    /// sets are non-empty (each edge matches one link independently).
+    pub fn language_empty(&self) -> bool {
+        let mut seen = vec![false; self.n_states as usize];
+        let mut stack: Vec<u32> = Vec::new();
+        for &s in &self.initial {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            if self.is_final(s) {
+                return false;
+            }
+            for e in self.edges_from(s) {
+                if !seen[e.to as usize] && !e.links.is_empty() {
+                    seen[e.to as usize] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        true
+    }
+
     /// Whether a sequence of links is accepted.
     pub fn accepts(&self, word: &[LinkId]) -> bool {
         let mut cur: Vec<u32> = self.initial.clone();
@@ -227,5 +255,30 @@ mod tests {
         assert!(!nfa.accepts(&[l(2), l(2)]));
         assert!(!nfa.accepts(&[l(0)]));
         assert!(!nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn language_emptiness() {
+        // Final initial state accepts the empty word: non-empty.
+        let mut eps = LinkNfa::new(1);
+        eps.add_initial(0);
+        eps.set_final(0);
+        assert!(!eps.language_empty());
+
+        // Final only reachable through an empty link set: empty.
+        let mut dead = LinkNfa::new(2);
+        dead.add_initial(0);
+        dead.add_edge(0, LinkSet::empty(4), 1);
+        dead.set_final(1);
+        assert!(dead.language_empty());
+
+        // Reachable through a non-empty set: non-empty.
+        let mut ok = LinkNfa::new(2);
+        ok.add_initial(0);
+        let mut set = LinkSet::empty(4);
+        set.insert(l(2));
+        ok.add_edge(0, set, 1);
+        ok.set_final(1);
+        assert!(!ok.language_empty());
     }
 }

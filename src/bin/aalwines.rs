@@ -11,10 +11,12 @@
 //!                                      # convert to the vendor-agnostic format
 //! aalwines --demo                      # the paper's running example
 //! aalwines ... --stdin                 # one query per line from stdin
+//! aalwines ... --lint                  # static analysis instead of verification
 //! ```
 //!
 //! Exit code 0: all queries conclusive; 2: at least one inconclusive;
-//! 1: usage or input error.
+//! 1: usage or input error. With `--lint`/`--lint-json`: 0 clean,
+//! 2 warnings only, 1 at least one error.
 
 use aalwines::{
     Answer, BatchOptions, BatchSummary, Engine, MopedEngine, Outcome, Verifier, VerifyOptions,
@@ -35,6 +37,7 @@ fn usage() -> ! {
          \x20        [--threads N] [--stats] [--json] [--repair]\n\
          \x20        [--write-topology out.xml] [--write-routing out.xml]\n\
          \x20        [--chaos-seed N] [--chaos-mutants M]\n\
+         \x20        [--lint | --lint-json]\n\
          \n\
          --demo without --query/--stdin runs the paper's six benchmark queries."
     );
@@ -111,6 +114,8 @@ fn main() -> ExitCode {
             .filter_map(|(i, _)| args.get(i + 1).cloned())
             .collect()
     };
+
+    let lint_mode = has("--lint") || has("--lint-json");
 
     // ---- load the network ------------------------------------------------
     let net: Network = if has("--demo") {
@@ -207,13 +212,20 @@ fn main() -> ExitCode {
             },
         };
         // The unified load path: every parse failure is a typed
-        // LoadError with a byte offset where one exists.
-        match aalwines_suite::load_dataplane(
-            &topo_text,
-            &route_text,
-            loc_text.as_deref(),
-            has("--repair"),
-        ) {
+        // LoadError with a byte offset where one exists. Lint mode
+        // skips the validation gate — a semantically broken network is
+        // exactly what the linter is for.
+        let loaded = if lint_mode && !has("--repair") {
+            aalwines_suite::load_dataplane_unchecked(&topo_text, &route_text, loc_text.as_deref())
+        } else {
+            aalwines_suite::load_dataplane(
+                &topo_text,
+                &route_text,
+                loc_text.as_deref(),
+                has("--repair"),
+            )
+        };
+        match loaded {
             Ok(n) => n,
             Err(e) => {
                 eprintln!("cannot load {tp} + {rp}: {e}");
@@ -237,7 +249,9 @@ fn main() -> ExitCode {
                 "repaired network: dropped {} rule keys, {} entries; removed {} empty groups",
                 report.dropped_keys, report.dropped_entries, report.removed_groups
             );
-        } else if errors > 0 {
+        } else if errors > 0 && !lint_mode {
+            // The linter reports these same defects itself (DP001–DP004),
+            // so lint mode keeps going on an invalid network.
             eprintln!("invalid network: {errors} error(s) (re-run with --repair to drop them)");
             return ExitCode::FAILURE;
         }
@@ -250,6 +264,47 @@ fn main() -> ExitCode {
         net.num_rules(),
         net.labels.len()
     );
+
+    // ---- lint mode --------------------------------------------------------
+    // `--lint` / `--lint-json` run the static analyzer instead of the
+    // verifier: dataplane lints over the loaded network plus query
+    // lints for any `--query`/`--stdin` queries. Exit 0 when clean,
+    // 2 with warnings only, 1 with at least one error.
+    if lint_mode {
+        let mut lint_queries = Vec::new();
+        let mut texts = values("--query");
+        if has("--stdin") {
+            for line in std::io::stdin().lock().lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("cannot read stdin: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let line = line.trim();
+                if !line.is_empty() && !line.starts_with('#') {
+                    texts.push(line.to_string());
+                }
+            }
+        }
+        for text in &texts {
+            match parse_query(text) {
+                Ok(q) => lint_queries.push(q),
+                Err(e) => {
+                    eprintln!("{text}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let report = dplint::lint_all(&net, &lint_queries);
+        if has("--lint-json") {
+            println!("{}", report.to_json());
+        } else {
+            println!("{report}");
+        }
+        return ExitCode::from(report.exit_code() as u8);
+    }
 
     // ---- chaos mode -------------------------------------------------------
     // `--chaos-seed N` runs the fault-injection campaign against this

@@ -111,6 +111,22 @@ pub fn load_dataplane(
     Ok(net)
 }
 
+/// [`load_dataplane`] without the validation gate: syntax errors are
+/// still rejected, but a semantically broken network is returned as-is.
+/// This is what `--lint` uses — rejecting an invalid table would defeat
+/// the point of linting it.
+pub fn load_dataplane_unchecked(
+    topo_xml: &str,
+    route_xml: &str,
+    locations_json: Option<&str>,
+) -> Result<netmodel::Network, LoadError> {
+    let mut topo = formats::parse_topology(topo_xml)?;
+    if let Some(doc) = locations_json {
+        formats::parse_locations(doc, &mut topo)?;
+    }
+    Ok(formats::parse_routes(route_xml, topo)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,4 +16,4 @@ pub use topogen;
 pub mod error;
 pub mod gui;
 
-pub use error::{load_dataplane, LoadError};
+pub use error::{load_dataplane, load_dataplane_unchecked, LoadError};
