@@ -252,6 +252,9 @@ pub struct EngineStats {
     pub worklist_pops: usize,
     /// Mid-states allocated across all saturation phases.
     pub mid_states: usize,
+    /// Worklist re-queues avoided by the on-worklist dedup flag across
+    /// all saturation phases (each one is a pop that never happened).
+    pub worklist_requeues_avoided: usize,
     /// How many times the under-approximation ran (0 or 1 per query).
     pub under_runs: usize,
     /// Issues [`Network::validate`] reported for the engine's network at
@@ -292,6 +295,10 @@ impl EngineStats {
         o.number("satTransitions", self.sat_transitions as f64);
         o.number("worklistPops", self.worklist_pops as f64);
         o.number("midStates", self.mid_states as f64);
+        o.number(
+            "worklistRequeuesAvoided",
+            self.worklist_requeues_avoided as f64,
+        );
         o.number("underRuns", self.under_runs as f64);
         o.number("validationIssues", self.validation_issues as f64);
         match self.quick_decided {
@@ -434,6 +441,7 @@ fn run_phase<W: Weight>(
         Err(abort) => {
             stats.worklist_pops += abort.stats.worklist_pops;
             stats.mid_states += abort.stats.mid_states;
+            stats.worklist_requeues_avoided += abort.stats.worklist_requeues_avoided;
             if mode == ApproxMode::Over {
                 stats.sat_transitions = abort.stats.transitions;
             }
@@ -443,6 +451,7 @@ fn run_phase<W: Weight>(
     };
     stats.worklist_pops += sstats.worklist_pops;
     stats.mid_states += sstats.mid_states;
+    stats.worklist_requeues_avoided += sstats.worklist_requeues_avoided;
     if mode == ApproxMode::Over {
         stats.sat_transitions = sstats.transitions;
     }

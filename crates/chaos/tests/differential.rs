@@ -1,0 +1,142 @@
+//! Network-level differential tests: the dense-index `post*` against the
+//! frozen seed-fidelity reference, on *real* constructions.
+//!
+//! The pdaal-level harness (`crates/pdaal/tests/differential.rs`) covers
+//! random pushdown systems; this one exercises the PDSs the AalWiNes
+//! construction layer actually emits — filter transitions for
+//! `mpls* smpls ip` header languages, operation chains, failure budgets —
+//! over three network sources:
+//!
+//! 1. the paper's example network with its six Figure-4 queries,
+//! 2. chaos-mutated (and repaired) variants of it,
+//! 3. a Zoo-like topology from `topogen` with generated queries.
+//!
+//! For every instance, dense and reference saturation must produce the
+//! same canonical transition set, the same shortest accepted weight, and
+//! the dense worklist must not pop more than the reference.
+
+use aalwines::construction::{build, ApproxMode, Construction};
+use aalwines::examples::paper_network;
+use chaos::{mutate, paper_queries, MutationKind};
+use detrand::DetRng;
+use netmodel::routing::Network;
+use pdaal::poststar::post_star_with_stats;
+use pdaal::reference::post_star_ref;
+use pdaal::shortest::shortest_accepted;
+use pdaal::{MinTotal, PAutomaton, StateId, TLabel, Weight};
+use query::{compile, parse_query, Query};
+use topogen::lsp::{build_mpls_dataplane, LspConfig};
+use topogen::zoo::{zoo_like, ZooConfig};
+
+fn canon<W: Weight>(aut: &PAutomaton<W>) -> Vec<(u32, u8, u32, u32, W)> {
+    let mut v: Vec<(u32, u8, u32, u32, W)> = aut
+        .transitions()
+        .iter()
+        .map(|t| {
+            let (tag, val) = match t.label {
+                TLabel::Eps => (0u8, 0u32),
+                TLabel::Sym(s) => (1, s.0),
+                TLabel::Filter(f) => (2, f.0),
+            };
+            (t.from.0, tag, val, t.to.0, t.weight.clone())
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// Saturate one construction both ways and compare everything observable.
+fn check_construction(cons: &Construction<MinTotal>, cq_final: &pdaal::StackNfa, what: &str) {
+    let (dense, dstats) = post_star_with_stats(&cons.pds, &cons.initial);
+    let (refr, rstats) = post_star_ref(&cons.pds, &cons.initial);
+    let refr = refr.into_pautomaton();
+
+    assert_eq!(
+        canon(&dense),
+        canon(&refr),
+        "{what}: saturated transition sets diverge"
+    );
+    assert_eq!(dstats.transitions, rstats.transitions, "{what}");
+    assert_eq!(dstats.mid_states, rstats.mid_states, "{what}");
+    assert!(
+        dstats.worklist_pops <= rstats.worklist_pops,
+        "{what}: dedup increased pops ({} > {})",
+        dstats.worklist_pops,
+        rstats.worklist_pops
+    );
+
+    let starts: Vec<(StateId, MinTotal)> =
+        cons.finals.iter().map(|s| (*s, MinTotal::one())).collect();
+    let wd = shortest_accepted(&dense, &starts, cq_final).map(|p| p.weight);
+    let wr = shortest_accepted(&refr, &starts, cq_final).map(|p| p.weight);
+    assert_eq!(wd, wr, "{what}: shortest accepted weights diverge");
+}
+
+fn check_network(net: &Network, queries: &[Query], what: &str) {
+    for (qi, q) in queries.iter().enumerate() {
+        let cq = compile(q, net);
+        for mode in [ApproxMode::Over, ApproxMode::Under] {
+            let cons = build(net, &cq, mode, &|_| MinTotal(1));
+            check_construction(&cons, &cq.final_, &format!("{what} q{qi} {mode:?}"));
+        }
+    }
+}
+
+#[test]
+fn paper_network_differential() {
+    let net = paper_network();
+    let queries = paper_queries();
+    check_network(&net, &queries, "paper");
+}
+
+#[test]
+fn chaos_mutants_differential() {
+    let base = paper_network();
+    let queries = paper_queries();
+    let mut rng = DetRng::seed_from_u64(0xC0FF_EE01);
+    let mut checked = 0usize;
+    let mut attempts = 0usize;
+    while checked < 12 && attempts < 200 {
+        attempts += 1;
+        let kind = *rng.choose(&MutationKind::ALL);
+        let Some(mut net) = mutate(&base, kind, &mut rng) else {
+            continue;
+        };
+        // Corrupting mutations may leave the network invalid; repair it
+        // the same way the chaos harness does before verification.
+        net.repair();
+        // Rotate through the query set.
+        let q = &queries[checked % queries.len()];
+        check_network(
+            &net,
+            std::slice::from_ref(q),
+            &format!("mutant#{checked} {}", kind.as_str()),
+        );
+        checked += 1;
+    }
+    assert!(checked >= 12, "only {checked} mutants checked");
+}
+
+#[test]
+fn zoo_like_network_differential() {
+    let topo = zoo_like(&ZooConfig {
+        routers: 24,
+        avg_degree: 3.0,
+        seed: 0xD1FF,
+    });
+    let dp = build_mpls_dataplane(
+        topo,
+        &LspConfig {
+            edge_routers: 6,
+            max_pairs: 24,
+            protect: true,
+            service_chains: 20,
+            seed: 0xD1FE,
+        },
+    );
+    let queries: Vec<Query> = topogen::queries::figure4_queries(&dp, 4, 0xD1FD)
+        .iter()
+        .map(|q| parse_query(q).expect("generated queries parse"))
+        .collect();
+    check_network(&dp.net, &queries, "zoo");
+}

@@ -1,0 +1,108 @@
+//! A minimal Fx-style hasher for small integer keys.
+//!
+//! The saturation hot loop indexes transitions and rule heads by packed
+//! integer keys. `std`'s default SipHash is DoS-resistant but costs an
+//! order of magnitude more per lookup than needed for trusted,
+//! process-internal keys. This module provides the well-known
+//! multiply-rotate hash used by rustc (`rustc-hash`/FxHash), implemented
+//! locally because the workspace builds hermetically with no registry
+//! dependencies.
+//!
+//! Use only where keys are process-internal (dense ids packed into
+//! integers); never hash attacker-controlled data with this.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The 64-bit Fx multiplier (golden-ratio derived, as in rustc).
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// A fast, non-cryptographic hasher for small integer keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i.wrapping_mul(0x9E37_79B9), i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i.wrapping_mul(0x9E37_79B9))), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn write_bytes_covers_partial_chunks() {
+        let mut a = FxHasher::default();
+        a.write(b"hello, world!");
+        let mut b = FxHasher::default();
+        b.write(b"hello, world?");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

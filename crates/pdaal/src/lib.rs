@@ -61,12 +61,14 @@
 
 pub mod budget;
 pub mod dot;
+pub mod fxhash;
 pub mod nfa;
 pub mod pautomaton;
 pub mod pds;
 pub mod poststar;
 pub mod prestar;
 pub mod reduction;
+pub mod reference;
 pub mod semiring;
 pub mod shortest;
 pub mod witness;

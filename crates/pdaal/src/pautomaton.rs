@@ -22,10 +22,10 @@
 //! transition was derived during saturation. Provenance is the raw
 //! material for [witness reconstruction](crate::witness).
 
+use crate::fxhash::FxHashMap;
 use crate::nfa::SymFilter;
 use crate::pds::{Pds, RuleId, StateId, SymbolId};
 use crate::semiring::Weight;
-use std::collections::HashMap;
 
 /// A state of a P-automaton. States `0..pds.num_states()` coincide with
 /// the PDS control states.
@@ -160,6 +160,84 @@ pub struct Transition<W> {
     pub prov: Provenance,
 }
 
+/// Pack a `(label, to)` pair into one integer key for the per-state
+/// transition index. The label occupies the high 32 bits (ε = 0,
+/// `Sym(s)` = `1 + s`, `Filter(f)` = `2³¹ + 1 + f`), the target state the
+/// low 32.
+#[inline]
+fn pack_key(label: TLabel, to: AutState) -> u64 {
+    let code: u64 = match label {
+        TLabel::Eps => 0,
+        TLabel::Sym(s) => {
+            debug_assert!(s.0 < 0x8000_0000, "symbol id exceeds index encoding");
+            1 + s.0 as u64
+        }
+        TLabel::Filter(f) => {
+            debug_assert!(f.0 < 0x7FFF_FFFF, "filter id exceeds index encoding");
+            0x8000_0001 + f.0 as u64
+        }
+    };
+    (code << 32) | to.0 as u64
+}
+
+/// Sorted-array size beyond which a state's transition index spills to an
+/// Fx-hashed map. Most automaton states keep a handful of out-transitions
+/// where a binary search over one cache line beats any hashing; the few
+/// dense hub states get O(1) lookups instead of O(degree) inserts.
+const SPILL_AT: usize = 32;
+
+/// Per-state index from packed `(label, to)` keys to transition ids.
+#[derive(Clone, Debug)]
+enum OutIndex {
+    /// Sorted by key; binary-searched. Used while the state stays sparse.
+    Sorted(Vec<(u64, TransId)>),
+    /// Fx-hashed; used once the state grows past [`SPILL_AT`].
+    Hashed(FxHashMap<u64, TransId>),
+}
+
+impl OutIndex {
+    fn new() -> Self {
+        OutIndex::Sorted(Vec::new())
+    }
+
+    #[inline]
+    fn get(&self, key: u64) -> Option<TransId> {
+        match self {
+            OutIndex::Sorted(v) => v
+                .binary_search_by_key(&key, |&(k, _)| k)
+                .ok()
+                .map(|i| v[i].1),
+            OutIndex::Hashed(m) => m.get(&key).copied(),
+        }
+    }
+
+    /// Insert a key known to be absent.
+    #[inline]
+    fn insert_new(&mut self, key: u64, id: TransId) {
+        match self {
+            OutIndex::Sorted(v) => {
+                if v.len() >= SPILL_AT {
+                    let mut m: FxHashMap<u64, TransId> = FxHashMap::default();
+                    m.reserve(v.len() + 1);
+                    m.extend(v.drain(..));
+                    m.insert(key, id);
+                    *self = OutIndex::Hashed(m);
+                    return;
+                }
+                let i = match v.binary_search_by_key(&key, |&(k, _)| k) {
+                    Ok(_) => unreachable!("insert_new called with present key"),
+                    Err(i) => i,
+                };
+                v.insert(i, (key, id));
+            }
+            OutIndex::Hashed(m) => {
+                let prev = m.insert(key, id);
+                debug_assert!(prev.is_none(), "insert_new called with present key");
+            }
+        }
+    }
+}
+
 /// A weighted P-automaton over the stack alphabet of a [`Pds`].
 #[derive(Clone, Debug)]
 pub struct PAutomaton<W> {
@@ -168,7 +246,7 @@ pub struct PAutomaton<W> {
     n_states: u32,
     transitions: Vec<Transition<W>>,
     filters: Vec<SymFilter>,
-    index: HashMap<(AutState, TLabel, AutState), TransId>,
+    index: Vec<OutIndex>,
     out: Vec<Vec<TransId>>,
     finals: Vec<bool>,
 }
@@ -191,7 +269,7 @@ impl<W: Weight> PAutomaton<W> {
             n_states: n_pds_states,
             transitions: Vec::new(),
             filters: Vec::new(),
-            index: HashMap::new(),
+            index: (0..n_pds_states).map(|_| OutIndex::new()).collect(),
             out: vec![Vec::new(); n_pds_states as usize],
             finals: vec![false; n_pds_states as usize],
         }
@@ -223,6 +301,7 @@ impl<W: Weight> PAutomaton<W> {
         let id = AutState(self.n_states);
         self.n_states += 1;
         self.out.push(Vec::new());
+        self.index.push(OutIndex::new());
         self.finals.push(false);
         id
     }
@@ -237,6 +316,11 @@ impl<W: Weight> PAutomaton<W> {
     /// The interned filter.
     pub fn filter(&self, id: FilterId) -> &SymFilter {
         &self.filters[id.0 as usize]
+    }
+
+    /// All interned filters, in [`FilterId`] order.
+    pub fn filters(&self) -> &[SymFilter] {
+        &self.filters
     }
 
     /// Whether `label` can read the concrete symbol `sym`.
@@ -309,8 +393,9 @@ impl<W: Weight> PAutomaton<W> {
         prov: Provenance,
     ) -> (TransId, bool) {
         debug_assert!(from.0 < self.n_states && to.0 < self.n_states);
-        match self.index.get(&(from, label, to)) {
-            Some(&id) => {
+        let key = pack_key(label, to);
+        match self.index[from.index()].get(key) {
+            Some(id) => {
                 let t = &mut self.transitions[id.index()];
                 if weight < t.weight {
                     t.weight = weight;
@@ -329,7 +414,7 @@ impl<W: Weight> PAutomaton<W> {
                     weight,
                     prov,
                 });
-                self.index.insert((from, label, to), id);
+                self.index[from.index()].insert_new(key, id);
                 self.out[from.index()].push(id);
                 (id, true)
             }
@@ -353,7 +438,10 @@ impl<W: Weight> PAutomaton<W> {
 
     /// Look up a transition id by its endpoints and label.
     pub fn find(&self, from: AutState, label: TLabel, to: AutState) -> Option<TransId> {
-        self.index.get(&(from, label, to)).copied()
+        if from.0 >= self.n_states {
+            return None;
+        }
+        self.index[from.index()].get(pack_key(label, to))
     }
 
     /// Whether the configuration `<p, word>` is accepted (ignoring weights).
@@ -389,7 +477,7 @@ impl<W: Weight> PAutomaton<W> {
         if start.0 >= self.n_states {
             return None;
         }
-        let mut best: HashMap<(u32, usize), W> = HashMap::new();
+        let mut best: FxHashMap<(u32, usize), W> = FxHashMap::default();
         let mut heap = BinaryHeap::new();
         best.insert((start.0, 0), W::one());
         heap.push(Reverse(Item(W::one(), start.0, 0)));
@@ -550,6 +638,82 @@ mod tests {
         a.add_filter_edge(AutState(0), evens, f, Unweighted);
         assert!(a.accepts(StateId(0), &[sym(4)]));
         assert!(!a.accepts(StateId(0), &[sym(5)]));
+    }
+
+    #[test]
+    fn dense_state_spills_to_hash_and_stays_correct() {
+        // Push well past SPILL_AT distinct transitions out of one state;
+        // lookups must stay exact through the sorted→hashed transition.
+        let mut a = PAutomaton::<MinTotal>::with_sizes(1, 256);
+        let mut targets = Vec::new();
+        for _ in 0..128 {
+            targets.push(a.add_state());
+        }
+        let mut ids = Vec::new();
+        for (i, &t) in targets.iter().enumerate() {
+            let (id, fresh) = a.insert_or_combine(
+                AutState(0),
+                TLabel::Sym(sym((255 - i) as u32)),
+                t,
+                MinTotal(i as u64),
+                Provenance::Initial,
+            );
+            assert!(fresh);
+            ids.push(id);
+        }
+        for (i, &t) in targets.iter().enumerate() {
+            assert_eq!(
+                a.find(AutState(0), TLabel::Sym(sym((255 - i) as u32)), t),
+                Some(ids[i])
+            );
+            // Wrong target or label must miss.
+            assert_eq!(
+                a.find(AutState(0), TLabel::Sym(sym((255 - i) as u32)), AutState(0)),
+                None
+            );
+        }
+        assert_eq!(a.out_of(AutState(0)).len(), 128);
+        // Re-insert with a worse weight: same id, no improvement.
+        let (id0, improved) = a.insert_or_combine(
+            AutState(0),
+            TLabel::Sym(sym(255)),
+            targets[0],
+            MinTotal(999),
+            Provenance::Initial,
+        );
+        assert_eq!(id0, ids[0]);
+        assert!(!improved);
+    }
+
+    #[test]
+    fn eps_sym_and_filter_labels_do_not_collide() {
+        // Sym(0), Eps, and Filter(0) to the same target must be three
+        // distinct transitions under the packed-key encoding.
+        use crate::nfa::SymFilter;
+        let mut a = PAutomaton::<Unweighted>::with_sizes(1, 4);
+        let q = a.add_state();
+        let f = a.add_filter(SymFilter::Any);
+        let (t1, _) = a.insert_or_combine(
+            AutState(0),
+            TLabel::Sym(sym(0)),
+            q,
+            Unweighted,
+            Provenance::Initial,
+        );
+        let (t2, _) =
+            a.insert_or_combine(AutState(0), TLabel::Eps, q, Unweighted, Provenance::Initial);
+        let (t3, _) = a.insert_or_combine(
+            AutState(0),
+            TLabel::Filter(f),
+            q,
+            Unweighted,
+            Provenance::Initial,
+        );
+        assert_ne!(t1, t2);
+        assert_ne!(t2, t3);
+        assert_ne!(t1, t3);
+        assert_eq!(a.find(AutState(0), TLabel::Eps, q), Some(t2));
+        assert_eq!(a.find(AutState(0), TLabel::Filter(f), q), Some(t3));
     }
 
     #[test]

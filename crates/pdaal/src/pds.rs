@@ -6,9 +6,28 @@
 //! ([`RuleOp::Swap`]) or two ([`RuleOp::Push`]) symbols. Arbitrary
 //! finite-sequence rewritings are compiled down to chains of normal-form
 //! rules by the AalWiNes construction layer.
+//!
+//! ## Rule indexing
+//!
+//! All rule indexes are maintained incrementally at construction time, so
+//! the saturation procedures never rebuild them per call:
+//!
+//! * a per-state list of all rules ([`Pds::rules_of_state`], used when a
+//!   *filter* transition can stand for many head symbols),
+//! * a per-state, symbol-sorted head index ([`Pds::rules_for`], the
+//!   `post*` hot lookup) — binary search over a small sorted array
+//!   instead of hashing a `(StateId, SymbolId)` pair,
+//! * backward indexes by what a rule *produces*
+//!   ([`Pds::swap_rules_into`], [`Pds::push_rules_by_first`],
+//!   [`Pds::push_rules_by_second`], the `pre*` hot lookups).
+//!
+//! The head index is per-state sparse: AalWiNes-scale systems pair
+//! hundreds of thousands of control states with tens of thousands of
+//! stack symbols, so a dense `states × symbols` table is not an option —
+//! but each individual state touches only a handful of head symbols,
+//! which a sorted array serves without hashing.
 
 use crate::semiring::Weight;
-use std::collections::HashMap;
 use std::fmt;
 
 /// A control state of a pushdown system (a dense index).
@@ -75,22 +94,66 @@ pub struct Rule<W> {
     pub tag: u64,
 }
 
+/// A per-state multimap from symbol to rule ids, kept sorted by symbol so
+/// lookups are a binary search over a small contiguous array (no hashing).
+#[derive(Clone, Debug, Default)]
+struct SymRules {
+    syms: Vec<SymbolId>,
+    lists: Vec<Vec<RuleId>>,
+}
+
+const NO_RULES: &[RuleId] = &[];
+
+impl SymRules {
+    #[inline]
+    fn push(&mut self, g: SymbolId, r: RuleId) {
+        match self.syms.binary_search(&g) {
+            Ok(i) => self.lists[i].push(r),
+            Err(i) => {
+                self.syms.insert(i, g);
+                self.lists.insert(i, vec![r]);
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, g: SymbolId) -> &[RuleId] {
+        match self.syms.binary_search(&g) {
+            Ok(i) => &self.lists[i],
+            Err(_) => NO_RULES,
+        }
+    }
+}
+
+/// Per-state rule indexes, all maintained incrementally by
+/// [`Pds::add_rule`].
+#[derive(Clone, Debug, Default)]
+struct StateIndex {
+    /// All rules with this state on the left-hand side, insertion order.
+    all: Vec<RuleId>,
+    /// Rules by consumed head symbol (`post*` forward lookup).
+    by_head: SymRules,
+    /// Rules `<_, _> → <this, Swap(γ')>` by swapped-in symbol γ'
+    /// (`pre*` backward lookup).
+    swap_into: SymRules,
+    /// Rules `<_, _> → <this, Push(γ₁, _)>` by first pushed symbol γ₁
+    /// (`pre*` backward lookup).
+    push_first: SymRules,
+}
+
 /// A weighted pushdown system: a set of control states, a stack alphabet,
-/// and a list of normal-form rules indexed by `(from, sym)` for fast
-/// lookup during saturation.
-///
-/// The head index is sparse: AalWiNes-scale systems pair hundreds of
-/// thousands of control states with tens of thousands of stack symbols,
-/// so a dense `states × symbols` table is not an option.
+/// and a list of normal-form rules with construction-time indexes for
+/// both saturation directions (see the module docs).
 #[derive(Clone)]
 pub struct Pds<W> {
     n_states: u32,
     n_symbols: u32,
     rules: Vec<Rule<W>>,
-    by_head: HashMap<(StateId, SymbolId), Vec<RuleId>>,
+    states: Vec<StateIndex>,
+    /// Push rules by *second* pushed symbol γ₂, dense over the alphabet
+    /// (`pre*` backward lookup; empty inner vectors cost one pointer).
+    push_second: Vec<Vec<RuleId>>,
 }
-
-const NO_RULES: &[RuleId] = &[];
 
 impl<W: Weight> Pds<W> {
     /// Create an empty PDS with `n_states` control states and `n_symbols`
@@ -100,7 +163,8 @@ impl<W: Weight> Pds<W> {
             n_states,
             n_symbols,
             rules: Vec::new(),
-            by_head: HashMap::new(),
+            states: vec![StateIndex::default(); n_states as usize],
+            push_second: vec![Vec::new(); n_symbols as usize],
         }
     }
 
@@ -123,6 +187,7 @@ impl<W: Weight> Pds<W> {
     pub fn add_state(&mut self) -> StateId {
         let id = StateId(self.n_states);
         self.n_states += 1;
+        self.states.push(StateIndex::default());
         id
     }
 
@@ -147,7 +212,17 @@ impl<W: Weight> Pds<W> {
             weight,
             tag,
         });
-        self.by_head.entry((from, sym)).or_default().push(id);
+        let fi = from.index();
+        self.states[fi].all.push(id);
+        self.states[fi].by_head.push(sym, id);
+        match op {
+            RuleOp::Pop => {}
+            RuleOp::Swap(g) => self.states[to.index()].swap_into.push(g, id),
+            RuleOp::Push(g1, g2) => {
+                self.states[to.index()].push_first.push(g1, id);
+                self.push_second[g2.index()].push(id);
+            }
+        }
         id
     }
 
@@ -163,10 +238,32 @@ impl<W: Weight> Pds<W> {
 
     /// Ids of rules whose left-hand side is `<from, sym>`.
     pub fn rules_for(&self, from: StateId, sym: SymbolId) -> &[RuleId] {
-        self.by_head
-            .get(&(from, sym))
-            .map(|v| v.as_slice())
-            .unwrap_or(NO_RULES)
+        self.states[from.index()].by_head.get(sym)
+    }
+
+    /// Ids of all rules whose left-hand side state is `from`, in
+    /// insertion order. Used when a symbolic (filter) transition may
+    /// match many head symbols at once.
+    pub fn rules_of_state(&self, from: StateId) -> &[RuleId] {
+        &self.states[from.index()].all
+    }
+
+    /// Ids of swap rules `<_, _> → <to, γ'>` producing `γ'` at `to`
+    /// (the `pre*` swap lookup).
+    pub fn swap_rules_into(&self, to: StateId, swapped_in: SymbolId) -> &[RuleId] {
+        self.states[to.index()].swap_into.get(swapped_in)
+    }
+
+    /// Ids of push rules `<_, _> → <to, γ₁ γ₂>` whose *first* pushed
+    /// symbol is `g1` (the `pre*` push lookup, case "t reads γ₁").
+    pub fn push_rules_by_first(&self, to: StateId, g1: SymbolId) -> &[RuleId] {
+        self.states[to.index()].push_first.get(g1)
+    }
+
+    /// Ids of push rules whose *second* pushed symbol is `g2` (the
+    /// `pre*` push lookup, case "t reads γ₂").
+    pub fn push_rules_by_second(&self, g2: SymbolId) -> &[RuleId] {
+        &self.push_second[g2.index()]
     }
 
     /// Build a new PDS containing only the rules for which `keep` returns
@@ -222,6 +319,8 @@ mod tests {
         assert!(pds.rules_for(StateId(1), SymbolId(1)).is_empty());
         assert_eq!(pds.rule(r0).tag, 7);
         assert_eq!(pds.rule(r1).op, RuleOp::Swap(SymbolId(2)));
+        assert_eq!(pds.rules_of_state(StateId(0)), &[r0, r1]);
+        assert!(pds.rules_of_state(StateId(1)).is_empty());
     }
 
     #[test]
@@ -231,6 +330,7 @@ mod tests {
         assert_eq!(s, StateId(1));
         let r = pds.add_rule(s, SymbolId(0), StateId(0), RuleOp::Pop, Unweighted, 0);
         assert_eq!(pds.rules_for(s, SymbolId(0)), &[r]);
+        assert_eq!(pds.rules_of_state(s), &[r]);
     }
 
     #[test]
@@ -255,5 +355,48 @@ mod tests {
         let kept = pds.filter_rules(|r| r.tag == 2);
         assert_eq!(kept.num_rules(), 1);
         assert_eq!(kept.rules()[0].sym, SymbolId(1));
+    }
+
+    #[test]
+    fn backward_indexes_cover_all_ops() {
+        let mut pds = Pds::<Unweighted>::new(3, 4);
+        let (a, b, c, d) = (SymbolId(0), SymbolId(1), SymbolId(2), SymbolId(3));
+        let swap = pds.add_rule(StateId(0), a, StateId(1), RuleOp::Swap(b), Unweighted, 0);
+        let push = pds.add_rule(StateId(1), b, StateId(2), RuleOp::Push(c, d), Unweighted, 1);
+        let pop = pds.add_rule(StateId(2), c, StateId(0), RuleOp::Pop, Unweighted, 2);
+
+        assert_eq!(pds.swap_rules_into(StateId(1), b), &[swap]);
+        assert!(pds.swap_rules_into(StateId(1), a).is_empty());
+        assert!(pds.swap_rules_into(StateId(2), b).is_empty());
+        assert_eq!(pds.push_rules_by_first(StateId(2), c), &[push]);
+        assert!(pds.push_rules_by_first(StateId(2), d).is_empty());
+        assert_eq!(pds.push_rules_by_second(d), &[push]);
+        assert!(pds.push_rules_by_second(c).is_empty());
+        // Pops appear only in the forward indexes.
+        assert_eq!(pds.rules_for(StateId(2), c), &[pop]);
+    }
+
+    #[test]
+    fn many_heads_per_state_stay_sorted() {
+        let mut pds = Pds::<Unweighted>::new(1, 64);
+        // Insert heads in reverse symbol order to exercise sorted insert.
+        let mut ids = Vec::new();
+        for g in (0..64u32).rev() {
+            ids.push((
+                g,
+                pds.add_rule(
+                    StateId(0),
+                    SymbolId(g),
+                    StateId(0),
+                    RuleOp::Pop,
+                    Unweighted,
+                    g as u64,
+                ),
+            ));
+        }
+        for (g, id) in ids {
+            assert_eq!(pds.rules_for(StateId(0), SymbolId(g)), &[id]);
+        }
+        assert_eq!(pds.rules_of_state(StateId(0)).len(), 64);
     }
 }

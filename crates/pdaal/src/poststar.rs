@@ -21,14 +21,29 @@
 //! concrete symbols; ε-composition preserves the composed transition's
 //! label (concrete or filter), so filter edges deeper in the initial
 //! automaton keep working when pops expose them.
+//!
+//! ## Data layout of the hot loop
+//!
+//! The worklist loop runs entirely on dense integer indexes (see
+//! DESIGN.md "Saturation data layout"): rule lookups use the
+//! construction-time indexes of [`Pds`], ε-predecessors live in a
+//! per-state vector, a transition sits on the worklist at most once (an
+//! on-worklist bitflag; re-queues avoided are counted in
+//! [`SaturationStats::worklist_requeues_avoided`]), and the per-pop
+//! snapshots of successor/ε lists reuse two scratch buffers instead of
+//! allocating. Because a popped transition always reads its *current*
+//! weight, collapsing pending re-queues onto one pop cannot change the
+//! fixpoint — only the number of pops.
 
 use crate::budget::{Budget, SaturationAbort};
+use crate::fxhash::FxHashMap;
 use crate::pautomaton::{AutState, PAutomaton, Provenance, TLabel, TransId};
-use crate::pds::{Pds, RuleId, RuleOp, StateId, SymbolId};
+use crate::pds::{Pds, RuleOp, StateId};
 use crate::semiring::Weight;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-/// Statistics of a saturation run, used by the benchmark harness.
+/// Statistics of a saturation run, used by the benchmark harness and the
+/// engine telemetry.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SaturationStats {
     /// Transitions in the saturated automaton.
@@ -37,6 +52,10 @@ pub struct SaturationStats {
     pub worklist_pops: usize,
     /// Mid-states allocated for push rules.
     pub mid_states: usize,
+    /// Worklist pushes skipped because the transition was already
+    /// queued (the on-worklist dedup flag). Each skip is one avoided
+    /// future pop with all its rule lookups.
+    pub worklist_requeues_avoided: usize,
 }
 
 /// Compute `post*` of the configurations accepted by `initial`.
@@ -76,44 +95,52 @@ pub fn post_star_budgeted<W: Weight>(
     let mut aut = initial.clone();
     let mut stats = SaturationStats::default();
 
-    // Rules grouped by source state, for firing on filter transitions.
-    let mut rules_of_state: HashMap<StateId, Vec<RuleId>> = HashMap::new();
-    for (i, r) in pds.rules().iter().enumerate() {
-        rules_of_state
-            .entry(r.from)
-            .or_default()
-            .push(RuleId(i as u32));
-    }
-
-    // Mid-states per (target control state, first pushed symbol).
-    let mut mid: HashMap<(StateId, SymbolId), AutState> = HashMap::new();
-    // ε-transitions indexed by their target state.
-    let mut eps_into: HashMap<AutState, Vec<TransId>> = HashMap::new();
+    // Mid-states per (target control state, first pushed symbol), keyed
+    // by the packed pair (sparse: only fired push rules create entries).
+    let mut mid: FxHashMap<u64, AutState> = FxHashMap::default();
+    // ε-transitions indexed densely by their target state. A transition
+    // enters this index exactly once, at creation.
+    let mut eps_into: Vec<Vec<TransId>> = vec![Vec::new(); aut.num_states() as usize];
 
     let mut worklist: VecDeque<TransId> =
         (0..aut.transitions().len() as u32).map(TransId).collect();
+    // Whether a transition currently sits on the worklist.
+    let mut on_worklist: Vec<bool> = vec![true; aut.transitions().len()];
+
+    // Reusable per-pop snapshot buffers (the automaton is mutated while
+    // the snapshot is traversed, so a copy is required — but not a fresh
+    // allocation).
+    let mut succ_scratch: Vec<TransId> = Vec::new();
+    let mut eps_scratch: Vec<TransId> = Vec::new();
 
     macro_rules! upd {
-        ($from:expr, $label:expr, $to:expr, $w:expr, $prov:expr, $wl:expr, $eps:expr) => {{
+        ($from:expr, $label:expr, $to:expr, $w:expr, $prov:expr) => {{
             let label: TLabel = $label;
-            let (tid, improved) = aut.insert_or_combine($from, label, $to, $w, $prov);
+            let to: AutState = $to;
+            let before = aut.transitions().len();
+            let (tid, improved) = aut.insert_or_combine($from, label, to, $w, $prov);
             if improved {
-                $wl.push_back(tid);
-                if !label.reads() {
-                    let list = $eps.entry($to).or_insert_with(Vec::new);
-                    if !list.contains(&tid) {
-                        list.push(tid);
-                    }
+                if aut.transitions().len() > before && !label.reads() {
+                    eps_into[to.index()].push(tid);
+                }
+                let ti = tid.index();
+                if ti >= on_worklist.len() {
+                    on_worklist.resize(ti + 1, false);
+                }
+                if !on_worklist[ti] {
+                    on_worklist[ti] = true;
+                    worklist.push_back(tid);
+                } else {
+                    stats.worklist_requeues_avoided += 1;
                 }
             }
-            tid
         }};
     }
 
     // Fire `rule` on transition `tid = (p, γ, to)` carrying weight `d`,
     // where γ is the concrete symbol the rule consumes.
     macro_rules! fire {
-        ($rid:expr, $tid:expr, $to:expr, $d:expr, $wl:expr, $eps:expr) => {{
+        ($rid:expr, $tid:expr, $to:expr, $d:expr) => {{
             let rule = pds.rule($rid);
             let w = rule.weight.extend(&$d);
             match rule.op {
@@ -126,9 +153,7 @@ pub fn post_star_budgeted<W: Weight>(
                         Provenance::Pop {
                             rule: $rid,
                             from: $tid
-                        },
-                        $wl,
-                        $eps
+                        }
                     );
                 }
                 RuleOp::Swap(g2) => {
@@ -140,24 +165,24 @@ pub fn post_star_budgeted<W: Weight>(
                         Provenance::Swap {
                             rule: $rid,
                             from: $tid
-                        },
-                        $wl,
-                        $eps
+                        }
                     );
                 }
                 RuleOp::Push(g1, g2) => {
-                    let m = *mid.entry((rule.to, g1)).or_insert_with(|| {
+                    let mkey = ((rule.to.0 as u64) << 32) | g1.0 as u64;
+                    let m = *mid.entry(mkey).or_insert_with(|| {
                         stats.mid_states += 1;
                         aut.add_state()
                     });
+                    if m.index() >= eps_into.len() {
+                        eps_into.resize(m.index() + 1, Vec::new());
+                    }
                     upd!(
                         AutState(rule.to.0),
                         TLabel::Sym(g1),
                         m,
                         W::one(),
-                        Provenance::PushEntry { rule: $rid },
-                        $wl,
-                        $eps
+                        Provenance::PushEntry { rule: $rid }
                     );
                     upd!(
                         m,
@@ -167,9 +192,7 @@ pub fn post_star_budgeted<W: Weight>(
                         Provenance::PushRest {
                             rule: $rid,
                             from: $tid
-                        },
-                        $wl,
-                        $eps
+                        }
                     );
                 }
             }
@@ -177,6 +200,7 @@ pub fn post_star_budgeted<W: Weight>(
     }
 
     while let Some(tid) = worklist.pop_front() {
+        on_worklist[tid.index()] = false;
         stats.worklist_pops += 1;
         if let Err(reason) = checker.tick(aut.transitions().len()) {
             stats.transitions = aut.transitions().len();
@@ -187,54 +211,12 @@ pub fn post_star_budgeted<W: Weight>(
             (t.from, t.label, t.to, t.weight.clone())
         };
         match label {
-            TLabel::Sym(gamma) => {
-                if aut.is_pds_state(from) {
-                    let p = StateId(from.0);
-                    for &rid in pds.rules_for(p, gamma) {
-                        fire!(rid, tid, to, d, worklist, eps_into);
-                    }
-                } else {
-                    combine_eps_into(
-                        &mut aut,
-                        &mut eps_into,
-                        &mut worklist,
-                        tid,
-                        from,
-                        label,
-                        to,
-                        &d,
-                    );
-                }
-            }
-            TLabel::Filter(f) => {
-                if aut.is_pds_state(from) {
-                    let p = StateId(from.0);
-                    if let Some(rids) = rules_of_state.get(&p) {
-                        for &rid in rids {
-                            let sym = pds.rule(rid).sym;
-                            if aut.filter(f).matches(sym) {
-                                fire!(rid, tid, to, d, worklist, eps_into);
-                            }
-                        }
-                    }
-                } else {
-                    combine_eps_into(
-                        &mut aut,
-                        &mut eps_into,
-                        &mut worklist,
-                        tid,
-                        from,
-                        label,
-                        to,
-                        &d,
-                    );
-                }
-            }
             TLabel::Eps => {
                 // ε-transition (from, ε, to): compose with every reading
                 // transition currently leaving `to`.
-                let succs: Vec<TransId> = aut.out_of(to).to_vec();
-                for t2id in succs {
+                succ_scratch.clear();
+                succ_scratch.extend_from_slice(aut.out_of(to));
+                for &t2id in succ_scratch.iter() {
                     let (l2, to2, d2) = {
                         let t2 = aut.transition(t2id);
                         (t2.label, t2.to, t2.weight.clone())
@@ -251,9 +233,46 @@ pub fn post_star_budgeted<W: Weight>(
                         Provenance::Combine {
                             eps: tid,
                             next: t2id
-                        },
-                        worklist,
-                        eps_into
+                        }
+                    );
+                }
+            }
+            _ if aut.is_pds_state(from) => {
+                let p = StateId(from.0);
+                match label {
+                    TLabel::Sym(gamma) => {
+                        for &rid in pds.rules_for(p, gamma) {
+                            fire!(rid, tid, to, d);
+                        }
+                    }
+                    TLabel::Filter(f) => {
+                        for &rid in pds.rules_of_state(p) {
+                            let sym = pds.rule(rid).sym;
+                            if aut.filter(f).matches(sym) {
+                                fire!(rid, tid, to, d);
+                            }
+                        }
+                    }
+                    TLabel::Eps => unreachable!("handled above"),
+                }
+            }
+            _ => {
+                // A reading transition at a non-control state: compose
+                // each ε-transition (q'', ε, from) with it.
+                eps_scratch.clear();
+                eps_scratch.extend_from_slice(&eps_into[from.index()]);
+                for &e in eps_scratch.iter() {
+                    let (esrc, ew) = {
+                        let et = aut.transition(e);
+                        (et.from, et.weight.clone())
+                    };
+                    let w = ew.extend(&d);
+                    upd!(
+                        esrc,
+                        label,
+                        to,
+                        w,
+                        Provenance::Combine { eps: e, next: tid }
                     );
                 }
             }
@@ -264,42 +283,11 @@ pub fn post_star_budgeted<W: Weight>(
     Ok((aut, stats))
 }
 
-/// When a reading transition `next = (from, l, to)` appears at a state
-/// that is the target of ε-transitions, compose each `(q'', ε, from)`
-/// with it.
-#[allow(clippy::too_many_arguments)]
-fn combine_eps_into<W: Weight>(
-    aut: &mut PAutomaton<W>,
-    eps_into: &mut HashMap<AutState, Vec<TransId>>,
-    worklist: &mut VecDeque<TransId>,
-    next: TransId,
-    from: AutState,
-    label: TLabel,
-    to: AutState,
-    d: &W,
-) {
-    let Some(eps) = eps_into.get(&from) else {
-        return;
-    };
-    let eps: Vec<TransId> = eps.clone();
-    for e in eps {
-        let (esrc, ew) = {
-            let et = aut.transition(e);
-            (et.from, et.weight.clone())
-        };
-        let w = ew.extend(d);
-        let (tid, improved) =
-            aut.insert_or_combine(esrc, label, to, w, Provenance::Combine { eps: e, next });
-        if improved {
-            worklist.push_back(tid);
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::nfa::SymFilter;
+    use crate::pds::SymbolId;
     use crate::semiring::{MinTotal, Unweighted};
 
     fn sym(i: u32) -> SymbolId {
@@ -512,5 +500,28 @@ mod tests {
         // After popping a, <p0, X> for any X; firing rule 1 requires X=b.
         assert!(sat.accepts(st(1), &[]));
         assert!(sat.accepts(st(0), &[b]));
+    }
+
+    #[test]
+    fn worklist_dedup_does_not_change_fixpoint() {
+        // A diamond of swaps with unequal weights forces repeated weight
+        // improvements on shared transitions — the dedup flag must not
+        // lose any of them.
+        let mut pds = Pds::<MinTotal>::new(4, 2);
+        let (a, b) = (sym(0), sym(1));
+        pds.add_rule(st(0), a, st(1), RuleOp::Swap(a), MinTotal(5), 0);
+        pds.add_rule(st(0), a, st(2), RuleOp::Swap(a), MinTotal(1), 1);
+        pds.add_rule(st(1), a, st(3), RuleOp::Swap(b), MinTotal(1), 2);
+        pds.add_rule(st(2), a, st(3), RuleOp::Swap(b), MinTotal(1), 3);
+        pds.add_rule(st(3), b, st(0), RuleOp::Swap(a), MinTotal(1), 4);
+
+        let init = initial_config(&pds, st(0), &[a], MinTotal(0));
+        let (sat, stats) = post_star_with_stats(&pds, &init);
+        assert_eq!(sat.accept_weight(st(3), &[b]), Some(MinTotal(2)));
+        assert_eq!(sat.accept_weight(st(0), &[a]), Some(MinTotal(0)));
+        // The run must have observed at least one avoided re-queue or
+        // none — either way the weights above pin the fixpoint; the
+        // counter is merely observable.
+        let _ = stats.worklist_requeues_avoided;
     }
 }

@@ -10,13 +10,52 @@
 //! current automaton can read `w` from `p'` to some state `q` with weight
 //! `d`, then add `(p, γ, q)` with weight `f(r) ⊗ d`. No ε-transitions or
 //! extra states are ever introduced.
+//!
+//! The backward rule lookups (swap rules by swapped-in symbol, push rules
+//! by first/second pushed symbol) come from the construction-time indexes
+//! of [`Pds`] — nothing is rebuilt per call. The local transition index
+//! `(from, γ) → transitions` is a per-state sorted array (pre* never adds
+//! states, so the outer dimension is fixed), the worklist is deduplicated
+//! with an on-worklist bitflag, and follower/first snapshots reuse
+//! scratch buffers instead of cloning.
 
 use crate::budget::{Budget, SaturationAbort};
 use crate::pautomaton::{AutState, PAutomaton, Provenance, TLabel, TransId};
-use crate::pds::{Pds, RuleId, RuleOp, StateId, SymbolId};
+use crate::pds::{Pds, RuleOp, StateId, SymbolId};
 use crate::poststar::SaturationStats;
 use crate::semiring::Weight;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+/// A per-state multimap from head symbol to the transitions reading it,
+/// kept sorted by symbol (same layout as the rule indexes of [`Pds`]).
+#[derive(Clone, Default)]
+struct HeadIndex {
+    syms: Vec<SymbolId>,
+    lists: Vec<Vec<TransId>>,
+}
+
+const NO_TRANS: &[TransId] = &[];
+
+impl HeadIndex {
+    #[inline]
+    fn push(&mut self, g: SymbolId, t: TransId) {
+        match self.syms.binary_search(&g) {
+            Ok(i) => self.lists[i].push(t),
+            Err(i) => {
+                self.syms.insert(i, g);
+                self.lists.insert(i, vec![t]);
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, g: SymbolId) -> &[TransId] {
+        match self.syms.binary_search(&g) {
+            Ok(i) => &self.lists[i],
+            Err(_) => NO_TRANS,
+        }
+    }
+}
 
 /// Compute `pre*` of the configurations accepted by `target`.
 ///
@@ -59,37 +98,37 @@ pub fn pre_star_budgeted<W: Weight>(
 
     let mut aut = target.clone();
 
-    // Index rules by what they *produce*, for backwards matching:
-    //  swap γ' at p'        : (p', γ') -> rules
-    //  push (γ1, γ2) at p'  : (p', γ1) -> rules (γ2 resolved per-rule)
-    let mut swap_by: HashMap<(StateId, SymbolId), Vec<RuleId>> = HashMap::new();
-    let mut push_by_first: HashMap<(StateId, SymbolId), Vec<RuleId>> = HashMap::new();
-    let mut push_by_second: HashMap<SymbolId, Vec<RuleId>> = HashMap::new();
-    for (i, r) in pds.rules().iter().enumerate() {
-        let rid = RuleId(i as u32);
-        match r.op {
-            RuleOp::Pop => {}
-            RuleOp::Swap(g) => swap_by.entry((r.to, g)).or_default().push(rid),
-            RuleOp::Push(g1, g2) => {
-                push_by_first.entry((r.to, g1)).or_default().push(rid);
-                push_by_second.entry(g2).or_default().push(rid);
-            }
-        }
-    }
-
-    // Local (from, label) -> transitions index, maintained incrementally.
-    let mut by_head: HashMap<(AutState, SymbolId), Vec<TransId>> = HashMap::new();
+    // Local (from, γ) → transitions index, maintained incrementally.
+    // pre* never allocates states, so the outer dimension is fixed.
+    let mut by_head: Vec<HeadIndex> = vec![HeadIndex::default(); aut.num_states() as usize];
     let mut worklist: VecDeque<TransId> = VecDeque::new();
+    let mut on_worklist: Vec<bool> = Vec::new();
+
+    // Reusable snapshot buffers for the push-rule composition loops (the
+    // index is mutated while a snapshot is traversed).
+    let mut followers_scratch: Vec<TransId> = Vec::new();
+    let mut firsts_scratch: Vec<TransId> = Vec::new();
 
     macro_rules! upd {
         ($from:expr, $sym:expr, $to:expr, $w:expr, $prov:expr) => {{
-            let existed = aut.find($from, TLabel::Sym($sym), $to).is_some();
-            let (tid, improved) = aut.insert_or_combine($from, TLabel::Sym($sym), $to, $w, $prov);
-            if !existed {
-                by_head.entry(($from, $sym)).or_default().push(tid);
+            let from: AutState = $from;
+            let sym: SymbolId = $sym;
+            let before = aut.transitions().len();
+            let (tid, improved) = aut.insert_or_combine(from, TLabel::Sym(sym), $to, $w, $prov);
+            if aut.transitions().len() > before {
+                by_head[from.index()].push(sym, tid);
             }
             if improved {
-                worklist.push_back(tid);
+                let ti = tid.index();
+                if ti >= on_worklist.len() {
+                    on_worklist.resize(ti + 1, false);
+                }
+                if !on_worklist[ti] {
+                    on_worklist[ti] = true;
+                    worklist.push_back(tid);
+                } else {
+                    stats.worklist_requeues_avoided += 1;
+                }
             }
         }};
     }
@@ -102,12 +141,14 @@ pub fn pre_star_budgeted<W: Weight>(
         let TLabel::Sym(sym) = t.label else {
             unreachable!("checked above")
         };
-        by_head.entry((t.from, sym)).or_default().push(tid);
+        let from = t.from;
+        by_head[from.index()].push(sym, tid);
         worklist.push_back(tid);
+        on_worklist.push(true);
     }
     for (i, r) in pds.rules().iter().enumerate() {
         if let RuleOp::Pop = r.op {
-            let rid = RuleId(i as u32);
+            let rid = crate::pds::RuleId(i as u32);
             upd!(
                 AutState(r.from.0),
                 r.sym,
@@ -119,6 +160,7 @@ pub fn pre_star_budgeted<W: Weight>(
     }
 
     while let Some(tid) = worklist.pop_front() {
+        on_worklist[tid.index()] = false;
         stats.worklist_pops += 1;
         if let Err(reason) = checker.tick(aut.transitions().len()) {
             stats.transitions = aut.transitions().len();
@@ -135,86 +177,78 @@ pub fn pre_star_budgeted<W: Weight>(
         // Case 1: t reads the swapped-in symbol of a swap rule.
         if from.0 < pds.num_states() {
             let p_prime = StateId(from.0);
-            if let Some(rules) = swap_by.get(&(p_prime, label)) {
-                for &rid in rules {
-                    let r = pds.rule(rid);
-                    let w = r.weight.extend(&d);
-                    upd!(
-                        AutState(r.from.0),
-                        r.sym,
-                        to,
-                        w,
-                        Provenance::PreSwap {
-                            rule: rid,
-                            next: tid
-                        }
-                    );
-                }
+            for &rid in pds.swap_rules_into(p_prime, label) {
+                let r = pds.rule(rid);
+                let w = r.weight.extend(&d);
+                upd!(
+                    AutState(r.from.0),
+                    r.sym,
+                    to,
+                    w,
+                    Provenance::PreSwap {
+                        rule: rid,
+                        next: tid
+                    }
+                );
             }
             // Case 2a: t reads the FIRST pushed symbol: need a follower
             // reading the second.
-            if let Some(rules) = push_by_first.get(&(p_prime, label)) {
-                for &rid in rules {
-                    let r = pds.rule(rid);
-                    let RuleOp::Push(_, g2) = r.op else {
-                        unreachable!()
+            for &rid in pds.push_rules_by_first(p_prime, label) {
+                let r = pds.rule(rid);
+                let RuleOp::Push(_, g2) = r.op else {
+                    unreachable!()
+                };
+                followers_scratch.clear();
+                followers_scratch.extend_from_slice(by_head[to.index()].get(g2));
+                for &t2 in followers_scratch.iter() {
+                    let (to2, d2) = {
+                        let tt = aut.transition(t2);
+                        (tt.to, tt.weight.clone())
                     };
-                    let followers: Vec<TransId> =
-                        by_head.get(&(to, g2)).cloned().unwrap_or_default();
-                    for t2 in followers {
-                        let (to2, d2) = {
-                            let tt = aut.transition(t2);
-                            (tt.to, tt.weight.clone())
-                        };
-                        let w = r.weight.extend(&d).extend(&d2);
-                        upd!(
-                            AutState(r.from.0),
-                            r.sym,
-                            to2,
-                            w,
-                            Provenance::PrePush {
-                                rule: rid,
-                                next1: tid,
-                                next2: t2
-                            }
-                        );
-                    }
+                    let w = r.weight.extend(&d).extend(&d2);
+                    upd!(
+                        AutState(r.from.0),
+                        r.sym,
+                        to2,
+                        w,
+                        Provenance::PrePush {
+                            rule: rid,
+                            next1: tid,
+                            next2: t2
+                        }
+                    );
                 }
             }
         }
         // Case 2b: t reads the SECOND pushed symbol: need a predecessor
         // reading the first from the rule's target state into t.from.
-        if let Some(rules) = push_by_second.get(&label) {
-            for &rid in rules {
-                let r = pds.rule(rid);
-                let RuleOp::Push(g1, _) = r.op else {
-                    unreachable!()
+        for &rid in pds.push_rules_by_second(label) {
+            let r = pds.rule(rid);
+            let RuleOp::Push(g1, _) = r.op else {
+                unreachable!()
+            };
+            firsts_scratch.clear();
+            firsts_scratch.extend_from_slice(by_head[AutState(r.to.0).index()].get(g1));
+            for &t1 in firsts_scratch.iter() {
+                let (to1, d1) = {
+                    let tt = aut.transition(t1);
+                    (tt.to, tt.weight.clone())
                 };
-                let firsts: Vec<TransId> = by_head
-                    .get(&(AutState(r.to.0), g1))
-                    .cloned()
-                    .unwrap_or_default();
-                for t1 in firsts {
-                    let (to1, d1) = {
-                        let tt = aut.transition(t1);
-                        (tt.to, tt.weight.clone())
-                    };
-                    if to1 != from {
-                        continue;
-                    }
-                    let w = r.weight.extend(&d1).extend(&d);
-                    upd!(
-                        AutState(r.from.0),
-                        r.sym,
-                        to,
-                        w,
-                        Provenance::PrePush {
-                            rule: rid,
-                            next1: t1,
-                            next2: tid
-                        }
-                    );
+                if to1 != from {
+                    continue;
                 }
+                let w = r.weight.extend(&d1).extend(&d);
+                upd!(
+                    AutState(r.from.0),
+                    r.sym,
+                    to,
+                    w,
+                    Provenance::PrePush {
+                        rule: rid,
+                        next1: t1,
+                        next2: tid
+                    }
+                );
             }
         }
     }
@@ -353,5 +387,22 @@ mod tests {
 
         let back = pre_star(&pds, &target_config(&pds, st(1), &[b, a]));
         assert!(back.accepts(st(0), &[a]));
+    }
+
+    #[test]
+    fn prestar_dedup_keeps_minimal_weights() {
+        // Chain of swaps where a cheaper route is discovered after the
+        // transition is already queued: the dedup flag must not freeze
+        // the earlier (worse) weight.
+        let mut pds = Pds::<MinTotal>::new(4, 2);
+        let (a, g) = (sym(0), sym(1));
+        pds.add_rule(st(0), a, st(3), RuleOp::Swap(g), MinTotal(9), 0);
+        pds.add_rule(st(0), a, st(1), RuleOp::Swap(a), MinTotal(1), 1);
+        pds.add_rule(st(1), a, st(2), RuleOp::Swap(a), MinTotal(1), 2);
+        pds.add_rule(st(2), a, st(3), RuleOp::Swap(g), MinTotal(1), 3);
+        let target = target_config(&pds, st(3), &[g]);
+        let (sat, stats) = pre_star_with_stats(&pds, &target);
+        assert_eq!(sat.accept_weight(st(0), &[a]), Some(MinTotal(3)));
+        let _ = stats.worklist_requeues_avoided;
     }
 }

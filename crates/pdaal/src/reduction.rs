@@ -22,7 +22,7 @@
 use crate::pautomaton::{PAutomaton, TLabel};
 use crate::pds::{Pds, RuleId, RuleOp, StateId, SymbolId};
 use crate::semiring::Weight;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 /// A possibly-universal set of stack symbols.
 ///
@@ -190,15 +190,6 @@ pub fn forward_heads<W: Weight>(pds: &Pds<W>, initial: &PAutomaton<W>) -> Forwar
     let mut below_dirty: VecDeque<StateId> = VecDeque::new();
     let mut dirty_flag: Vec<bool> = vec![false; ns];
 
-    // Rules by source state, for AllOf processing.
-    let mut rules_of_state: HashMap<StateId, Vec<RuleId>> = HashMap::new();
-    for (i, r) in pds.rules().iter().enumerate() {
-        rules_of_state
-            .entry(r.from)
-            .or_default()
-            .push(RuleId(i as u32));
-    }
-
     // What can a transition label read?
     let label_syms = |l: TLabel| -> Option<SymSet> {
         match l {
@@ -301,11 +292,11 @@ pub fn forward_heads<W: Weight>(pds: &Pds<W>, initial: &PAutomaton<W>) -> Forwar
     // symbol is in TOS(p) = All by definition).
     loop {
         if let Some(item) = work.pop_front() {
-            let (p, rids): (StateId, Vec<RuleId>) = match item {
-                HeadItem::One(p, g) => (p, pds.rules_for(p, g).to_vec()),
-                HeadItem::AllOf(p) => (p, rules_of_state.get(&p).cloned().unwrap_or_default()),
+            let (p, rids): (StateId, &[RuleId]) = match item {
+                HeadItem::One(p, g) => (p, pds.rules_for(p, g)),
+                HeadItem::AllOf(p) => (p, pds.rules_of_state(p)),
             };
-            for rid in rids {
+            for &rid in rids {
                 let r = pds.rule(rid);
                 let extra = match r.op {
                     RuleOp::Swap(g2) => {

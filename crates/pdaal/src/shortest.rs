@@ -13,12 +13,13 @@
 //! stack word is concrete.
 
 use crate::budget::{AbortReason, Budget};
+use crate::fxhash::FxHashMap;
 use crate::nfa::StackNfa;
 use crate::pautomaton::{AutState, PAutomaton, TLabel, TransId};
 use crate::pds::{StateId, SymbolId};
 use crate::semiring::Weight;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// A minimum-weight accepting path through the saturated automaton.
 #[derive(Clone, Debug)]
@@ -80,10 +81,12 @@ pub fn shortest_accepted_budgeted<W: Weight>(
     let node = |s: AutState, n: u32| -> u64 { s.0 as u64 * n_nfa + n as u64 };
     let n_symbols = aut.num_symbols();
 
-    let mut best: HashMap<u64, W> = HashMap::new();
+    // Product nodes are packed integers — Fx-hashed (trusted keys, see
+    // crate::fxhash).
+    let mut best: FxHashMap<u64, W> = FxHashMap::default();
     // Predecessor: node -> (prev node, transition, concrete symbol read).
-    let mut pred: HashMap<u64, (u64, TransId, Option<SymbolId>)> = HashMap::new();
-    let mut origin: HashMap<u64, StateId> = HashMap::new();
+    let mut pred: FxHashMap<u64, (u64, TransId, Option<SymbolId>)> = FxHashMap::default();
+    let mut origin: FxHashMap<u64, StateId> = FxHashMap::default();
     let mut heap: BinaryHeap<Reverse<HeapItem<W>>> = BinaryHeap::new();
 
     for (p, w0) in starts {

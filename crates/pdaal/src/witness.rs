@@ -22,6 +22,16 @@
 //! recording time; chains cannot cycle. A generous step limit guards
 //! against violations of that invariant (which would indicate a bug, not a
 //! property of the input).
+//!
+//! This invariant lives entirely in
+//! [`PAutomaton::insert_or_combine`](crate::pautomaton::PAutomaton::insert_or_combine)
+//! and is independent of how transitions are *indexed*: the dense
+//! per-state adjacency index and the worklist dedup of the saturation
+//! procedures change lookup cost and pop order, never which weight wins
+//! or which provenance is recorded for it (see DESIGN.md "Saturation
+//! data layout"). The differential harness replays witnesses from both
+//! the dense and the [reference](crate::reference) saturation paths to
+//! pin this down.
 
 use crate::pautomaton::{PAutomaton, Provenance, TransId};
 use crate::pds::{Pds, RuleId, RuleOp, StateId, SymbolId};
