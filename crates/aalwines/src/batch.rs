@@ -20,8 +20,38 @@ use netmodel::Network;
 use pdaal::budget::{AbortReason, CancelToken};
 use query::Query;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Best-effort extraction of a human-readable panic message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "panicked (non-string payload)".to_string())
+}
+
+/// Drain the per-slot results into query order. A slot that was never
+/// stored (its worker died between claiming the index and writing the
+/// answer) or whose mutex is poisoned degrades to
+/// [`Outcome::Error`](crate::Outcome::Error) for that query alone
+/// instead of panicking away the whole batch.
+fn collect_answers(results: Vec<Mutex<Option<Answer>>>) -> Vec<Answer> {
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Answer::error(format!(
+                        "query {i}: worker thread died before storing an answer"
+                    ))
+                })
+        })
+        .collect()
+}
 
 /// Options for a whole batch run (`#[non_exhaustive]`; construct with
 /// [`BatchOptions::new`]).
@@ -131,14 +161,11 @@ pub fn verify_batch_with(
                 engine.verify(q, &effective)
             })) {
                 Ok(answer) => answer,
-                Err(payload) => {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "engine panicked (non-string payload)".to_string());
-                    Answer::error(format!("engine '{}' panicked: {msg}", engine.name()))
-                }
+                Err(payload) => Answer::error(format!(
+                    "engine '{}' panicked: {}",
+                    engine.name(),
+                    panic_message(payload.as_ref())
+                )),
             }
         }
     };
@@ -156,19 +183,30 @@ pub fn verify_batch_with(
                 if i >= queries.len() {
                     break;
                 }
-                let answer = answer_one(&queries[i]);
-                *results[i].lock().expect("result slot") = Some(answer);
+                // Second isolation layer around the whole claim→store
+                // path: `answer_one` catches engine panics, but a panic
+                // anywhere else in this body would escape into
+                // `thread::scope`, re-raise in the caller, and drop
+                // every sibling's answer with it.
+                let answer = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    answer_one(&queries[i])
+                }))
+                .unwrap_or_else(|payload| {
+                    Answer::error(format!(
+                        "batch worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    ))
+                });
+                // A sibling's panic while holding this slot poisons the
+                // mutex, not the data; store through the poison.
+                match results[i].lock() {
+                    Ok(mut slot) => *slot = Some(answer),
+                    Err(poisoned) => *poisoned.into_inner() = Some(answer),
+                }
             });
         }
     });
-    results
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot")
-                .expect("every query answered")
-        })
-        .collect()
+    collect_answers(results)
 }
 
 /// Verify `queries` against `net` with the dual engine using up to
@@ -341,6 +379,110 @@ mod tests {
                     "slot {i} should carry a real verdict"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn panicking_query_in_parallel_batch_degrades_only_its_slot() {
+        /// Panics on a marker query (`k == 7`), regardless of which
+        /// worker thread picks it up or in what order.
+        struct MarkerPanicEngine<'a> {
+            inner: Verifier<'a>,
+        }
+        impl Engine for MarkerPanicEngine<'_> {
+            fn name(&self) -> &'static str {
+                "marker"
+            }
+            fn network(&self) -> &Network {
+                self.inner.network()
+            }
+            fn verify_compiled(&self, cq: &query::CompiledQuery, opts: &VerifyOptions) -> Answer {
+                if cq.max_failures == 7 {
+                    panic!("injected parallel engine failure");
+                }
+                self.inner.verify_compiled(cq, opts)
+            }
+        }
+
+        let net = paper_network();
+        let mut qs = queries();
+        let bad = 2usize;
+        qs.insert(bad, parse_query("<ip> [.#v0] .* [v3#.] <ip> 7").unwrap());
+        let reference = verify_batch(&net, &qs, &VerifyOptions::default(), 1);
+        let engine = MarkerPanicEngine {
+            inner: Verifier::new(&net),
+        };
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let out = verify_batch_with(
+            &engine,
+            &qs,
+            &VerifyOptions::new(),
+            &BatchOptions::new().with_threads(4),
+        );
+        std::panic::set_hook(prev_hook);
+        assert_eq!(out.len(), qs.len());
+        for (i, (a, r)) in out.iter().zip(&reference).enumerate() {
+            if i == bad {
+                match &a.outcome {
+                    Outcome::Error(msg) => {
+                        assert!(msg.contains("injected parallel engine failure"), "{msg}");
+                        assert!(msg.contains("marker"), "names the engine: {msg}");
+                    }
+                    other => panic!("slot {bad} should be Error, got {other:?}"),
+                }
+            } else {
+                assert_eq!(
+                    a.outcome.kind(),
+                    r.outcome.kind(),
+                    "sibling slot {i} must keep its verdict, in order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collection_degrades_missing_and_poisoned_slots() {
+        let ok = Mutex::new(Some(Answer::new(Outcome::Unsatisfied, EngineStats::new())));
+        let missing = Mutex::new(None);
+        let poisoned = Mutex::new(Some(Answer::new(Outcome::Inconclusive, EngineStats::new())));
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = poisoned.lock().unwrap();
+            panic!("poison the slot mutex");
+        }));
+        std::panic::set_hook(prev_hook);
+        assert!(poisoned.is_poisoned());
+
+        let out = collect_answers(vec![ok, missing, poisoned]);
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out[0].outcome, Outcome::Unsatisfied));
+        match &out[1].outcome {
+            Outcome::Error(msg) => assert!(msg.contains("query 1"), "{msg}"),
+            other => panic!("missing slot should be Error, got {other:?}"),
+        }
+        assert!(
+            matches!(out[2].outcome, Outcome::Inconclusive),
+            "a poisoned slot still yields its stored answer"
+        );
+    }
+
+    #[test]
+    fn repeated_queries_in_batch_hit_shared_cache() {
+        let net = paper_network();
+        let mut qs = queries();
+        let half = qs.len();
+        qs.extend(qs.clone());
+        let out = verify_batch(&net, &qs, &VerifyOptions::default(), 1);
+        let hits: usize = out.iter().map(|a| a.stats.cache_hits).sum();
+        assert!(hits > 0, "second copies of each query must hit the cache");
+        for i in 0..half {
+            assert_eq!(
+                format!("{:?}", out[i].outcome.kind()),
+                format!("{:?}", out[i + half].outcome.kind()),
+                "cached duplicate of query {i} changed its verdict"
+            );
         }
     }
 

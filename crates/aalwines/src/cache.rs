@@ -1,0 +1,203 @@
+//! Bounded cache of per-query compiled construction artifacts.
+//!
+//! [`ConstructionCache`] is a small thread-safe LRU keyed by a
+//! caller-computed fingerprint string plus the artifact's concrete type,
+//! storing values as `Arc<dyn Any + Send + Sync>`. The dual engine uses
+//! it to skip PDS construction and reduction when the same (query, `k`,
+//! mode, weight spec) combination is verified again against the same
+//! network; `verify_batch` workers share one cache through the
+//! `Verifier` they all borrow.
+//!
+//! The cache never invalidates by itself: it is owned by a `Verifier`,
+//! which is bound to one `Network` value for its whole lifetime, so a
+//! changed network means a new `Verifier` and with it a fresh cache.
+//! Fingerprints are full keys (the complete `Debug` rendering of the
+//! query-shaping inputs), not lossy hashes — two distinct queries can
+//! never collide into the same artifact.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Default number of compiled artifacts a `Verifier`'s cache holds.
+pub const DEFAULT_CACHE_SIZE: usize = 64;
+
+struct Slot {
+    value: Arc<dyn Any + Send + Sync>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<(String, TypeId), Slot>,
+    tick: u64,
+}
+
+/// A bounded, thread-safe LRU cache of compiled per-query artifacts.
+pub struct ConstructionCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ConstructionCache {
+    /// An empty cache holding at most `capacity` artifacts (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ConstructionCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A worker that panicked while holding the lock cannot have left
+        // the map structurally broken (every mutation under the lock is
+        // a complete HashMap operation), so recover from poison instead
+        // of propagating it into sibling queries.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Number of artifacts currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `fingerprint` for artifact type `A`; on a miss, run
+    /// `build` — outside the lock, so concurrent misses on different
+    /// keys compile in parallel — and insert the result, evicting the
+    /// least-recently-used artifacts past capacity. Returns the artifact
+    /// and whether the lookup was a hit.
+    pub fn get_or_build<A, F>(&self, fingerprint: &str, build: F) -> (Arc<A>, bool)
+    where
+        A: Send + Sync + 'static,
+        F: FnOnce() -> A,
+    {
+        let key = (fingerprint.to_string(), TypeId::of::<A>());
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(slot) = inner.map.get_mut(&key) {
+                slot.last_used = tick;
+                if let Ok(v) = slot.value.clone().downcast::<A>() {
+                    return (v, true);
+                }
+                // TypeId is part of the key, so a failed downcast is
+                // unreachable; fall through to a rebuild defensively.
+            }
+        }
+        let value = Arc::new(build());
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Two threads racing on the same key both build; the first
+        // insert wins, so later lookups all see one artifact. Both
+        // builds return identical content (construction is a pure
+        // function of the fingerprinted inputs).
+        inner
+            .map
+            .entry(key)
+            .or_insert_with(|| Slot {
+                value: value.clone(),
+                last_used: 0,
+            })
+            .last_used = tick;
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    inner.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+        (value, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = ConstructionCache::new(4);
+        let (v, hit) = cache.get_or_build("a", || 41u64);
+        assert!(!hit);
+        assert_eq!(*v, 41);
+        let (v, hit) = cache.get_or_build("a", || 99u64);
+        assert!(hit, "second lookup must not rebuild");
+        assert_eq!(*v, 41);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_types_do_not_collide() {
+        let cache = ConstructionCache::new(4);
+        cache.get_or_build("a", || 1u64);
+        let (v, hit) = cache.get_or_build("a", || "one".to_string());
+        assert!(!hit, "same key, different artifact type");
+        assert_eq!(*v, "one");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = ConstructionCache::new(2);
+        cache.get_or_build("a", || 1u64);
+        cache.get_or_build("b", || 2u64);
+        // Touch "a" so "b" becomes the LRU entry.
+        let (_, hit) = cache.get_or_build("a", || 0u64);
+        assert!(hit);
+        cache.get_or_build("c", || 3u64);
+        assert_eq!(cache.len(), 2);
+        let (_, hit_a) = cache.get_or_build("a", || 0u64);
+        assert!(hit_a, "recently used entry survives eviction");
+        let (_, hit_b) = cache.get_or_build("b", || 0u64);
+        assert!(!hit_b, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let cache = ConstructionCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.get_or_build("a", || 1u64);
+        let (_, hit) = cache.get_or_build("a", || 1u64);
+        assert!(hit);
+        cache.get_or_build("b", || 2u64);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = std::sync::Arc::new(ConstructionCache::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..100u64 {
+                        let key = format!("k{}", i % 8);
+                        let (v, _) = cache.get_or_build(&key, || i % 8);
+                        assert_eq!(*v, i % 8, "thread {t}");
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 8);
+    }
+}

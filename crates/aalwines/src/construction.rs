@@ -40,6 +40,7 @@ use netmodel::{LabelId, LabelKind, LinkId, Network, Op};
 use pdaal::{PAutomaton, Pds, RuleOp, StateId, SymbolId, TLabel, Weight};
 use query::{CompiledQuery, LinkNfa};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Over- or under-approximation of the failure semantics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -161,17 +162,221 @@ fn kinds_below(k: LabelKind) -> &'static [LabelKind] {
     }
 }
 
+/// One pre-canonicalized forwarding alternative of a TE group: a routing
+/// entry that already passed the kind-validity pre-check, with its
+/// operation sequence canonicalized and its per-step measure computed.
+#[derive(Clone, Debug)]
+pub struct PrecompEntry {
+    /// The link the entry forwards onto.
+    pub out: LinkId,
+    /// Canonical form of the entry's operation sequence.
+    pub canon: CanonicalOps,
+    /// Step measure of taking this entry (its `failures` component is
+    /// the owning group's `needed(j)` count).
+    pub measure: StepMeasure,
+}
+
+/// One traffic-engineering group of a routing key, with its `needed(j)`
+/// failure count resolved and inert entries already dropped.
+#[derive(Clone, Debug)]
+pub struct PrecompGroup {
+    /// `needed(j) = |E(O₁) ∪ … ∪ E(O_{j−1})|`: how many local link
+    /// failures activate this group.
+    pub needed: u32,
+    /// Usable entries of the group (entries whose own link must have
+    /// failed, or whose ops cannot apply to any valid header topped by
+    /// the key's label, are filtered out here, once).
+    pub entries: Vec<PrecompEntry>,
+}
+
+/// All TE groups of one `(in-link, label)` routing key, priority order.
+#[derive(Clone, Debug)]
+pub struct PrecompKey {
+    /// The top-of-stack label the key matches.
+    pub label: LabelId,
+    /// The key's groups by priority.
+    pub groups: Vec<PrecompGroup>,
+}
+
+fn kind_slot(k: LabelKind) -> usize {
+    match k {
+        LabelKind::Mpls => 0,
+        LabelKind::MplsBos => 1,
+        LabelKind::Ip => 2,
+    }
+}
+
+/// The query-independent part of the network → PDS compilation, computed
+/// once per [`Network`] and shared (via `Arc`) across queries, both
+/// [`ApproxMode`] phases, and batch worker threads.
+///
+/// Holds the canonicalized per-entry operation chains, the per-group
+/// `needed(j)` failure counts, the per-link start measures, and the
+/// label kind tables that [`build_with`] and `emit_chain` would
+/// otherwise recompute for every single query.
+///
+/// Invalidation is by construction: a precomp is built from one
+/// `Network` value and never mutated, so a changed network means a new
+/// precomp (and a new `Verifier`).
+pub struct NetworkPrecomp {
+    n_symbols: u32,
+    keys_of_link: HashMap<LinkId, Vec<PrecompKey>>,
+    labels_of_kind: [Vec<LabelId>; 3],
+    label_kind: Vec<LabelKind>,
+    start_measure: Vec<StepMeasure>,
+    build_time: Duration,
+}
+
+impl NetworkPrecomp {
+    /// Precompute the network-level construction tables for `net`.
+    ///
+    /// Tolerates unvalidated networks: routing keys or entries naming
+    /// out-of-range links/labels (possible after fault injection via
+    /// `add_rule_unchecked`) are dropped instead of panicking — they
+    /// could never label a real packet or complete a forwarding step.
+    pub fn new(net: &Network) -> Self {
+        let t0 = Instant::now();
+        let num_links = net.topology.num_links();
+        let num_labels = net.labels.len();
+        let label_kind: Vec<LabelKind> = (0..num_labels)
+            .map(|i| net.labels.kind(LabelId(i as u32)))
+            .collect();
+        let labels_of_kind = [
+            net.labels.of_kind(LabelKind::Mpls).collect(),
+            net.labels.of_kind(LabelKind::MplsBos).collect(),
+            net.labels.of_kind(LabelKind::Ip).collect(),
+        ];
+        let start_measure: Vec<StepMeasure> = (0..num_links)
+            .map(|i| {
+                let link = LinkId(i);
+                StepMeasure {
+                    links: 1,
+                    hops: u64::from(!net.topology.is_self_loop(link)),
+                    distance: net.topology.link(link).distance,
+                    failures: 0,
+                    tunnels: 0,
+                }
+            })
+            .collect();
+        let label_ok = |l: LabelId| l.index() < num_labels;
+        let mut keys_of_link: HashMap<LinkId, Vec<PrecompKey>> = HashMap::new();
+        for (link, label) in net.routing_keys() {
+            if !label_ok(label) || link.index() >= num_links as usize {
+                continue;
+            }
+            let mut blocked: Vec<LinkId> = Vec::new();
+            let mut groups: Vec<PrecompGroup> = Vec::new();
+            for group in net.groups(link, label) {
+                let needed = blocked.len() as u32;
+                let mut entries: Vec<PrecompEntry> = Vec::new();
+                for entry in group {
+                    let ids_ok = entry.out.index() < num_links as usize
+                        && entry.ops.iter().all(|op| match *op {
+                            Op::Swap(x) | Op::Push(x) => label_ok(x),
+                            Op::Pop => true,
+                        });
+                    // The entry's own link being required-failed makes
+                    // the entry inert; an op sequence undefined on every
+                    // valid header topped by `label` (partial rewrite)
+                    // likewise.
+                    if !ids_ok
+                        || blocked.contains(&entry.out)
+                        || !ops_may_apply(net, label, &entry.ops)
+                    {
+                        continue;
+                    }
+                    let canon = canonicalize(label, &entry.ops);
+                    let measure = StepMeasure {
+                        links: 1,
+                        hops: u64::from(!net.topology.is_self_loop(entry.out)),
+                        distance: net.topology.link(entry.out).distance,
+                        failures: needed as u64,
+                        tunnels: net_growth(&canon),
+                    };
+                    entries.push(PrecompEntry {
+                        out: entry.out,
+                        canon,
+                        measure,
+                    });
+                }
+                groups.push(PrecompGroup { needed, entries });
+                for entry in group {
+                    if !blocked.contains(&entry.out) {
+                        blocked.push(entry.out);
+                    }
+                }
+            }
+            keys_of_link
+                .entry(link)
+                .or_default()
+                .push(PrecompKey { label, groups });
+        }
+        NetworkPrecomp {
+            n_symbols: num_labels as u32,
+            keys_of_link,
+            labels_of_kind,
+            label_kind,
+            start_measure,
+            build_time: t0.elapsed(),
+        }
+    }
+
+    /// Number of stack symbols (= network labels).
+    pub fn num_symbols(&self) -> u32 {
+        self.n_symbols
+    }
+
+    /// The precompiled routing keys of `link` (empty when none).
+    pub fn keys(&self, link: LinkId) -> &[PrecompKey] {
+        self.keys_of_link.get(&link).map_or(&[], Vec::as_slice)
+    }
+
+    /// All labels of kind `k`, in id order.
+    pub fn labels_of_kind(&self, k: LabelKind) -> &[LabelId] {
+        &self.labels_of_kind[kind_slot(k)]
+    }
+
+    /// The kind of label `l`.
+    pub fn kind(&self, l: LabelId) -> LabelKind {
+        self.label_kind[l.index()]
+    }
+
+    /// The measure of a packet first appearing on `link`.
+    pub fn start_measure(&self, link: LinkId) -> &StepMeasure {
+        &self.start_measure[link.index()]
+    }
+
+    /// How long the precomputation took (reported as `precompMillis`).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+}
+
 /// Build the PDS for `net` and compiled query `cq`.
 ///
-/// `weigh` maps each forwarding step's [`StepMeasure`] to a semiring
-/// weight; pass `|_| Unweighted` for plain reachability.
+/// Convenience wrapper that runs [`NetworkPrecomp::new`] and forwards to
+/// [`build_with`]. Callers verifying many queries against one network
+/// should build the precomp once and share it instead.
 pub fn build<W: Weight>(
     net: &Network,
     cq: &CompiledQuery,
     mode: ApproxMode,
     weigh: &dyn Fn(&StepMeasure) -> W,
 ) -> Construction<W> {
-    let n_symbols = net.labels.len() as u32;
+    build_with(&NetworkPrecomp::new(net), cq, mode, weigh)
+}
+
+/// Build the PDS for compiled query `cq` over a precompiled network.
+///
+/// `weigh` maps each forwarding step's [`StepMeasure`] to a semiring
+/// weight; pass `|_| Unweighted` for plain reachability.
+pub fn build_with<W: Weight>(
+    pre: &NetworkPrecomp,
+    cq: &CompiledQuery,
+    mode: ApproxMode,
+    weigh: &dyn Fn(&StepMeasure) -> W,
+) -> Construction<W> {
+    let n_symbols = pre.num_symbols();
     let k = cq.max_failures;
     let path: &LinkNfa = &cq.path;
 
@@ -220,15 +425,6 @@ pub fn build<W: Weight>(
         }
     }
 
-    // Pre-index routing keys per link.
-    let mut keys_of_link: HashMap<LinkId, Vec<LabelId>> = HashMap::new();
-    for (link, label) in net.routing_keys() {
-        keys_of_link.entry(link).or_default().push(label);
-    }
-
-    // Candidate labels per kind (for the rare deep-rewrite fan-out).
-    let labels_of_kind = |k: LabelKind| -> Vec<LabelId> { net.labels.of_kind(k).collect() };
-
     while let Some(state) = worklist.pop() {
         let StateMeta::Real {
             link: e,
@@ -238,66 +434,39 @@ pub fn build<W: Weight>(
         else {
             continue;
         };
-        let Some(keys) = keys_of_link.get(&e) else {
-            continue;
-        };
-        for &label in keys.iter() {
-            let groups = net.groups(e, label);
-            let mut blocked: Vec<LinkId> = Vec::new();
-            for group in groups {
-                let needed = blocked.len() as u32;
+        for key in pre.keys(e) {
+            let label = key.label;
+            for group in &key.groups {
+                let needed = group.needed;
                 let admissible = match mode {
                     ApproxMode::Over => needed <= k,
                     ApproxMode::Under => f + needed <= k,
                 };
-                if admissible {
-                    for entry in group {
-                        if blocked.contains(&entry.out) {
-                            // The entry's own link is required to be
-                            // failed for this group to be the active one.
-                            continue;
-                        }
-                        let nf = match mode {
-                            ApproxMode::Over => 0,
-                            ApproxMode::Under => f + needed,
-                        };
-                        // Validity: skip entries whose ops are undefined
-                        // on headers topped by `label` (partial rewrite).
-                        if !ops_may_apply(net, label, &entry.ops) {
-                            continue;
-                        }
-                        let canon = canonicalize(label, &entry.ops);
-                        let measure = StepMeasure {
-                            links: 1,
-                            hops: u64::from(!net.topology.is_self_loop(entry.out)),
-                            distance: net.topology.link(entry.out).distance,
-                            failures: needed as u64,
-                            tunnels: net_growth(&canon),
-                        };
-                        let w = weigh(&measure);
-                        for pe in path.edges_from(qb) {
-                            if !pe.links.contains(entry.out) {
-                                continue;
-                            }
-                            let target = real_state!(pe.to, entry.out, nf);
-                            emit_chain(
-                                net,
-                                &mut pds,
-                                &mut meta,
-                                state,
-                                label,
-                                target,
-                                &canon,
-                                w.clone(),
-                                entry.out,
-                                &labels_of_kind,
-                            );
-                        }
-                    }
+                if !admissible {
+                    continue;
                 }
-                for entry in group {
-                    if !blocked.contains(&entry.out) {
-                        blocked.push(entry.out);
+                let nf = match mode {
+                    ApproxMode::Over => 0,
+                    ApproxMode::Under => f + needed,
+                };
+                for entry in &group.entries {
+                    let w = weigh(&entry.measure);
+                    for pe in path.edges_from(qb) {
+                        if !pe.links.contains(entry.out) {
+                            continue;
+                        }
+                        let target = real_state!(pe.to, entry.out, nf);
+                        emit_chain(
+                            pre,
+                            &mut pds,
+                            &mut meta,
+                            state,
+                            label,
+                            target,
+                            &entry.canon,
+                            w.clone(),
+                            entry.out,
+                        );
                     }
                 }
             }
@@ -338,14 +507,7 @@ pub fn build<W: Weight>(
         let StateMeta::Real { link, .. } = meta[sp.index()] else {
             unreachable!("starts are real states")
         };
-        let start_measure = StepMeasure {
-            links: 1,
-            hops: u64::from(!net.topology.is_self_loop(link)),
-            distance: net.topology.link(link).distance,
-            failures: 0,
-            tunnels: 0,
-        };
-        let w0 = weigh(&start_measure);
+        let w0 = weigh(pre.start_measure(link));
         for &a0 in a.initial_states() {
             debug_assert!(
                 !a.is_final(a0),
@@ -433,7 +595,7 @@ fn ops_may_apply(net: &Network, top: LabelId, ops: &[Op]) -> bool {
 /// the first rule.
 #[allow(clippy::too_many_arguments)]
 fn emit_chain<W: Weight>(
-    net: &Network,
+    pre: &NetworkPrecomp,
     pds: &mut Pds<W>,
     meta: &mut Vec<StateMeta>,
     from: StateId,
@@ -442,7 +604,6 @@ fn emit_chain<W: Weight>(
     canon: &CanonicalOps,
     weight: W,
     link: LinkId,
-    labels_of_kind: &dyn Fn(LabelKind) -> Vec<LabelId>,
 ) {
     let sym = |l: LabelId| SymbolId(l.0);
     let tag = tag_for_link(link);
@@ -500,7 +661,7 @@ fn emit_chain<W: Weight>(
     //   3. remove the final symbol: as a pop (m = 0, targets `target`)
     //      or fused with the first push as a swap to x₁,
     //   4. push x₂…xₘ on now-known tops.
-    let mut depth_kinds: Vec<Vec<LabelKind>> = vec![vec![net.labels.kind(top)]];
+    let mut depth_kinds: Vec<Vec<LabelKind>> = vec![vec![pre.kind(top)]];
     for i in 0..d {
         let mut next: Vec<LabelKind> = Vec::new();
         for k in &depth_kinds[i] {
@@ -521,7 +682,7 @@ fn emit_chain<W: Weight>(
     for kinds in depth_kinds.iter().take(d).skip(1) {
         let next = chain_state(pds, meta);
         for k in kinds {
-            for l in labels_of_kind(*k) {
+            for &l in pre.labels_of_kind(*k) {
                 pds.add_rule(cur, sym(l), next, RuleOp::Pop, W::one(), 0);
             }
         }
@@ -532,7 +693,7 @@ fn emit_chain<W: Weight>(
     let final_kinds = &depth_kinds[d];
     if m == 0 {
         for k in final_kinds {
-            for l in labels_of_kind(*k) {
+            for &l in pre.labels_of_kind(*k) {
                 pds.add_rule(cur, sym(l), target, RuleOp::Pop, W::one(), tag);
             }
         }
@@ -545,7 +706,7 @@ fn emit_chain<W: Weight>(
         chain_state(pds, meta)
     };
     for k in final_kinds {
-        for l in labels_of_kind(*k) {
+        for &l in pre.labels_of_kind(*k) {
             pds.add_rule(
                 cur,
                 sym(l),
@@ -689,6 +850,61 @@ mod tests {
     fn tags_round_trip() {
         assert_eq!(link_of_tag(0), None);
         assert_eq!(link_of_tag(tag_for_link(LinkId(7))), Some(LinkId(7)));
+    }
+
+    #[test]
+    fn precomp_build_matches_direct_build() {
+        use crate::examples::paper_network;
+        use pdaal::MinTotal;
+        let net = paper_network();
+        let pre = NetworkPrecomp::new(&net);
+        for text in [
+            "<ip> [.#v0] .* [v3#.] <ip> 2",
+            "<s40 ip> [.#v0] .* [v3#.] <mpls+ smpls ip> 1",
+        ] {
+            let q = query::parse_query(text).unwrap();
+            let cq = query::compile(&q, &net);
+            for mode in [ApproxMode::Over, ApproxMode::Under] {
+                let fresh = build(&net, &cq, mode, &|m| MinTotal(m.failures));
+                let shared = build_with(&pre, &cq, mode, &|m| MinTotal(m.failures));
+                assert_eq!(fresh.pds.num_states(), shared.pds.num_states());
+                assert_eq!(fresh.pds.num_rules(), shared.pds.num_rules());
+                assert_eq!(fresh.finals, shared.finals);
+            }
+        }
+    }
+
+    #[test]
+    fn precomp_tolerates_out_of_range_rule_ids() {
+        use crate::examples::paper_network;
+        use netmodel::routing::RoutingEntry;
+        let mut net = paper_network();
+        // Corrupt the table the way fault injection can: a key and an
+        // entry referencing links/labels outside the universe.
+        net.add_rule_unchecked(
+            LinkId(9999),
+            LabelId(0),
+            1,
+            RoutingEntry {
+                out: LinkId(0),
+                ops: vec![],
+            },
+        );
+        net.add_rule_unchecked(
+            LinkId(0),
+            LabelId(9999),
+            1,
+            RoutingEntry {
+                out: LinkId(9999),
+                ops: vec![Op::Swap(LabelId(9999))],
+            },
+        );
+        let pre = NetworkPrecomp::new(&net);
+        assert!(pre.keys(LinkId(9999)).is_empty());
+        assert!(pre
+            .keys(LinkId(0))
+            .iter()
+            .all(|k| k.label.index() < net.labels.len()));
     }
 
     #[test]

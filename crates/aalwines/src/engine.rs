@@ -2,7 +2,8 @@
 //! (paper Section 4.2), with deadline-aware, cancellable runs and
 //! machine-readable telemetry.
 
-use crate::construction::{self, ApproxMode, Construction};
+use crate::cache::{ConstructionCache, DEFAULT_CACHE_SIZE};
+use crate::construction::{self, ApproxMode, Construction, NetworkPrecomp};
 use crate::lift::{lift_run, trace_pairs};
 use crate::quantities::{StepMeasure, WeightSpec};
 use crate::telemetry::{self, JsonObject};
@@ -12,9 +13,10 @@ use pdaal::poststar::post_star_budgeted;
 use pdaal::reduction::reduce;
 use pdaal::shortest::shortest_accepted_budgeted;
 use pdaal::witness::reconstruct_run;
-use pdaal::{MinTotal, MinVector, StateId, Unweighted, Weight};
+use pdaal::{MinTotal, MinVector, Pds, StateId, Unweighted, Weight};
 use query::{compile, CompiledQuery, Query};
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Options controlling a verification run.
@@ -265,12 +267,34 @@ pub struct EngineStats {
     pub quick_decided: Option<QuickReason>,
     /// Why the verification aborted, if it did.
     pub aborted: Option<AbortReason>,
-    /// Time spent building PDSs.
+    /// Construction-cache hits of this verification (0–2: one possible
+    /// per approximation phase; always 0 with the cache disabled).
+    pub cache_hits: usize,
+    /// Construction-cache misses of this verification (phases that had
+    /// to compile; with the cache disabled every phase counts here).
+    pub cache_misses: usize,
+    /// Time spent building PDSs (cache hits contribute nothing).
     pub t_construct: Duration,
     /// Time spent in the static reductions.
     pub t_reduce: Duration,
     /// Time spent saturating + extracting (both phases).
     pub t_solve: Duration,
+    /// Construction time of the over-approximation phase.
+    pub t_construct_over: Duration,
+    /// Construction time of the under-approximation phase.
+    pub t_construct_under: Duration,
+    /// Reduction time of the over-approximation phase.
+    pub t_reduce_over: Duration,
+    /// Reduction time of the under-approximation phase.
+    pub t_reduce_under: Duration,
+    /// Solve (saturate + extract) time of the over-approximation phase.
+    pub t_solve_over: Duration,
+    /// Solve (saturate + extract) time of the under-approximation phase.
+    pub t_solve_under: Duration,
+    /// One-time network precomputation cost of the answering engine
+    /// (paid once per `Verifier`, reported identically by every answer —
+    /// like `validation_issues`).
+    pub t_precomp: Duration,
     /// End-to-end time of the verification.
     pub t_total: Duration,
 }
@@ -309,9 +333,24 @@ impl EngineStats {
             Some(reason) => o.string("aborted", reason.as_str()),
             None => o.null("aborted"),
         }
+        o.number("cacheHits", self.cache_hits as f64);
+        o.number("cacheMisses", self.cache_misses as f64);
         o.number("constructMillis", telemetry::millis(self.t_construct));
         o.number("reduceMillis", telemetry::millis(self.t_reduce));
         o.number("solveMillis", telemetry::millis(self.t_solve));
+        o.number(
+            "constructOverMillis",
+            telemetry::millis(self.t_construct_over),
+        );
+        o.number(
+            "constructUnderMillis",
+            telemetry::millis(self.t_construct_under),
+        );
+        o.number("reduceOverMillis", telemetry::millis(self.t_reduce_over));
+        o.number("reduceUnderMillis", telemetry::millis(self.t_reduce_under));
+        o.number("solveOverMillis", telemetry::millis(self.t_solve_over));
+        o.number("solveUnderMillis", telemetry::millis(self.t_solve_under));
+        o.number("precompMillis", telemetry::millis(self.t_precomp));
         o.number("totalMillis", telemetry::millis(self.t_total));
         o.finish()
     }
@@ -390,10 +429,113 @@ enum Phase {
     Aborted(AbortReason),
 }
 
+/// One compiled, reduced per-(query, mode, weight-domain) artifact:
+/// everything that depends only on the inputs baked into the cache
+/// fingerprint, ready for saturation. Cached by [`Verifier`] so repeated
+/// queries skip construction *and* reduction entirely.
+struct CompiledPhase<W: Weight> {
+    cons: Construction<W>,
+    /// The PDS saturation actually runs on (reduced unless the options
+    /// disabled reductions — the toggle is part of the fingerprint).
+    solve_pds: Pds<W>,
+    rules_removed: usize,
+    t_construct: Duration,
+    t_reduce: Duration,
+}
+
+fn compile_phase<W: Weight>(
+    pre: &NetworkPrecomp,
+    cq: &CompiledQuery,
+    mode: ApproxMode,
+    no_reduction: bool,
+    weigh: &dyn Fn(&StepMeasure) -> W,
+) -> CompiledPhase<W> {
+    let t0 = Instant::now();
+    let cons: Construction<W> = construction::build_with(pre, cq, mode, weigh);
+    let t_construct = t0.elapsed();
+    let t0 = Instant::now();
+    let (solve_pds, rules_removed) = if no_reduction {
+        (cons.pds.clone(), 0)
+    } else {
+        reduce(&cons.pds, &cons.initial, &cons.finals)
+    };
+    let t_reduce = t0.elapsed();
+    CompiledPhase {
+        cons,
+        solve_pds,
+        rules_removed,
+        t_construct,
+        t_reduce,
+    }
+}
+
+/// Render a [`pdaal::SymFilter`] with its symbol set *sorted*: the sets
+/// are `HashSet`s whose iteration (and so `Debug`) order differs between
+/// instances, and the query NFAs are recompiled per verification, so an
+/// unsorted rendering would never produce two equal fingerprints.
+fn fingerprint_filter(f: &pdaal::SymFilter, out: &mut String) {
+    use std::fmt::Write as _;
+    let (tag, set) = match f {
+        pdaal::SymFilter::Any => {
+            out.push('*');
+            return;
+        }
+        pdaal::SymFilter::In(set) => ('+', set),
+        pdaal::SymFilter::NotIn(set) => ('-', set),
+    };
+    let mut syms: Vec<u32> = set.iter().map(|s| s.0).collect();
+    syms.sort_unstable();
+    let _ = write!(out, "{tag}{syms:?}");
+}
+
+/// Canonical rendering of a [`pdaal::StackNfa`]: states, initial and
+/// final sets, and the edge list in insertion order with sorted filters.
+fn fingerprint_nfa(nfa: &pdaal::StackNfa, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "s{}i{:?}f[", nfa.num_states(), nfa.initial_states());
+    for s in 0..nfa.num_states() {
+        if nfa.is_final(s) {
+            let _ = write!(out, "{s},");
+        }
+    }
+    out.push(']');
+    for e in nfa.edges() {
+        let _ = write!(out, "({}-", e.from);
+        fingerprint_filter(&e.filter, out);
+        let _ = write!(out, "-{})", e.to);
+    }
+}
+
+/// A full fingerprint of everything query-specific that shapes a
+/// compiled artifact: the three compiled automata, the failure budget
+/// `k`, the weight specification, and the reduction toggle. Not a lossy
+/// hash — a complete canonical rendering — so distinct queries can never
+/// alias a cache slot. The stack NFAs are rendered with sorted filter
+/// sets (their `Debug` would leak `HashSet` iteration order and break
+/// key equality); the link NFA is bitset-based and renders canonically
+/// via `Debug`. The approximation mode and the weight domain's `TypeId`
+/// are appended by the cache lookup itself.
+pub fn query_fingerprint(cq: &CompiledQuery, opts: &VerifyOptions) -> String {
+    use std::fmt::Write as _;
+    let mut fp = String::new();
+    fp.push_str("i=");
+    fingerprint_nfa(&cq.initial, &mut fp);
+    let _ = write!(fp, ";p={:?};f=", cq.path);
+    fingerprint_nfa(&cq.final_, &mut fp);
+    let _ = write!(
+        fp,
+        ";k={};w={:?};nr={}",
+        cq.max_failures, opts.weights, opts.no_reduction
+    );
+    fp
+}
+
 /// Run one approximation phase with weight domain `W`.
 #[allow(clippy::too_many_arguments)]
-fn run_phase<W: Weight>(
+fn run_phase<W: Weight + Send + Sync + 'static>(
     net: &Network,
+    pre: &NetworkPrecomp,
+    cache: Option<(&ConstructionCache, &str)>,
     cq: &CompiledQuery,
     mode: ApproxMode,
     opts: &VerifyOptions,
@@ -407,35 +549,54 @@ fn run_phase<W: Weight>(
     // one phase beyond the deadline.
     let over_budget = |b: &Budget| b.checker().tick(0).err();
 
-    let t0 = Instant::now();
-    let cons: Construction<W> = construction::build(net, cq, mode, weigh);
-    stats.t_construct += t0.elapsed();
-    if mode == ApproxMode::Over {
-        stats.rules_over = cons.pds.num_rules();
-    } else {
-        stats.rules_under = cons.pds.num_rules();
-    }
-    if let Some(reason) = over_budget(budget) {
-        return Phase::Aborted(reason);
-    }
-
-    let t0 = Instant::now();
-    let pds = if opts.no_reduction {
-        cons.pds.clone()
-    } else {
-        let (reduced, removed) = reduce(&cons.pds, &cons.initial, &cons.finals);
-        if mode == ApproxMode::Over {
-            stats.rules_removed = removed;
+    let compile = || compile_phase(pre, cq, mode, opts.no_reduction, weigh);
+    let (phase, hit) = match cache {
+        Some((cache, fingerprint)) => {
+            cache.get_or_build(&format!("{mode:?};{fingerprint}"), compile)
         }
-        reduced
+        None => (Arc::new(compile()), false),
     };
-    stats.t_reduce += t0.elapsed();
+    if hit {
+        stats.cache_hits += 1;
+    } else {
+        stats.cache_misses += 1;
+        // Compile time is attributed to the query that paid it; a hit
+        // adds nothing to the construct/reduce timings.
+        stats.t_construct += phase.t_construct;
+        stats.t_reduce += phase.t_reduce;
+        match mode {
+            ApproxMode::Over => {
+                stats.t_construct_over += phase.t_construct;
+                stats.t_reduce_over += phase.t_reduce;
+            }
+            ApproxMode::Under => {
+                stats.t_construct_under += phase.t_construct;
+                stats.t_reduce_under += phase.t_reduce;
+            }
+        }
+    }
+    if mode == ApproxMode::Over {
+        stats.rules_over = phase.cons.pds.num_rules();
+        stats.rules_removed = phase.rules_removed;
+    } else {
+        stats.rules_under = phase.cons.pds.num_rules();
+    }
     if let Some(reason) = over_budget(budget) {
         return Phase::Aborted(reason);
     }
 
+    let add_solve = |stats: &mut EngineStats, d: Duration| {
+        stats.t_solve += d;
+        match mode {
+            ApproxMode::Over => stats.t_solve_over += d,
+            ApproxMode::Under => stats.t_solve_under += d,
+        }
+    };
+
+    let cons = &phase.cons;
+    let pds = &phase.solve_pds;
     let t0 = Instant::now();
-    let saturated = post_star_budgeted(&pds, &cons.initial, budget);
+    let saturated = post_star_budgeted(pds, &cons.initial, budget);
     let (sat, sstats) = match saturated {
         Ok(ok) => ok,
         Err(abort) => {
@@ -445,7 +606,7 @@ fn run_phase<W: Weight>(
             if mode == ApproxMode::Over {
                 stats.sat_transitions = abort.stats.transitions;
             }
-            stats.t_solve += t0.elapsed();
+            add_solve(stats, t0.elapsed());
             return Phase::Aborted(abort.reason);
         }
     };
@@ -459,18 +620,18 @@ fn run_phase<W: Weight>(
     let found = match shortest_accepted_budgeted(&sat, &starts, &cq.final_, budget) {
         Ok(found) => found,
         Err(reason) => {
-            stats.t_solve += t0.elapsed();
+            add_solve(stats, t0.elapsed());
             return Phase::Aborted(reason);
         }
     };
-    stats.t_solve += t0.elapsed();
+    add_solve(stats, t0.elapsed());
 
     let Some(path) = found else {
         return Phase::Empty;
     };
-    let witness = reconstruct_run(&pds, &sat, &path.transitions, &path.word)
+    let witness = reconstruct_run(pds, &sat, &path.transitions, &path.word)
         .ok()
-        .and_then(|run| lift_run(net, &pds, &cons.meta, &run).ok())
+        .and_then(|run| lift_run(net, pds, &cons.meta, &run).ok())
         .and_then(|trace| {
             feasible_failures(net, &trace_pairs(&trace)).map(|failed| (trace, failed))
         })
@@ -486,20 +647,72 @@ fn run_phase<W: Weight>(
 }
 
 /// The AalWiNes verification engine bound to a network.
+///
+/// Construction is compile-once / verify-many: `new` precomputes the
+/// network-level [`NetworkPrecomp`] (shared between both approximation
+/// phases, all queries, and all batch worker threads) and attaches a
+/// bounded LRU [`ConstructionCache`] of per-query compiled artifacts, on
+/// by default with [`DEFAULT_CACHE_SIZE`] slots.
 pub struct Verifier<'a> {
     net: &'a Network,
     validation_issues: usize,
+    precomp: Arc<NetworkPrecomp>,
+    cache: Option<Arc<ConstructionCache>>,
 }
 
 impl<'a> Verifier<'a> {
     /// A verifier for `net`. Runs [`Network::validate`] once so every
     /// answer's [`EngineStats::validation_issues`] reports how clean the
-    /// network was.
+    /// network was, and precomputes the query-independent construction
+    /// tables.
     pub fn new(net: &'a Network) -> Self {
         Verifier {
             net,
             validation_issues: net.validate().len(),
+            precomp: Arc::new(NetworkPrecomp::new(net)),
+            cache: Some(Arc::new(ConstructionCache::new(DEFAULT_CACHE_SIZE))),
         }
+    }
+
+    /// Like [`Verifier::new`], but reuse an already-built precomp of the
+    /// *same* network value instead of computing a fresh one.
+    pub fn with_shared_precomp(net: &'a Network, precomp: Arc<NetworkPrecomp>) -> Self {
+        Verifier {
+            net,
+            validation_issues: net.validate().len(),
+            precomp,
+            cache: Some(Arc::new(ConstructionCache::new(DEFAULT_CACHE_SIZE))),
+        }
+    }
+
+    /// Disable the per-query artifact cache. The shared network precomp
+    /// is kept — it is always sound to reuse for one `Network` value.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Use a per-query artifact cache with `capacity` slots; `0`
+    /// disables the cache.
+    pub fn with_cache_size(mut self, capacity: usize) -> Self {
+        self.cache = if capacity == 0 {
+            None
+        } else {
+            Some(Arc::new(ConstructionCache::new(capacity)))
+        };
+        self
+    }
+
+    /// The network-level precomputation backing this verifier (cheap to
+    /// clone; shareable with other verifiers of the same network).
+    pub fn precomp(&self) -> Arc<NetworkPrecomp> {
+        Arc::clone(&self.precomp)
+    }
+
+    /// Number of compiled artifacts currently cached (0 when the cache
+    /// is disabled).
+    pub fn cached_artifacts(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.len())
     }
 }
 
@@ -516,6 +729,7 @@ impl Engine for Verifier<'_> {
         let t_start = Instant::now();
         let mut stats = EngineStats::new();
         stats.validation_issues = self.validation_issues;
+        stats.t_precomp = self.precomp.build_time();
 
         // ---- quick-decide pre-pass -----------------------------------
         // An empty header or path language means no configuration can be
@@ -528,11 +742,18 @@ impl Engine for Verifier<'_> {
         }
 
         let budget = opts.budget();
+        let fingerprint = self
+            .cache
+            .as_deref()
+            .map(|cache| (cache, query_fingerprint(cq, opts)));
+        let cache = fingerprint.as_ref().map(|(c, fp)| (*c, fp.as_str()));
 
         // ---- over-approximation --------------------------------------
         let over = match &opts.weights {
             None => run_phase::<Unweighted>(
                 self.net,
+                &self.precomp,
+                cache,
                 cq,
                 ApproxMode::Over,
                 opts,
@@ -545,6 +766,8 @@ impl Engine for Verifier<'_> {
                 let spec = spec.clone();
                 run_phase::<MinVector>(
                     self.net,
+                    &self.precomp,
+                    cache,
                     cq,
                     ApproxMode::Over,
                     opts,
@@ -571,6 +794,16 @@ impl Engine for Verifier<'_> {
             Phase::Infeasible => {}
         }
 
+        // Re-check the budget before paying the under-phase construction
+        // cost: the over phase may have spent the whole allowance, and
+        // its own checks fire only inside the saturation worklists — an
+        // expired deadline would otherwise still build the full under
+        // PDS first.
+        if let Err(reason) = budget.checker().tick(0) {
+            stats.t_total = t_start.elapsed();
+            return Answer::aborted(reason, stats);
+        }
+
         // ---- under-approximation ---------------------------------------
         // The unweighted engine still guides the under-approximating
         // search by failure count: among the traces the global counter
@@ -582,6 +815,8 @@ impl Engine for Verifier<'_> {
         let under = match &opts.weights {
             None => run_phase::<MinTotal>(
                 self.net,
+                &self.precomp,
+                cache,
                 cq,
                 ApproxMode::Under,
                 opts,
@@ -594,6 +829,8 @@ impl Engine for Verifier<'_> {
                 let spec = spec.clone();
                 run_phase::<MinVector>(
                     self.net,
+                    &self.precomp,
+                    cache,
                     cq,
                     ApproxMode::Under,
                     opts,

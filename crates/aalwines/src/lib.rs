@@ -34,6 +34,18 @@
 //!   model checker: plain unweighted `post*` on the *unreduced* PDS with
 //!   no dual refinement and no shortest-trace guidance.
 //!
+//! ## Compile once, verify many
+//!
+//! The workload is many what-if queries against *one* dataplane, so the
+//! query-independent part of the construction — canonicalized operation
+//! chains, per-group `needed(j)` failure counts, label kind tables — is
+//! precomputed once per network ([`construction::NetworkPrecomp`]) and
+//! shared across queries, both approximation phases, and batch worker
+//! threads. On top of that, a bounded LRU [`cache::ConstructionCache`]
+//! keeps compiled per-query artifacts (built + reduced PDSs) so
+//! re-verifying a query skips straight to saturation. See
+//! [`Verifier::with_cache_size`] / [`Verifier::without_cache`].
+//!
 //! ## Budgets and telemetry
 //!
 //! Every verification can carry a resource budget — a wall-clock
@@ -64,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache;
 pub mod construction;
 pub mod engine;
 pub mod examples;
@@ -73,9 +86,11 @@ pub mod quantities;
 pub mod telemetry;
 
 pub use batch::{verify_batch, verify_batch_with, BatchOptions};
+pub use cache::{ConstructionCache, DEFAULT_CACHE_SIZE};
+pub use construction::NetworkPrecomp;
 pub use engine::{
-    quick_decide, Answer, Engine, EngineStats, Outcome, QuickReason, Verifier, VerifyOptions,
-    Witness,
+    query_fingerprint, quick_decide, Answer, Engine, EngineStats, Outcome, QuickReason, Verifier,
+    VerifyOptions, Witness,
 };
 pub use moped::MopedEngine;
 pub use pdaal::budget::{AbortReason, Budget, CancelToken};

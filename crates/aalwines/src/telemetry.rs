@@ -165,6 +165,14 @@ pub struct BatchSummary {
     pub under_runs: usize,
     /// Queries answered by the quick-decide pre-pass (no PDS built).
     pub quick_decided: usize,
+    /// Construction-cache hits summed across the batch.
+    pub cache_hits: usize,
+    /// Construction-cache misses summed across the batch.
+    pub cache_misses: usize,
+    /// One-time network precomputation cost in milliseconds (maximum
+    /// across the batch; every answer from one engine reports the same
+    /// per-engine cost, like `validation_issues`).
+    pub precomp_millis: f64,
     /// Network validation issues observed by the answering engines
     /// (maximum across the batch; every answer from one engine reports
     /// the same network-level count).
@@ -203,6 +211,9 @@ impl BatchSummary {
             if a.stats.quick_decided.is_some() {
                 s.quick_decided += 1;
             }
+            s.cache_hits += a.stats.cache_hits;
+            s.cache_misses += a.stats.cache_misses;
+            s.precomp_millis = s.precomp_millis.max(millis(a.stats.t_precomp));
             s.validation_issues = s.validation_issues.max(a.stats.validation_issues);
             construct.push(millis(a.stats.t_construct));
             reduce.push(millis(a.stats.t_reduce));
@@ -228,6 +239,9 @@ impl BatchSummary {
         o.number("errors", self.errors as f64);
         o.number("underRuns", self.under_runs as f64);
         o.number("quickDecided", self.quick_decided as f64);
+        o.number("cacheHits", self.cache_hits as f64);
+        o.number("cacheMisses", self.cache_misses as f64);
+        o.number("precompMillis", self.precomp_millis);
         o.number("validationIssues", self.validation_issues as f64);
         o.raw("constructMillis", &self.t_construct.to_json());
         o.raw("reduceMillis", &self.t_reduce.to_json());

@@ -18,9 +18,10 @@
 
 use aalwines::moped::{expand_filters, verify_moped_compiled};
 use aalwines::telemetry::JsonObject;
-use aalwines::{AtomicQuantity, Engine, Verifier, VerifyOptions, WeightSpec};
+use aalwines::{AtomicQuantity, Engine, Outcome, Verifier, VerifyOptions, WeightSpec};
 use pdaal::Unweighted;
 use query::{compile, parse_query};
+use std::collections::HashSet;
 use std::time::Instant;
 use topogen::lsp::{build_mpls_dataplane, Dataplane, LspConfig};
 use topogen::zoo::{zoo_like, ZooConfig};
@@ -76,6 +77,88 @@ fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
     per_iter
 }
 
+/// A larger query set for the batch-cache cases: ≥32 *distinct* queries
+/// over the same dataplane (`figure4_queries` samples with replacement,
+/// so generate extra and deduplicate).
+fn batch_workload() -> (Dataplane, Vec<query::Query>) {
+    let (dp, _) = workload();
+    let mut seen = HashSet::new();
+    let queries: Vec<query::Query> = topogen::queries::figure4_queries(&dp, 96, 0xC1)
+        .into_iter()
+        .filter(|q| seen.insert(q.clone()))
+        .take(36)
+        .map(|q| parse_query(&q).expect("generated queries parse"))
+        .collect();
+    assert!(
+        queries.len() >= 32,
+        "batch workload needs >=32 distinct queries, got {}",
+        queries.len()
+    );
+    (dp, queries)
+}
+
+/// Canonical rendering of an outcome for identity checks: a witness's
+/// `failed_links` set has no stable Debug order, so sort it first.
+fn outcome_repr(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Satisfied(w) => {
+            let mut links: Vec<usize> = w.failed_links.iter().map(|l| l.index()).collect();
+            links.sort_unstable();
+            format!(
+                "Satisfied(trace={:?}, failed={links:?}, weight={:?})",
+                w.trace, w.weight
+            )
+        }
+        other => format!("{other:?}"),
+    }
+}
+
+/// Answer every query on `verifier`, returning canonical outcome
+/// renderings and the total construction-cache hits observed.
+fn batch_outcomes(verifier: &Verifier<'_>, queries: &[query::Query]) -> (Vec<String>, usize) {
+    let mut hits = 0usize;
+    let reprs = queries
+        .iter()
+        .map(|q| {
+            let a = verifier.verify(q, &VerifyOptions::new());
+            hits += a.stats.cache_hits;
+            outcome_repr(&a.outcome)
+        })
+        .collect();
+    (reprs, hits)
+}
+
+/// The batch-cache identity tripwire: a cold caching engine and a warm
+/// one must answer every query identically to a cache-free engine, and
+/// the warm pass must actually hit the cache. Returns the warm hit
+/// count (for reporting).
+fn batch_cache_smoke(dp: &Dataplane, queries: &[query::Query]) -> usize {
+    let uncached: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let v = Verifier::new(&dp.net).without_cache();
+            outcome_repr(&v.verify(q, &VerifyOptions::new()).outcome)
+        })
+        .collect();
+    let cached = Verifier::new(&dp.net).with_cache_size(256);
+    let (cold, _) = batch_outcomes(&cached, queries);
+    let (warm, warm_hits) = batch_outcomes(&cached, queries);
+    for (i, (u, c)) in uncached.iter().zip(cold.iter()).enumerate() {
+        if u != c {
+            eprintln!("q{i} uncached: {u}");
+            eprintln!("q{i} cold    : {c}");
+        }
+    }
+    assert_eq!(uncached, cold, "cold cached batch diverges from uncached");
+    assert_eq!(uncached, warm, "warm cached batch diverges from uncached");
+    assert!(warm_hits > 0, "warm batch never hit the construction cache");
+    println!(
+        "batch-cache smoke: {} queries, outcomes identical, {warm_hits} warm cache hits",
+        queries.len()
+    );
+    warm_hits
+}
+
 /// Per-case means in ms/iter measured on this machine at the seed
 /// commit (98e631e), i.e. before the dense-index saturation rework.
 /// Kept as data, not re-measured: the seed implementation of the full
@@ -128,8 +211,40 @@ fn write_json(results: &[(String, f64)]) {
     println!("wrote {out}");
 }
 
+fn write_batch_json(
+    queries: usize,
+    uncached_s: f64,
+    shared_s: f64,
+    cached_s: f64,
+    outcomes_identical: bool,
+) {
+    let mut root = JsonObject::new();
+    root.string("schema", "aalwines-bench/batch/v1");
+    root.string(
+        "commit",
+        &std::env::var("BENCH_COMMIT").unwrap_or_else(|_| "unknown".into()),
+    );
+    root.number("queries", queries as f64);
+    root.number("uncachedMedianMs", uncached_s * 1e3);
+    root.number("sharedPrecompMedianMs", shared_s * 1e3);
+    root.number("cachedMedianMs", cached_s * 1e3);
+    root.number("speedup", uncached_s / cached_s);
+    root.boolean("outcomesIdentical", outcomes_identical);
+    let json = root.finish();
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    std::fs::write(out, format!("{json}\n")).expect("write BENCH_batch.json");
+    println!("wrote {out}");
+}
+
 fn main() {
-    let json_mode = std::env::args().nth(1).as_deref() == Some("--json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_mode = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--smoke") {
+        // CI tripwire: only the (fast) batch-cache identity check.
+        let (dp, batch_queries) = batch_workload();
+        batch_cache_smoke(&dp, &batch_queries);
+        return;
+    }
     // More samples for the committed artifact; the interactive table
     // keeps the historical 10-iteration cadence.
     let iters = if json_mode { 30 } else { 10 };
@@ -137,7 +252,10 @@ fn main() {
     let mut record = |name: &str, per_iter: f64| results.push((name.to_string(), per_iter));
 
     let (dp, queries) = workload();
-    let verifier = Verifier::new(&dp.net);
+    // Cache off for the ablation cases: they measure the full
+    // compile+solve pipeline per query, comparable to the seed
+    // baselines. Caching gets its own cases below.
+    let verifier = Verifier::new(&dp.net).without_cache();
 
     println!("== reductions ablation ==");
     record(
@@ -219,7 +337,46 @@ fn main() {
         }),
     );
 
+    println!("== batch construction cache ==");
+    let (bdp, batch_queries) = batch_workload();
+    // Identity first (untimed): cached answers must match uncached ones
+    // exactly; panics if they don't, so `outcomesIdentical` below is
+    // only ever written as true.
+    batch_cache_smoke(&bdp, &batch_queries);
+    let batch_iters = if json_mode { 9 } else { 5 };
+    // Pre-PR behavior: a fresh engine per query recomputes the network
+    // precomp and compiles every construction from scratch.
+    let uncached_s = bench("batch/uncached", batch_iters, || {
+        let v = Verifier::new(&bdp.net).without_cache();
+        for q in &batch_queries {
+            v.verify(q, &VerifyOptions::new());
+        }
+    });
+    record("batch/uncached", uncached_s);
+    // Ablation: shared precomp, but no per-query artifact cache.
+    let shared = Verifier::new(&bdp.net).without_cache();
+    let shared_s = bench("batch/shared-precomp", batch_iters, || {
+        for q in &batch_queries {
+            shared.verify(q, &VerifyOptions::new());
+        }
+    });
+    record("batch/shared-precomp", shared_s);
+    // Full caching, warmed: every query is a pure cache hit.
+    let cached = Verifier::new(&bdp.net).with_cache_size(256);
+    let cached_s = bench("batch/cached", batch_iters, || {
+        for q in &batch_queries {
+            cached.verify(q, &VerifyOptions::new());
+        }
+    });
+    record("batch/cached", cached_s);
+    println!(
+        "batch cache speedup: {:.2}x over uncached ({} distinct queries)",
+        uncached_s / cached_s,
+        batch_queries.len()
+    );
+
     if json_mode {
         write_json(&results);
+        write_batch_json(batch_queries.len(), uncached_s, shared_s, cached_s, true);
     }
 }

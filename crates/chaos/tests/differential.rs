@@ -15,15 +15,16 @@
 //! same canonical transition set, the same shortest accepted weight, and
 //! the dense worklist must not pop more than the reference.
 
-use aalwines::construction::{build, ApproxMode, Construction};
+use aalwines::construction::{build, build_with, ApproxMode, Construction, NetworkPrecomp};
 use aalwines::examples::paper_network;
+use aalwines::{AtomicQuantity, Engine, Outcome, Verifier, VerifyOptions, WeightSpec};
 use chaos::{mutate, paper_queries, MutationKind};
 use detrand::DetRng;
 use netmodel::routing::Network;
 use pdaal::poststar::post_star_with_stats;
 use pdaal::reference::post_star_ref;
 use pdaal::shortest::shortest_accepted;
-use pdaal::{MinTotal, PAutomaton, StateId, TLabel, Weight};
+use pdaal::{MinTotal, PAutomaton, Pds, StateId, TLabel, Weight};
 use query::{compile, parse_query, Query};
 use topogen::lsp::{build_mpls_dataplane, LspConfig};
 use topogen::zoo::{zoo_like, ZooConfig};
@@ -115,6 +116,195 @@ fn chaos_mutants_differential() {
         checked += 1;
     }
     assert!(checked >= 12, "only {checked} mutants checked");
+}
+
+// ---------------------------------------------------------------------------
+// Compile-once / verify-many differentials: the shared [`NetworkPrecomp`]
+// and the per-query construction cache must be invisible — byte-identical
+// PDS constructions and identical answers versus a fresh build every time.
+// ---------------------------------------------------------------------------
+
+/// Order-preserving dump of a PDS rule sequence as Debug strings. Rule
+/// order is compared, not just the rule *set*: a shared-precomp build
+/// must emit the same rules in the same order as a fresh one, because
+/// saturation and witness extraction observe rule ids.
+fn rule_dump<W: Weight + std::fmt::Debug>(pds: &Pds<W>) -> Vec<String> {
+    pds.rules().iter().map(|r| format!("{r:?}")).collect()
+}
+
+/// Assert two constructions are observably identical.
+fn assert_same_construction(a: &Construction<MinTotal>, b: &Construction<MinTotal>, what: &str) {
+    assert_eq!(
+        a.pds.num_states(),
+        b.pds.num_states(),
+        "{what}: state counts diverge"
+    );
+    assert_eq!(
+        rule_dump(&a.pds),
+        rule_dump(&b.pds),
+        "{what}: rule sequences diverge"
+    );
+    assert_eq!(a.finals, b.finals, "{what}: final states diverge");
+    assert_eq!(
+        canon(&a.initial),
+        canon(&b.initial),
+        "{what}: initial automata diverge"
+    );
+}
+
+/// A canonical rendering of an outcome for equality checks. A witness's
+/// `failed_links` is a `HashSet`, whose Debug iteration order differs
+/// between instances, so the links are sorted first; everything else in
+/// an [`Outcome`] renders deterministically.
+fn outcome_repr(outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Satisfied(w) => {
+            let mut links: Vec<usize> = w.failed_links.iter().map(|l| l.index()).collect();
+            links.sort_unstable();
+            format!(
+                "Satisfied(trace={:?}, failed={links:?}, weight={:?})",
+                w.trace, w.weight
+            )
+        }
+        other => format!("{other:?}"),
+    }
+}
+
+/// Fixed-seed random queries over the paper network's routers (v0–v3),
+/// varying endpoints, header constraints, mid patterns, and the failure
+/// budget `k`.
+fn random_paper_queries(n: usize, seed: u64) -> Vec<Query> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let routers = ["v0", "v1", "v2", "v3"];
+    let headers = ["<ip>", "<smpls ip>", "<smpls? ip>", "<mpls* smpls ip>"];
+    let mids = [".*", ". .*", "[^v2#.]*", ".* ."];
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < n * 20 {
+        attempts += 1;
+        let a = *rng.choose(&routers);
+        let b = *rng.choose(&routers);
+        let head = *rng.choose(&headers);
+        let tail = *rng.choose(&headers);
+        let mid = *rng.choose(&mids);
+        let k = rng.gen_range(0..4u32);
+        let text = format!("{head} [.#{a}] {mid} [{b}#.] {tail} {k}");
+        if let Ok(q) = parse_query(&text) {
+            out.push(q);
+        }
+    }
+    assert_eq!(out.len(), n, "query generator produced too few queries");
+    out
+}
+
+#[test]
+fn shared_precomp_matches_fresh_build_on_paper_network() {
+    let net = paper_network();
+    let pre = NetworkPrecomp::new(&net);
+    let mut queries = paper_queries();
+    queries.extend(random_paper_queries(20, 0x5EED_0001));
+    for (qi, q) in queries.iter().enumerate() {
+        let cq = compile(q, &net);
+        for mode in [ApproxMode::Over, ApproxMode::Under] {
+            let fresh = build(&net, &cq, mode, &|_| MinTotal(1));
+            let shared = build_with(&pre, &cq, mode, &|_| MinTotal(1));
+            assert_same_construction(&fresh, &shared, &format!("paper q{qi} {mode:?}"));
+        }
+    }
+}
+
+#[test]
+fn shared_precomp_matches_fresh_build_on_chaos_mutants() {
+    let base = paper_network();
+    let queries = paper_queries();
+    let mut rng = DetRng::seed_from_u64(0x5EED_0002);
+    let mut checked = 0usize;
+    let mut attempts = 0usize;
+    while checked < 100 && attempts < 2000 {
+        attempts += 1;
+        let kind = *rng.choose(&MutationKind::ALL);
+        let Some(mut net) = mutate(&base, kind, &mut rng) else {
+            continue;
+        };
+        net.repair();
+        let pre = NetworkPrecomp::new(&net);
+        let q = &queries[checked % queries.len()];
+        let cq = compile(q, &net);
+        let mode = if checked.is_multiple_of(2) {
+            ApproxMode::Over
+        } else {
+            ApproxMode::Under
+        };
+        let fresh = build(&net, &cq, mode, &|_| MinTotal(1));
+        let shared = build_with(&pre, &cq, mode, &|_| MinTotal(1));
+        assert_same_construction(
+            &fresh,
+            &shared,
+            &format!("mutant#{checked} {}", kind.as_str()),
+        );
+        checked += 1;
+    }
+    assert!(checked >= 100, "only {checked} mutants checked");
+}
+
+#[test]
+fn cached_verifier_answers_match_uncached() {
+    let net = paper_network();
+    let mut queries = paper_queries();
+    queries.extend(random_paper_queries(12, 0x5EED_0003));
+    let weighted = VerifyOptions::new().with_weights(WeightSpec::single(AtomicQuantity::Hops));
+    for (oi, opts) in [VerifyOptions::new(), weighted].iter().enumerate() {
+        let cached = Verifier::new(&net).with_cache_size(256);
+        let uncached = Verifier::new(&net).without_cache();
+        for (qi, q) in queries.iter().enumerate() {
+            // Twice against the caching engine: the first run populates
+            // the cache, the second is answered from it.
+            let first = cached.verify(q, opts);
+            let second = cached.verify(q, opts);
+            let fresh = uncached.verify(q, opts);
+            assert_eq!(
+                outcome_repr(&first.outcome),
+                outcome_repr(&fresh.outcome),
+                "opts#{oi} q{qi}: cache-miss answer diverges from uncached"
+            );
+            assert_eq!(
+                outcome_repr(&second.outcome),
+                outcome_repr(&fresh.outcome),
+                "opts#{oi} q{qi}: cache-hit answer diverges from uncached"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_query_is_a_pure_cache_hit() {
+    let net = paper_network();
+    let verifier = Verifier::new(&net);
+    let opts = VerifyOptions::new();
+    // A query the quick-decide pre-pass cannot answer, so the full
+    // pipeline (and hence the cache) is exercised.
+    let q = parse_query("<ip> [.#v0] .* [v3#.] <ip> 2").expect("query parses");
+    let first = verifier.verify(&q, &opts);
+    assert!(
+        first.stats.quick_decided.is_none(),
+        "query must exercise the full pipeline"
+    );
+    assert_eq!(first.stats.cache_hits, 0, "first run cannot hit");
+    assert!(first.stats.cache_misses > 0, "first run must compile");
+    let second = verifier.verify(&q, &opts);
+    assert_eq!(
+        second.stats.cache_misses, 0,
+        "second run must not recompile"
+    );
+    assert!(
+        second.stats.cache_hits >= 1,
+        "second run must hit the cache"
+    );
+    assert_eq!(
+        outcome_repr(&first.outcome),
+        outcome_repr(&second.outcome),
+        "cache hit changed the outcome"
+    );
 }
 
 #[test]

@@ -55,24 +55,30 @@ impl SymFilter {
         }
     }
 
-    /// Pick some symbol matched by both `self` and `other`, given the
-    /// size of the symbol universe. Returns `None` iff the intersection
-    /// is empty.
+    /// Pick the *smallest* symbol matched by both `self` and `other`,
+    /// given the size of the symbol universe. Returns `None` iff the
+    /// intersection is empty.
     ///
     /// Used when an accepting path traverses a filter edge: the path must
     /// commit to a concrete symbol to report a concrete stack word.
+    /// Always the minimum, never "any": `In` sets iterate in hash order,
+    /// which varies between set instances, and the query NFA is rebuilt
+    /// per verification — picking the first match would make witness
+    /// headers differ from run to run on the same input.
     pub fn pick_common(&self, other: &SymFilter, n_symbols: u32) -> Option<SymbolId> {
         let in_universe = |s: &SymbolId| s.0 < n_symbols;
         match (self, other) {
             (SymFilter::In(a), _) => a
                 .iter()
                 .filter(|s| in_universe(s))
-                .find(|&&s| other.matches(s))
+                .filter(|&&s| other.matches(s))
+                .min()
                 .copied(),
             (_, SymFilter::In(b)) => b
                 .iter()
                 .filter(|s| in_universe(s))
-                .find(|&&s| self.matches(s))
+                .filter(|&&s| self.matches(s))
+                .min()
                 .copied(),
             _ => (0..n_symbols)
                 .map(SymbolId)

@@ -34,7 +34,8 @@ fn usage() -> ! {
          \x20        [--locations loc.json] (--query '<a> b <c> k' ... | --stdin)\n\
          \x20        [--weight 'expr, expr, ...'] [--engine dual|moped] [--no-reduction]\n\
          \x20        [--deadline-ms N] [--batch-deadline-ms N] [--max-transitions N]\n\
-         \x20        [--threads N] [--stats] [--json] [--repair]\n\
+         \x20        [--threads N] [--no-cache] [--cache-size N]\n\
+         \x20        [--stats] [--json] [--repair]\n\
          \x20        [--write-topology out.xml] [--write-routing out.xml]\n\
          \x20        [--chaos-seed N] [--chaos-mutants M]\n\
          \x20        [--lint | --lint-json]\n\
@@ -491,7 +492,20 @@ fn main() -> ExitCode {
         }
     }
 
-    let verifier = Verifier::new(&net);
+    // Construction cache (dual engine only; Moped has no cache).
+    let mut verifier = Verifier::new(&net);
+    if has("--no-cache") {
+        verifier = verifier.without_cache();
+    }
+    if let Some(v) = value("--cache-size") {
+        match v.parse::<usize>() {
+            Ok(n) => verifier = verifier.with_cache_size(n),
+            Err(_) => {
+                eprintln!("--cache-size: expected a count (0 disables the cache), got {v:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let moped = MopedEngine::new(&net);
     let engine: &dyn Engine = match engine_name.as_str() {
         "dual" => &verifier,
