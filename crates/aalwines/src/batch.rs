@@ -98,8 +98,8 @@ impl BatchOptions {
         self
     }
 
-    /// Give the whole batch `timeout` from the moment
-    /// [`verify_batch_with`] is called.
+    /// Give the whole batch `timeout` from the moment this builder call
+    /// runs (the deadline is absolute, not per-run).
     pub fn with_timeout(self, timeout: Duration) -> Self {
         self.with_deadline(Instant::now() + timeout)
     }
@@ -144,7 +144,11 @@ impl BatchOptions {
 /// whole-batch options `batch`. Returns exactly one [`Answer`] per
 /// query, in query order; queries reached after the batch budget is
 /// spent answer `Aborted` without running.
-pub fn verify_batch_with(
+///
+/// This is the crate-internal engine-parameterized core behind
+/// [`Session::verify_batch`](crate::session::Session::verify_batch)
+/// and the deprecated free-function shims.
+pub(crate) fn run_batch(
     engine: &dyn Engine,
     queries: &[Query],
     opts: &VerifyOptions,
@@ -209,16 +213,41 @@ pub fn verify_batch_with(
     collect_answers(results)
 }
 
-/// Verify `queries` against `net` with the dual engine using up to
-/// `threads` worker threads (0 or 1 runs inline). Results are returned
-/// in query order. Convenience wrapper over [`verify_batch_with`].
+/// Deprecated free-function batch entry point.
+///
+/// Prefer [`Session`](crate::session::Session): it keeps the network,
+/// precomputation, and construction cache resident across calls instead
+/// of paying validation and precomputation on every invocation, and it
+/// supports incremental re-verification after dataplane deltas.
+#[deprecated(
+    since = "0.2.0",
+    note = "use aalwines::SessionBuilder / Session::verify_batch instead"
+)]
+pub fn verify_batch_with(
+    engine: &dyn Engine,
+    queries: &[Query],
+    opts: &VerifyOptions,
+    batch: &BatchOptions,
+) -> Vec<Answer> {
+    run_batch(engine, queries, opts, batch)
+}
+
+/// Deprecated convenience wrapper: verify `queries` against `net` with
+/// the dual engine using up to `threads` worker threads.
+///
+/// Prefer [`Session`](crate::session::Session), which amortizes
+/// validation and precomputation across calls.
+#[deprecated(
+    since = "0.2.0",
+    note = "use aalwines::SessionBuilder / Session::verify_batch instead"
+)]
 pub fn verify_batch(
     net: &Network,
     queries: &[Query],
     opts: &VerifyOptions,
     threads: usize,
 ) -> Vec<Answer> {
-    verify_batch_with(
+    run_batch(
         &Verifier::new(net),
         queries,
         opts,
@@ -232,6 +261,22 @@ mod tests {
     use crate::examples::paper_network;
     use crate::Outcome;
     use query::parse_query;
+
+    /// Test-local stand-in for the deprecated convenience wrapper
+    /// (shadows the glob import so tests stay deprecation-clean).
+    fn verify_batch(
+        net: &Network,
+        queries: &[Query],
+        opts: &VerifyOptions,
+        threads: usize,
+    ) -> Vec<Answer> {
+        run_batch(
+            &Verifier::new(net),
+            queries,
+            opts,
+            &BatchOptions::new().with_threads(threads),
+        )
+    }
 
     fn queries() -> Vec<Query> {
         [
@@ -291,7 +336,7 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         for threads in [1, 4] {
-            let out = verify_batch_with(
+            let out = run_batch(
                 &Verifier::new(&net),
                 &qs,
                 &VerifyOptions::new(),
@@ -314,7 +359,7 @@ mod tests {
     fn expired_batch_deadline_aborts_everything() {
         let net = paper_network();
         let qs = queries();
-        let out = verify_batch_with(
+        let out = run_batch(
             &Verifier::new(&net),
             &qs,
             &VerifyOptions::new(),
@@ -359,7 +404,7 @@ mod tests {
         };
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // silence expected panics
-        let out = verify_batch_with(&engine, &qs, &VerifyOptions::new(), &BatchOptions::new());
+        let out = run_batch(&engine, &qs, &VerifyOptions::new(), &BatchOptions::new());
         std::panic::set_hook(prev_hook);
         assert_eq!(out.len(), qs.len());
         let errors: Vec<usize> = out
@@ -414,7 +459,7 @@ mod tests {
         };
         let prev_hook = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {})); // silence expected panics
-        let out = verify_batch_with(
+        let out = run_batch(
             &engine,
             &qs,
             &VerifyOptions::new(),
@@ -491,13 +536,13 @@ mod tests {
         use crate::moped::MopedEngine;
         let net = paper_network();
         let qs = queries();
-        let dual = verify_batch_with(
+        let dual = run_batch(
             &Verifier::new(&net),
             &qs,
             &VerifyOptions::new(),
             &BatchOptions::new(),
         );
-        let moped = verify_batch_with(
+        let moped = run_batch(
             &MopedEngine::new(&net),
             &qs,
             &VerifyOptions::new(),

@@ -8,13 +8,18 @@
 //! network; `verify_batch` workers share one cache through the
 //! `Verifier` they all borrow.
 //!
-//! The cache never invalidates by itself: it is owned by a `Verifier`,
-//! which is bound to one `Network` value for its whole lifetime, so a
-//! changed network means a new `Verifier` and with it a fresh cache.
-//! Fingerprints are full keys (the complete `Debug` rendering of the
-//! query-shaping inputs), not lossy hashes — two distinct queries can
-//! never collide into the same artifact.
+//! The cache does not expire entries by itself: it is owned by a
+//! `Verifier` (or a [`Session`](crate::session::Session)) bound to one
+//! `Network` value. A *dataplane delta* invalidates entries selectively:
+//! every artifact inserted through [`ConstructionCache::get_or_build_tracked`]
+//! records the [`Footprint`] of links its construction read, and
+//! [`ConstructionCache::invalidate_intersecting`] drops exactly the
+//! entries whose footprint intersects the delta's touched links —
+//! everything else stays warm. Fingerprints are full keys (the complete
+//! canonical rendering of the query-shaping inputs), not lossy hashes —
+//! two distinct queries can never collide into the same artifact.
 
+use netmodel::LinkId;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -22,9 +27,101 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 /// Default number of compiled artifacts a `Verifier`'s cache holds.
 pub const DEFAULT_CACHE_SIZE: usize = 64;
 
+/// A compact set of link ids — the part of the network a compiled
+/// artifact depends on, and the part of the network a dataplane delta
+/// touches.
+///
+/// The PDS construction reads the routing table only through the keys of
+/// links its state exploration visits (every start link of the query's
+/// path automaton plus every link reachable from them within the failure
+/// budget), so the visited-link set is a sound dependency footprint: a
+/// delta to the rules of any *other* link cannot change the compiled
+/// artifact. Represented as a bitset over dense link ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    bits: Vec<u64>,
+}
+
+impl Footprint {
+    /// An empty footprint (depends on no link; a delta never hits it).
+    pub fn new() -> Self {
+        Footprint::default()
+    }
+
+    /// A footprint over the given links.
+    pub fn from_links<I: IntoIterator<Item = LinkId>>(links: I) -> Self {
+        let mut fp = Footprint::new();
+        for l in links {
+            fp.insert(l);
+        }
+        fp
+    }
+
+    /// Add a link.
+    pub fn insert(&mut self, link: LinkId) {
+        let (word, bit) = (link.index() / 64, link.index() % 64);
+        if self.bits.len() <= word {
+            self.bits.resize(word + 1, 0);
+        }
+        self.bits[word] |= 1u64 << bit;
+    }
+
+    /// Whether `link` is in the footprint.
+    pub fn contains(&self, link: LinkId) -> bool {
+        let (word, bit) = (link.index() / 64, link.index() % 64);
+        self.bits.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    /// Whether the two footprints share any link.
+    pub fn intersects(&self, other: &Footprint) -> bool {
+        self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of links in the footprint.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the footprint is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    /// The links in the footprint, in id order.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| LinkId((wi * 64 + b) as u32))
+        })
+    }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.bits.capacity() * 8
+    }
+}
+
+/// What [`ConstructionCache::invalidate_intersecting`] did: how many
+/// entries a delta evicted and how many stayed warm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InvalidationReport {
+    /// Entries dropped because their footprint intersects the delta's
+    /// touched links (or because they carried no footprint, which is
+    /// conservatively treated as "depends on everything").
+    pub invalidated: usize,
+    /// Entries that survived with their compiled artifacts intact.
+    pub retained: usize,
+}
+
 struct Slot {
     value: Arc<dyn Any + Send + Sync>,
     last_used: u64,
+    /// Link-dependency footprint of the artifact; `None` for artifacts
+    /// inserted through the untracked [`ConstructionCache::get_or_build`]
+    /// path, which a delta must conservatively treat as stale.
+    footprint: Option<Footprint>,
+    /// Estimated resident heap bytes of the artifact (0 if unknown).
+    bytes: usize,
 }
 
 struct Inner {
@@ -78,10 +175,27 @@ impl ConstructionCache {
     /// keys compile in parallel — and insert the result, evicting the
     /// least-recently-used artifacts past capacity. Returns the artifact
     /// and whether the lookup was a hit.
+    ///
+    /// Artifacts inserted this way carry no dependency footprint, so a
+    /// delta invalidation drops them unconditionally; prefer
+    /// [`ConstructionCache::get_or_build_tracked`] for artifacts that
+    /// should survive unrelated deltas.
     pub fn get_or_build<A, F>(&self, fingerprint: &str, build: F) -> (Arc<A>, bool)
     where
         A: Send + Sync + 'static,
         F: FnOnce() -> A,
+    {
+        self.get_or_build_tracked(fingerprint, || (build(), None, 0))
+    }
+
+    /// Like [`ConstructionCache::get_or_build`], but `build` also
+    /// returns the artifact's link [`Footprint`] and estimated resident
+    /// bytes, which [`ConstructionCache::invalidate_intersecting`] and
+    /// [`ConstructionCache::bytes_resident`] use.
+    pub fn get_or_build_tracked<A, F>(&self, fingerprint: &str, build: F) -> (Arc<A>, bool)
+    where
+        A: Send + Sync + 'static,
+        F: FnOnce() -> (A, Option<Footprint>, usize),
     {
         let key = (fingerprint.to_string(), TypeId::of::<A>());
         {
@@ -97,7 +211,8 @@ impl ConstructionCache {
                 // unreachable; fall through to a rebuild defensively.
             }
         }
-        let value = Arc::new(build());
+        let (value, footprint, bytes) = build();
+        let value = Arc::new(value);
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -111,6 +226,8 @@ impl ConstructionCache {
             .or_insert_with(|| Slot {
                 value: value.clone(),
                 last_used: 0,
+                footprint,
+                bytes,
             })
             .last_used = tick;
         while inner.map.len() > self.capacity {
@@ -127,6 +244,54 @@ impl ConstructionCache {
             }
         }
         (value, false)
+    }
+
+    /// Drop exactly the artifacts whose footprint intersects `touched`
+    /// (a dataplane delta's modified links). Artifacts without a
+    /// recorded footprint are conservatively dropped too. Everything
+    /// else stays warm. Returns how many entries went and how many
+    /// stayed.
+    pub fn invalidate_intersecting(&self, touched: &Footprint) -> InvalidationReport {
+        let mut report = InvalidationReport::default();
+        let mut inner = self.lock();
+        inner.map.retain(|_, slot| {
+            let stale = match &slot.footprint {
+                Some(fp) => fp.intersects(touched),
+                None => true,
+            };
+            if stale {
+                report.invalidated += 1;
+            } else {
+                report.retained += 1;
+            }
+            !stale
+        });
+        report
+    }
+
+    /// Drop every cached artifact (e.g. when a whole new dataplane is
+    /// loaded). Returns how many entries were dropped.
+    pub fn clear(&self) -> usize {
+        let mut inner = self.lock();
+        let n = inner.map.len();
+        inner.map.clear();
+        n
+    }
+
+    /// Estimated resident heap bytes of all cached artifacts plus the
+    /// cache's own bookkeeping (keys, footprints). Artifacts inserted
+    /// without a byte estimate contribute only their bookkeeping.
+    pub fn bytes_resident(&self) -> usize {
+        let inner = self.lock();
+        let mut bytes = std::mem::size_of::<Self>();
+        for ((key, _), slot) in inner.map.iter() {
+            bytes += key.capacity() + std::mem::size_of::<Slot>();
+            bytes += slot.bytes;
+            if let Some(fp) = &slot.footprint {
+                bytes += fp.approx_bytes();
+            }
+        }
+        bytes
     }
 }
 
@@ -181,6 +346,73 @@ mod tests {
         assert!(hit);
         cache.get_or_build("b", || 2u64);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn footprint_set_semantics() {
+        let mut fp = Footprint::new();
+        assert!(fp.is_empty());
+        fp.insert(LinkId(3));
+        fp.insert(LinkId(70));
+        assert_eq!(fp.len(), 2);
+        assert!(fp.contains(LinkId(3)));
+        assert!(fp.contains(LinkId(70)));
+        assert!(!fp.contains(LinkId(4)));
+        assert!(!fp.contains(LinkId(700)));
+        let links: Vec<LinkId> = fp.links().collect();
+        assert_eq!(links, vec![LinkId(3), LinkId(70)]);
+
+        let other = Footprint::from_links([LinkId(70)]);
+        assert!(fp.intersects(&other));
+        assert!(other.intersects(&fp));
+        let disjoint = Footprint::from_links([LinkId(64)]);
+        assert!(!fp.intersects(&disjoint));
+        assert!(!Footprint::new().intersects(&fp));
+    }
+
+    #[test]
+    fn invalidation_drops_only_intersecting_footprints() {
+        let cache = ConstructionCache::new(8);
+        cache.get_or_build_tracked("a", || {
+            (
+                1u64,
+                Some(Footprint::from_links([LinkId(0), LinkId(1)])),
+                64,
+            )
+        });
+        cache.get_or_build_tracked("b", || (2u64, Some(Footprint::from_links([LinkId(2)])), 64));
+        cache.get_or_build("untracked", || 3u64);
+        assert_eq!(cache.len(), 3);
+
+        let report = cache.invalidate_intersecting(&Footprint::from_links([LinkId(1)]));
+        assert_eq!(report.invalidated, 2, "entry 'a' plus the untracked one");
+        assert_eq!(report.retained, 1);
+        let (_, hit_b) = cache.get_or_build_tracked("b", || (0u64, None, 0));
+        assert!(hit_b, "disjoint entry must stay warm");
+        let (_, hit_a) = cache.get_or_build_tracked("a", || (0u64, None, 0));
+        assert!(!hit_a, "intersecting entry must be gone");
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = ConstructionCache::new(8);
+        cache.get_or_build("a", || 1u64);
+        cache.get_or_build("b", || 2u64);
+        assert_eq!(cache.clear(), 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bytes_resident_tracks_artifact_estimates() {
+        let cache = ConstructionCache::new(8);
+        let empty = cache.bytes_resident();
+        cache.get_or_build_tracked("a", || {
+            (1u64, Some(Footprint::from_links([LinkId(9)])), 1024)
+        });
+        let one = cache.bytes_resident();
+        assert!(one >= empty + 1024, "artifact bytes are counted: {one}");
+        cache.invalidate_intersecting(&Footprint::from_links([LinkId(9)]));
+        assert!(cache.bytes_resident() < one);
     }
 
     #[test]

@@ -93,6 +93,30 @@ impl<W: Weight> Construction<W> {
             _ => None,
         }
     }
+
+    /// The link-dependency footprint of this construction: every link a
+    /// real control state sits on — exactly the links whose routing keys
+    /// [`build_with`]'s state exploration read. A dataplane delta that
+    /// touches none of these links cannot change this construction
+    /// (label table and topology are fixed for a construction's
+    /// lifetime), which is what makes footprint-based cache invalidation
+    /// sound; see [`crate::cache::Footprint`].
+    pub fn footprint(&self) -> crate::cache::Footprint {
+        crate::cache::Footprint::from_links(self.meta.iter().filter_map(|m| match m {
+            StateMeta::Real { link, .. } => Some(*link),
+            StateMeta::Chain => None,
+        }))
+    }
+
+    /// Estimated resident heap bytes of the construction (PDS, initial
+    /// automaton, metadata).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pds.approx_bytes()
+            + self.initial.approx_bytes()
+            + self.finals.capacity() * size_of::<StateId>()
+            + self.meta.capacity() * size_of::<StateMeta>()
+    }
 }
 
 /// Rule tag encoding: `0` marks an intermediate chain rule; `link.0 + 1`
@@ -349,6 +373,37 @@ impl NetworkPrecomp {
     /// How long the precomputation took (reported as `precompMillis`).
     pub fn build_time(&self) -> Duration {
         self.build_time
+    }
+
+    /// Estimated resident heap bytes of the precomputed tables
+    /// (capacity-based; feeds the `bytesResident` telemetry counter).
+    pub fn bytes_resident(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Self>();
+        bytes +=
+            self.keys_of_link.capacity() * (size_of::<LinkId>() + size_of::<Vec<PrecompKey>>());
+        for keys in self.keys_of_link.values() {
+            bytes += keys.capacity() * size_of::<PrecompKey>();
+            for key in keys {
+                bytes += key.groups.capacity() * size_of::<PrecompGroup>();
+                for group in &key.groups {
+                    bytes += group.entries.capacity() * size_of::<PrecompEntry>();
+                    bytes += group
+                        .entries
+                        .iter()
+                        .map(|e| e.canon.pushed.capacity() * size_of::<LabelId>())
+                        .sum::<usize>();
+                }
+            }
+        }
+        bytes += self
+            .labels_of_kind
+            .iter()
+            .map(|v| v.capacity() * size_of::<LabelId>())
+            .sum::<usize>();
+        bytes += self.label_kind.capacity() * size_of::<LabelKind>();
+        bytes += self.start_measure.capacity() * size_of::<StepMeasure>();
+        bytes
     }
 }
 

@@ -273,6 +273,11 @@ pub struct EngineStats {
     /// Construction-cache misses of this verification (phases that had
     /// to compile; with the cache disabled every phase counts here).
     pub cache_misses: usize,
+    /// Estimated resident heap bytes of the answering engine's warm
+    /// state — the shared network precomputation plus every artifact in
+    /// the construction cache — measured when this answer was produced.
+    /// 0 for engines without warm state (e.g. the Moped baseline).
+    pub bytes_resident: usize,
     /// Time spent building PDSs (cache hits contribute nothing).
     pub t_construct: Duration,
     /// Time spent in the static reductions.
@@ -335,6 +340,7 @@ impl EngineStats {
         }
         o.number("cacheHits", self.cache_hits as f64);
         o.number("cacheMisses", self.cache_misses as f64);
+        o.number("bytesResident", self.bytes_resident as f64);
         o.number("constructMillis", telemetry::millis(self.t_construct));
         o.number("reduceMillis", telemetry::millis(self.t_reduce));
         o.number("solveMillis", telemetry::millis(self.t_solve));
@@ -549,10 +555,22 @@ fn run_phase<W: Weight + Send + Sync + 'static>(
     // one phase beyond the deadline.
     let over_budget = |b: &Budget| b.checker().tick(0).err();
 
+    // The compiled artifact records the links its construction visited
+    // (its dependency footprint) and an estimated size, so a later
+    // dataplane delta can evict exactly the affected entries and the
+    // cache can report `bytesResident`.
     let compile = || compile_phase(pre, cq, mode, opts.no_reduction, weigh);
+    let compile_tracked = || {
+        let phase = compile();
+        let footprint = phase.cons.footprint();
+        let bytes = phase.cons.approx_bytes()
+            + phase.solve_pds.approx_bytes()
+            + std::mem::size_of::<CompiledPhase<W>>();
+        (phase, Some(footprint), bytes)
+    };
     let (phase, hit) = match cache {
         Some((cache, fingerprint)) => {
-            cache.get_or_build(&format!("{mode:?};{fingerprint}"), compile)
+            cache.get_or_build_tracked(&format!("{mode:?};{fingerprint}"), compile_tracked)
         }
         None => (Arc::new(compile()), false),
     };
@@ -685,6 +703,35 @@ impl<'a> Verifier<'a> {
         }
     }
 
+    /// Assemble a verifier from already-held warm state without paying
+    /// `Network::validate` or any precomputation: the resident
+    /// [`Session`](crate::session::Session) keeps precomp, cache, and
+    /// validation count alive across calls and rebuilds a borrow-scoped
+    /// `Verifier` per request.
+    pub(crate) fn from_parts(
+        net: &'a Network,
+        precomp: Arc<NetworkPrecomp>,
+        cache: Option<Arc<ConstructionCache>>,
+        validation_issues: usize,
+    ) -> Self {
+        Verifier {
+            net,
+            validation_issues,
+            precomp,
+            cache,
+        }
+    }
+
+    /// Current resident heap estimate: query-independent precomputation
+    /// plus whatever the construction cache holds right now.
+    fn resident_bytes(&self) -> usize {
+        self.precomp.bytes_resident()
+            + self
+                .cache
+                .as_deref()
+                .map_or(0, |cache| cache.bytes_resident())
+    }
+
     /// Disable the per-query artifact cache. The shared network precomp
     /// is kept — it is always sound to reuse for one `Network` value.
     pub fn without_cache(mut self) -> Self {
@@ -730,6 +777,9 @@ impl Engine for Verifier<'_> {
         let mut stats = EngineStats::new();
         stats.validation_issues = self.validation_issues;
         stats.t_precomp = self.precomp.build_time();
+        // Sampled again on every return path: the construction cache may
+        // have grown (or evicted) during this very call.
+        stats.bytes_resident = self.resident_bytes();
 
         // ---- quick-decide pre-pass -----------------------------------
         // An empty header or path language means no configuration can be
@@ -778,6 +828,7 @@ impl Engine for Verifier<'_> {
                 )
             }
         };
+        stats.bytes_resident = self.resident_bytes();
         match over {
             Phase::Empty => {
                 stats.t_total = t_start.elapsed();
@@ -841,6 +892,7 @@ impl Engine for Verifier<'_> {
                 )
             }
         };
+        stats.bytes_resident = self.resident_bytes();
         stats.t_total = t_start.elapsed();
         match under {
             Phase::Witness(w) => Answer::new(Outcome::Satisfied(w), stats),

@@ -83,10 +83,13 @@ pub mod examples;
 pub mod lift;
 pub mod moped;
 pub mod quantities;
+pub mod session;
 pub mod telemetry;
 
-pub use batch::{verify_batch, verify_batch_with, BatchOptions};
-pub use cache::{ConstructionCache, DEFAULT_CACHE_SIZE};
+pub use batch::BatchOptions;
+#[allow(deprecated)] // re-exported so downstream code keeps compiling with a warning
+pub use batch::{verify_batch, verify_batch_with};
+pub use cache::{ConstructionCache, Footprint, InvalidationReport, DEFAULT_CACHE_SIZE};
 pub use construction::NetworkPrecomp;
 pub use engine::{
     query_fingerprint, quick_decide, Answer, Engine, EngineStats, Outcome, QuickReason, Verifier,
@@ -95,4 +98,5 @@ pub use engine::{
 pub use moped::MopedEngine;
 pub use pdaal::budget::{AbortReason, Budget, CancelToken};
 pub use quantities::{AtomicQuantity, LinearExpr, WeightSpec, WeightSpecError};
+pub use session::{Backend, Delta, DeltaReport, Session, SessionBuilder, SessionStats};
 pub use telemetry::BatchSummary;

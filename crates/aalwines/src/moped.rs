@@ -333,6 +333,16 @@ impl<'a> MopedEngine<'a> {
             validation_issues: net.validate().len(),
         }
     }
+
+    /// Assemble from warm state without re-running validation (used by
+    /// the resident [`Session`](crate::session::Session), which caches
+    /// the validation count across calls).
+    pub(crate) fn from_parts(net: &'a Network, validation_issues: usize) -> Self {
+        MopedEngine {
+            net,
+            validation_issues,
+        }
+    }
 }
 
 impl Engine for MopedEngine<'_> {

@@ -1,0 +1,740 @@
+//! A resident verification session: one loaded dataplane plus its warm
+//! state (precomputation, construction cache, watched queries), with
+//! **incremental re-verification** after dataplane deltas.
+//!
+//! The free functions [`verify_batch`](crate::batch::verify_batch) /
+//! [`verify_batch_with`](crate::batch::verify_batch_with) treat every
+//! call as a cold start: validation, precomputation, and the
+//! construction cache all live and die inside one invocation. A
+//! [`Session`] inverts that — it *owns* the network and keeps the
+//! expensive query-independent state resident across calls, which is
+//! what a long-lived service (the `aalwinesd` daemon, the GUI bridge)
+//! actually needs:
+//!
+//! * [`Session::verify`] / [`Session::verify_batch`] reuse the shared
+//!   [`NetworkPrecomp`] and [`ConstructionCache`] without re-validating
+//!   the network per call.
+//! * [`Session::apply_delta`] mutates the routing table in place
+//!   (rule add/remove, priority change, link down/up) and then
+//!   invalidates **only** the cached artifacts whose construction-time
+//!   [`Footprint`] intersects the links the delta touched. Everything
+//!   else stays warm, byte-identical, and keeps answering as cache hits.
+//! * Watched queries ([`Session::watch`]) are re-verified after every
+//!   delta; answers that changed come back in the [`DeltaReport`] so a
+//!   service can push them to subscribers.
+//!
+//! ## Why footprints are sound
+//!
+//! The construction reads the routing table exclusively through the
+//! per-link key lists of links it *visits* as real control states, and
+//! records exactly that visit set as the artifact's footprint. Query
+//! compilation and the quick-decide pre-pass depend only on topology
+//! and labels, which a [`Delta`] never changes (a link-down is modelled
+//! as removing the rules forwarding over the link, not as deleting the
+//! link). A routing delta at links outside an artifact's footprint
+//! therefore cannot change what that construction would rebuild to —
+//! retaining the cached artifact is not a heuristic, it is exact.
+
+use crate::batch::{run_batch, BatchOptions};
+use crate::cache::{ConstructionCache, Footprint};
+use crate::construction::NetworkPrecomp;
+use crate::engine::{Answer, Engine, Verifier, VerifyOptions};
+use crate::moped::MopedEngine;
+use crate::telemetry::JsonObject;
+use netmodel::{LabelId, LinkId, Network, RoutingEntry};
+use pdaal::budget::CancelToken;
+use query::{parse_query, Query};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which verification engine a [`Session`] dispatches to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Backend {
+    /// The dual over/under approximation engine ([`Verifier`]).
+    #[default]
+    Dual,
+    /// The Moped-style baseline ([`MopedEngine`]); ignores weights and
+    /// the construction cache.
+    Moped,
+}
+
+impl Backend {
+    /// Stable lower-case name (used in JSON output and CLI flags).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Dual => "dual",
+            Backend::Moped => "moped",
+        }
+    }
+}
+
+/// One dataplane change a [`Session`] can apply incrementally.
+///
+/// Deltas mutate only the routing function `τ`; topology and label
+/// universe are immutable for the lifetime of a session (that is what
+/// keeps compiled queries and cache fingerprints valid across deltas).
+#[derive(Clone, Debug)]
+pub enum Delta {
+    /// Add one forwarding entry at `(in_link, label)` with the given
+    /// 1-based priority.
+    AddRule {
+        /// Incoming link of the rule's key.
+        in_link: LinkId,
+        /// Top-of-stack label of the rule's key.
+        label: LabelId,
+        /// 1-based priority (1 = primary).
+        priority: usize,
+        /// The forwarding alternative to add.
+        entry: RoutingEntry,
+    },
+    /// Remove one forwarding entry equal to `entry` from the group at
+    /// `priority` of `(in_link, label)`.
+    RemoveRule {
+        /// Incoming link of the rule's key.
+        in_link: LinkId,
+        /// Top-of-stack label of the rule's key.
+        label: LabelId,
+        /// 1-based priority the entry currently sits at.
+        priority: usize,
+        /// The forwarding alternative to remove (matched exactly).
+        entry: RoutingEntry,
+    },
+    /// Move the whole traffic-engineering group of `(in_link, label)`
+    /// from priority `from` to priority `to` (re-ranking a failover).
+    SetPriority {
+        /// Incoming link of the rule's key.
+        in_link: LinkId,
+        /// Top-of-stack label of the rule's key.
+        label: LabelId,
+        /// Current 1-based priority of the group.
+        from: usize,
+        /// New 1-based priority.
+        to: usize,
+    },
+    /// Take a link out of service: every rule forwarding *over* it is
+    /// stashed and removed. The topology keeps the link (so compiled
+    /// queries stay valid); only forwarding across it stops.
+    LinkDown(LinkId),
+    /// Restore a link previously taken down by [`Delta::LinkDown`],
+    /// re-adding the stashed rules at their original priorities.
+    LinkUp(LinkId),
+}
+
+impl Delta {
+    /// Stable lower-case verb for JSON output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Delta::AddRule { .. } => "add-rule",
+            Delta::RemoveRule { .. } => "remove-rule",
+            Delta::SetPriority { .. } => "set-priority",
+            Delta::LinkDown(_) => "link-down",
+            Delta::LinkUp(_) => "link-up",
+        }
+    }
+}
+
+/// A watched query whose answer changed under a delta.
+#[derive(Clone, Debug)]
+pub struct ChangedAnswer {
+    /// Index of the watched query (as returned by [`Session::watch`]).
+    pub index: usize,
+    /// The watched query's original text.
+    pub query: String,
+    /// The fresh post-delta answer.
+    pub answer: Answer,
+}
+
+/// What [`Session::apply_delta`] did: whether the dataplane actually
+/// changed, the cache-invalidation split, and which watched answers
+/// flipped.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct DeltaReport {
+    /// Whether the delta changed the routing table at all. `false`
+    /// (e.g. removing a rule that does not exist, downing an already
+    /// downed link) means nothing else in the report happened.
+    pub applied: bool,
+    /// Why an [`Delta::AddRule`] was rejected, if it was.
+    pub error: Option<String>,
+    /// Distinct links whose key lists changed (the invalidation probe).
+    pub touched_links: usize,
+    /// Cached artifacts dropped because their footprint intersects the
+    /// touched links.
+    pub invalidated: usize,
+    /// Cached artifacts retained (footprint disjoint from the delta) —
+    /// these keep answering as cache hits, provably unchanged.
+    pub retained: usize,
+    /// Watched queries re-verified after the delta.
+    pub reverified: usize,
+    /// Watched queries whose answer changed, with the new answer.
+    pub changed: Vec<ChangedAnswer>,
+}
+
+impl DeltaReport {
+    /// Serialize the countable part as one JSON object (the `changed`
+    /// answers need network context to render and are serialized by the
+    /// caller).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.boolean("applied", self.applied);
+        match &self.error {
+            Some(e) => o.string("error", e),
+            None => o.null("error"),
+        }
+        o.number("touchedLinks", self.touched_links as f64);
+        o.number("invalidated", self.invalidated as f64);
+        o.number("retained", self.retained as f64);
+        o.number("reverified", self.reverified as f64);
+        o.number("changed", self.changed.len() as f64);
+        o.finish()
+    }
+}
+
+/// A point-in-time snapshot of a session's resident state, for the
+/// `stats` verb and `--stats` output.
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct SessionStats {
+    /// Engine backend name ("dual" / "moped").
+    pub backend: &'static str,
+    /// Worker threads used by [`Session::verify_batch`].
+    pub threads: usize,
+    /// Queries answered since the session opened (single + batch).
+    pub queries: usize,
+    /// Deltas that actually changed the dataplane.
+    pub deltas_applied: usize,
+    /// Cached artifacts invalidated across all deltas.
+    pub invalidated_total: usize,
+    /// Cached artifacts retained across all deltas.
+    pub retained_total: usize,
+    /// Currently cached construction artifacts.
+    pub cache_entries: usize,
+    /// Construction-cache capacity (0 when caching is disabled).
+    pub cache_capacity: usize,
+    /// Estimated resident heap of precomputation + cache, in bytes.
+    pub bytes_resident: usize,
+    /// Watched queries registered via [`Session::watch`].
+    pub watched: usize,
+    /// Validation issues in the current dataplane.
+    pub validation_issues: usize,
+    /// Routing rules in the current dataplane.
+    pub rules: usize,
+}
+
+impl SessionStats {
+    /// Serialize as one JSON object (the payload of a `"session-stats"`
+    /// envelope).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.string("backend", self.backend);
+        o.number("threads", self.threads as f64);
+        o.number("queries", self.queries as f64);
+        o.number("deltasApplied", self.deltas_applied as f64);
+        o.number("invalidatedTotal", self.invalidated_total as f64);
+        o.number("retainedTotal", self.retained_total as f64);
+        o.number("cacheEntries", self.cache_entries as f64);
+        o.number("cacheCapacity", self.cache_capacity as f64);
+        o.number("bytesResident", self.bytes_resident as f64);
+        o.number("watched", self.watched as f64);
+        o.number("validationIssues", self.validation_issues as f64);
+        o.number("rules", self.rules as f64);
+        o.finish()
+    }
+}
+
+/// Configuration for a [`Session`] (entry point:
+/// [`Session::builder`]).
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    threads: usize,
+    cache_size: usize,
+    backend: Backend,
+    opts: VerifyOptions,
+    batch_timeout: Option<Duration>,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        SessionBuilder {
+            threads: 1,
+            cache_size: crate::cache::DEFAULT_CACHE_SIZE,
+            backend: Backend::Dual,
+            opts: VerifyOptions::new(),
+            batch_timeout: None,
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Default configuration: dual engine, one worker thread, default
+    /// cache size, no budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker threads for [`Session::verify_batch`] (0 or 1 runs
+    /// inline).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Give every query this much wall-clock time from the moment its
+    /// verification starts.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.opts = self.opts.with_timeout(timeout);
+        self
+    }
+
+    /// Poll `cancel` during every verification (and between the queries
+    /// of a [`Session::verify_batch`] run).
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.opts = self.opts.with_cancel(cancel);
+        self
+    }
+
+    /// Give each [`Session::verify_batch`] call this much wall-clock
+    /// time for the whole batch (measured from the start of that call);
+    /// queries whose turn comes after it expires answer `Aborted`
+    /// without running.
+    pub fn batch_timeout(mut self, timeout: Duration) -> Self {
+        self.batch_timeout = Some(timeout);
+        self
+    }
+
+    /// Construction-cache capacity in artifacts; 0 disables caching
+    /// (and with it incremental retention — every delta then recomputes
+    /// from scratch).
+    pub fn cache_size(mut self, capacity: usize) -> Self {
+        self.cache_size = capacity;
+        self
+    }
+
+    /// Which engine answers queries.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Replace the per-query options wholesale (weights, reduction
+    /// toggle, transition budget, ...). Budget builders called earlier
+    /// on this builder are overwritten.
+    pub fn verify_options(mut self, opts: VerifyOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Open a session owning `net`: validates once, precomputes once,
+    /// and keeps both resident.
+    pub fn open(self, net: Network) -> Session {
+        let validation_issues = net.validate().len();
+        let precomp = Arc::new(NetworkPrecomp::new(&net));
+        let cache = if self.cache_size == 0 {
+            None
+        } else {
+            Some(Arc::new(ConstructionCache::new(self.cache_size)))
+        };
+        Session {
+            net,
+            precomp,
+            cache,
+            validation_issues,
+            backend: self.backend,
+            opts: self.opts,
+            threads: self.threads,
+            batch_timeout: self.batch_timeout,
+            watched: Vec::new(),
+            downed: Vec::new(),
+            queries: AtomicUsize::new(0),
+            deltas_applied: 0,
+            invalidated_total: 0,
+            retained_total: 0,
+        }
+    }
+}
+
+/// One stashed rule of a downed link: `(in_link, label, priority,
+/// entry)`, exactly as [`Network::entries_over`] reports it.
+type StashedRule = (LinkId, LabelId, usize, RoutingEntry);
+
+/// A watched query: re-verified after every delta so changed answers
+/// can be pushed.
+struct Watched {
+    text: String,
+    query: Query,
+    /// Canonical signature of the last answer's outcome (witness
+    /// included), used to detect changes.
+    last_signature: String,
+}
+
+/// A resident verification session. See the [module docs](self).
+pub struct Session {
+    net: Network,
+    precomp: Arc<NetworkPrecomp>,
+    cache: Option<Arc<ConstructionCache>>,
+    validation_issues: usize,
+    backend: Backend,
+    opts: VerifyOptions,
+    threads: usize,
+    batch_timeout: Option<Duration>,
+    watched: Vec<Watched>,
+    /// Stashed rules of links taken down, for [`Delta::LinkUp`].
+    downed: Vec<(LinkId, Vec<StashedRule>)>,
+    queries: AtomicUsize,
+    deltas_applied: usize,
+    invalidated_total: usize,
+    retained_total: usize,
+}
+
+/// Canonical signature of an answer for change detection: the outcome
+/// (verdict + witness trace) without timing noise.
+fn outcome_signature(answer: &Answer) -> String {
+    format!("{:?}", answer.outcome)
+}
+
+impl Session {
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    /// A session over `net` with default configuration.
+    pub fn open(net: Network) -> Self {
+        SessionBuilder::new().open(net)
+    }
+
+    /// The dataplane this session verifies against. Mutate it only
+    /// through [`Session::apply_delta`] — out-of-band mutation would
+    /// desynchronize the resident precomputation and cache.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The per-query options every verification runs under.
+    pub fn options(&self) -> &VerifyOptions {
+        &self.opts
+    }
+
+    /// Run `f` with the configured engine over the current warm state.
+    fn with_engine<R>(&self, f: impl FnOnce(&dyn Engine) -> R) -> R {
+        match self.backend {
+            Backend::Dual => f(&Verifier::from_parts(
+                &self.net,
+                Arc::clone(&self.precomp),
+                self.cache.clone(),
+                self.validation_issues,
+            )),
+            Backend::Moped => f(&MopedEngine::from_parts(&self.net, self.validation_issues)),
+        }
+    }
+
+    /// Verify one parsed query against the resident dataplane.
+    pub fn verify(&self, q: &Query) -> Answer {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.with_engine(|e| e.verify(q, &self.opts))
+    }
+
+    /// Parse and verify one query text.
+    pub fn verify_text(&self, text: &str) -> Result<Answer, String> {
+        let q = parse_query(text).map_err(|e| e.to_string())?;
+        Ok(self.verify(&q))
+    }
+
+    /// Verify a batch of queries (exactly one answer per query, in
+    /// order) using the session's worker threads.
+    pub fn verify_batch(&self, queries: &[Query]) -> Vec<Answer> {
+        self.queries.fetch_add(queries.len(), Ordering::Relaxed);
+        let mut batch = BatchOptions::new().with_threads(self.threads);
+        if let Some(timeout) = self.batch_timeout {
+            batch = batch.with_timeout(timeout);
+        }
+        // Fold the session's cancel token into the batch budget so
+        // cancellation also skips queries that have not started yet.
+        if let Some(cancel) = &self.opts.cancel {
+            batch = batch.with_cancel(cancel.clone());
+        }
+        self.with_engine(|e| run_batch(e, queries, &self.opts, &batch))
+    }
+
+    /// Register a query for re-verification after every delta. Verifies
+    /// it immediately (priming the cache) and returns the watch index
+    /// plus the current answer.
+    pub fn watch(&mut self, text: &str) -> Result<(usize, Answer), String> {
+        let query = parse_query(text).map_err(|e| e.to_string())?;
+        let answer = self.verify(&query);
+        self.watched.push(Watched {
+            text: text.to_string(),
+            query,
+            last_signature: outcome_signature(&answer),
+        });
+        Ok((self.watched.len() - 1, answer))
+    }
+
+    /// Texts of the currently watched queries, in watch-index order.
+    pub fn watched_queries(&self) -> Vec<&str> {
+        self.watched.iter().map(|w| w.text.as_str()).collect()
+    }
+
+    /// Apply one dataplane delta incrementally: mutate the routing
+    /// table, rebuild the query-independent precomputation, drop only
+    /// the cached artifacts whose footprint intersects the touched
+    /// links, and re-verify watched queries.
+    pub fn apply_delta(&mut self, delta: &Delta) -> DeltaReport {
+        let mut report = DeltaReport::default();
+        let mut touched = Footprint::new();
+
+        match delta {
+            Delta::AddRule {
+                in_link,
+                label,
+                priority,
+                entry,
+            } => match self
+                .net
+                .try_add_rule(*in_link, *label, *priority, entry.clone())
+            {
+                Ok(()) => {
+                    touched.insert(*in_link);
+                    report.applied = true;
+                }
+                Err(issue) => report.error = Some(issue.to_string()),
+            },
+            Delta::RemoveRule {
+                in_link,
+                label,
+                priority,
+                entry,
+            } => {
+                if self.net.remove_entry(*in_link, *label, *priority, entry) {
+                    touched.insert(*in_link);
+                    report.applied = true;
+                }
+            }
+            Delta::SetPriority {
+                in_link,
+                label,
+                from,
+                to,
+            } => {
+                if self.net.move_group(*in_link, *label, *from, *to) {
+                    touched.insert(*in_link);
+                    report.applied = true;
+                }
+            }
+            Delta::LinkDown(link) => {
+                if self.downed.iter().any(|(l, _)| l == link) {
+                    return report; // already down: nothing to do
+                }
+                let hits = self.net.entries_over(*link);
+                for (in_link, label, priority, entry) in &hits {
+                    self.net.remove_entry(*in_link, *label, *priority, entry);
+                    touched.insert(*in_link);
+                }
+                // Stash even an empty hit list: the link is now "down"
+                // and a later LinkUp must find it.
+                report.applied = true;
+                self.downed.push((*link, hits));
+            }
+            Delta::LinkUp(link) => {
+                let Some(pos) = self.downed.iter().position(|(l, _)| l == link) else {
+                    return report; // not down: nothing to do
+                };
+                let (_, hits) = self.downed.remove(pos);
+                for (in_link, label, priority, entry) in hits {
+                    // The stashed rules were well-formed when removed and
+                    // topology is immutable, so unchecked re-insertion at
+                    // the original priority is exact.
+                    self.net.add_rule_unchecked(in_link, label, priority, entry);
+                    touched.insert(in_link);
+                }
+                report.applied = true;
+            }
+        }
+
+        if !report.applied {
+            return report;
+        }
+
+        report.touched_links = touched.len();
+        // The precomp's per-link key lists mirror the routing table, so
+        // it is rebuilt wholesale (it is cheap relative to construction)
+        // while the cache is pruned surgically by footprint.
+        self.precomp = Arc::new(NetworkPrecomp::new(&self.net));
+        self.validation_issues = self.net.validate().len();
+        if let Some(cache) = &self.cache {
+            let inv = cache.invalidate_intersecting(&touched);
+            report.invalidated = inv.invalidated;
+            report.retained = inv.retained;
+        }
+        self.deltas_applied += 1;
+        self.invalidated_total += report.invalidated;
+        self.retained_total += report.retained;
+
+        // Re-verify watched queries against the new dataplane; entries
+        // the delta could not have affected answer straight from cache.
+        report.reverified = self.watched.len();
+        for i in 0..self.watched.len() {
+            let answer = self.verify(&self.watched[i].query);
+            let signature = outcome_signature(&answer);
+            if signature != self.watched[i].last_signature {
+                self.watched[i].last_signature = signature;
+                report.changed.push(ChangedAnswer {
+                    index: i,
+                    query: self.watched[i].text.clone(),
+                    answer,
+                });
+            }
+        }
+        report
+    }
+
+    /// Snapshot the session's resident-state counters.
+    pub fn stats(&self) -> SessionStats {
+        let mut s = SessionStats {
+            backend: self.backend.as_str(),
+            threads: self.threads,
+            queries: self.queries.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied,
+            invalidated_total: self.invalidated_total,
+            retained_total: self.retained_total,
+            watched: self.watched.len(),
+            validation_issues: self.validation_issues,
+            rules: self.net.num_rules(),
+            bytes_resident: self.precomp.bytes_resident(),
+            ..SessionStats::default()
+        };
+        if let Some(cache) = &self.cache {
+            s.cache_entries = cache.len();
+            s.cache_capacity = cache.capacity();
+            s.bytes_resident += cache.bytes_resident();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::paper_network;
+    use crate::Outcome;
+    use netmodel::Op;
+
+    fn demo_queries() -> Vec<&'static str> {
+        vec![
+            "<ip> [.#v0] .* [v3#.] <ip> 0",
+            "<ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2",
+            "<s40 ip> [.#v0] .* [v3#.] <smpls ip> 0",
+        ]
+    }
+
+    #[test]
+    fn session_answers_match_cold_verifier() {
+        let net = paper_network();
+        let session = Session::open(net.clone());
+        for text in demo_queries() {
+            let q = parse_query(text).unwrap();
+            let cold = Verifier::new(&net).verify(&q, &VerifyOptions::new());
+            let warm = session.verify(&q);
+            assert_eq!(outcome_signature(&cold), outcome_signature(&warm), "{text}");
+        }
+    }
+
+    #[test]
+    fn batch_runs_through_session_threads() {
+        let net = paper_network();
+        let session = Session::builder().threads(4).open(net);
+        let qs: Vec<Query> = demo_queries()
+            .iter()
+            .map(|t| parse_query(t).unwrap())
+            .collect();
+        let answers = session.verify_batch(&qs);
+        assert_eq!(answers.len(), qs.len());
+        assert_eq!(session.stats().queries, qs.len());
+    }
+
+    #[test]
+    fn unapplied_delta_changes_nothing() {
+        let mut session = Session::open(paper_network());
+        let (_, _) = session.watch(demo_queries()[0]).unwrap();
+        let before = session.stats();
+        // Removing a rule that does not exist applies nothing.
+        let report = session.apply_delta(&Delta::RemoveRule {
+            in_link: LinkId(0),
+            label: LabelId(0),
+            priority: 99,
+            entry: RoutingEntry {
+                out: LinkId(0),
+                ops: vec![Op::Pop],
+            },
+        });
+        assert!(!report.applied);
+        assert_eq!(report.invalidated, 0);
+        assert!(report.changed.is_empty());
+        assert_eq!(session.stats().deltas_applied, before.deltas_applied);
+    }
+
+    #[test]
+    fn link_down_then_up_restores_the_table() {
+        let mut session = Session::open(paper_network());
+        let rules_before = session.network().num_rules();
+        let link = LinkId(2);
+        let down = session.apply_delta(&Delta::LinkDown(link));
+        assert!(down.applied);
+        assert!(session.network().num_rules() <= rules_before);
+        // Downing again is a no-op.
+        assert!(!session.apply_delta(&Delta::LinkDown(link)).applied);
+        let up = session.apply_delta(&Delta::LinkUp(link));
+        assert!(up.applied);
+        assert_eq!(session.network().num_rules(), rules_before);
+        // Upping again is a no-op.
+        assert!(!session.apply_delta(&Delta::LinkUp(link)).applied);
+    }
+
+    #[test]
+    fn watch_pushes_changed_answers() {
+        let mut session = Session::open(paper_network());
+        let (idx, first) = session.watch(demo_queries()[0]).unwrap();
+        assert_eq!(idx, 0);
+        assert!(matches!(first.outcome, Outcome::Satisfied(_)));
+        // Sever the dataplane completely: every link goes down, so the
+        // reachability query must flip away from its old witness.
+        let links = session.network().topology.num_links();
+        let mut flipped = false;
+        for l in 0..links {
+            let report = session.apply_delta(&Delta::LinkDown(LinkId(l)));
+            if report.changed.iter().any(|c| c.index == idx) {
+                flipped = true;
+            }
+        }
+        assert!(flipped, "tearing down every link must change the answer");
+    }
+
+    #[test]
+    fn stats_track_resident_state() {
+        let session = Session::open(paper_network());
+        let q = parse_query(demo_queries()[0]).unwrap();
+        session.verify(&q);
+        let s = session.stats();
+        assert_eq!(s.backend, "dual");
+        assert_eq!(s.queries, 1);
+        assert!(s.cache_capacity > 0);
+        assert!(s.cache_entries > 0, "the verify must have filled the cache");
+        assert!(s.bytes_resident > 0);
+        assert!(s.rules > 0);
+        let json = s.to_json();
+        assert!(json.contains("\"bytesResident\":"));
+        assert!(json.contains("\"backend\":\"dual\""));
+    }
+
+    #[test]
+    fn moped_backend_dispatches() {
+        let session = Session::builder()
+            .backend(Backend::Moped)
+            .open(paper_network());
+        let q = parse_query(demo_queries()[0]).unwrap();
+        let a = session.verify(&q);
+        assert!(a.outcome.is_satisfied());
+        assert_eq!(session.stats().backend, "moped");
+    }
+}

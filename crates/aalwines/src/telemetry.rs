@@ -11,6 +11,30 @@ pub fn millis(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Version of the JSON envelope emitted by every machine-readable
+/// output surface (CLI `--json`/`--stats`/`--lint-json`, chaos reports,
+/// and the `aalwinesd` wire protocol). Bump when the envelope shape —
+/// not a payload — changes incompatibly.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Wrap an already-serialized JSON payload in the versioned envelope
+/// shared by every output surface:
+///
+/// ```json
+/// {"schemaVersion":1,"kind":"<kind>","payload":<payload>}
+/// ```
+///
+/// `kind` names the payload shape (`"answer"`, `"batch-summary"`,
+/// `"lint-report"`, ...); consumers dispatch on it instead of sniffing
+/// payload fields.
+pub fn envelope(kind: &str, payload: &str) -> String {
+    let mut o = JsonObject::new();
+    o.number("schemaVersion", SCHEMA_VERSION as f64);
+    o.string("kind", kind);
+    o.raw("payload", payload);
+    o.finish()
+}
+
 /// Escape a string for inclusion in a JSON document (quotes included).
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -227,10 +251,11 @@ impl BatchSummary {
         s
     }
 
-    /// Serialize as one JSON object (hand-rolled, serde-free).
+    /// Serialize the bare payload as one JSON object (hand-rolled,
+    /// serde-free). Callers emitting to an output surface should wrap
+    /// it via [`envelope`]`("batch-summary", ..)`.
     pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
-        o.string("kind", "batch-summary");
         o.number("total", self.total as f64);
         o.number("satisfied", self.satisfied as f64);
         o.number("unsatisfied", self.unsatisfied as f64);
@@ -314,7 +339,18 @@ mod tests {
         assert_eq!(s.satisfied, 0);
         assert_eq!(s.under_runs, 1);
         let json = s.to_json();
-        assert!(json.contains(r#""kind":"batch-summary""#));
         assert!(json.contains(r#""aborted":1"#));
+
+        let wrapped = envelope("batch-summary", &json);
+        assert!(wrapped.starts_with(r#"{"schemaVersion":1,"kind":"batch-summary","payload":{"#));
+        assert!(wrapped.ends_with("}}"));
+    }
+
+    #[test]
+    fn envelope_wraps_payload_with_version() {
+        assert_eq!(
+            envelope("answer", r#"{"ok":true}"#),
+            r#"{"schemaVersion":1,"kind":"answer","payload":{"ok":true}}"#
+        );
     }
 }

@@ -1,0 +1,624 @@
+//! # aalwinesd — a resident what-if verification service
+//!
+//! A line-delimited-JSON daemon over a Unix domain socket that keeps
+//! one dataplane loaded as an [`aalwines::Session`]: network
+//! validation, query-independent precomputation, and the construction
+//! cache all stay warm across requests, and dataplane deltas are
+//! applied **incrementally** — only cached artifacts whose footprint
+//! intersects the delta are invalidated, and changed answers to
+//! subscribed queries are pushed to their clients.
+//!
+//! ## Wire protocol
+//!
+//! One JSON object per line in each direction. Requests carry a
+//! `"verb"`; responses (and pushed updates) are versioned envelopes
+//! `{"schemaVersion":1,"kind":...,"payload":...}`:
+//!
+//! | verb       | request fields                                  | response kind   |
+//! |------------|-------------------------------------------------|-----------------|
+//! | `load`     | `demo:true` \| `topology`,`routing`[,`locations`,`repair`] | `loaded` |
+//! | `query`    | `query` (text)                                  | `answer`        |
+//! | `batch`    | `queries` (array of texts)                      | `batch-result`  |
+//! | `stats`    | —                                               | `session-stats` |
+//! | `subscribe`| `query` (text)                                  | `subscribed`    |
+//! | `delta`    | `delta` (object, see [`parse_delta`])           | `delta-report`  |
+//! | `shutdown` | —                                               | `bye`           |
+//!
+//! After a `delta`, every subscriber whose watched query changed its
+//! answer receives an unsolicited `"update"` envelope on its own
+//! connection. Malformed requests answer an `"error"` envelope; the
+//! connection stays open.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aalwines::telemetry::{envelope, JsonObject};
+use aalwines::{Delta, Session, SessionBuilder};
+use aalwines_suite::gui;
+use formats::json::{parse as parse_json, Value};
+use netmodel::{LabelId, LinkId, Network, Op, RoutingEntry};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A shared, interleaving-safe handle to one client's write side.
+/// Responses and pushed updates both go through it, so a subscriber
+/// never sees a torn line.
+pub type Peer = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Wrap a writer as a [`Peer`].
+pub fn peer_of(w: impl Write + Send + 'static) -> Peer {
+    Arc::new(Mutex::new(Box::new(w)))
+}
+
+/// Daemon configuration (session shape; the dataplane itself arrives
+/// via `load` or [`Daemon::preload`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Worker threads for `batch` requests.
+    pub threads: usize,
+    /// Construction-cache capacity in artifacts (0 disables caching).
+    pub cache_size: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            threads: 1,
+            cache_size: aalwines::DEFAULT_CACHE_SIZE,
+        }
+    }
+}
+
+/// One subscriber: the watch index inside the session and the
+/// connection to push updates to.
+struct Subscriber {
+    index: usize,
+    peer: Peer,
+}
+
+struct Shared {
+    config: DaemonConfig,
+    /// `None` until a dataplane is loaded. Queries take the read lock;
+    /// `load`, `subscribe`, and `delta` take the write lock.
+    session: RwLock<Option<Session>>,
+    subscribers: Mutex<Vec<Subscriber>>,
+    shutdown: AtomicBool,
+    /// Socket path while serving (used to self-connect on shutdown so
+    /// the accept loop wakes up).
+    socket: Mutex<Option<PathBuf>>,
+}
+
+/// The resident verification service. See the [module docs](self).
+#[derive(Clone)]
+pub struct Daemon {
+    shared: Arc<Shared>,
+}
+
+/// Envelope of kind `error` with a message payload.
+fn error_envelope(message: &str) -> String {
+    let mut o = JsonObject::new();
+    o.string("message", message);
+    envelope("error", &o.finish())
+}
+
+/// Resolve a link given as a dense index or as the topology's
+/// `src.if->dst.if` name.
+fn resolve_link(net: &Network, v: &Value) -> Result<LinkId, String> {
+    if let Some(n) = v.as_f64() {
+        let idx = n as usize;
+        if idx < net.topology.num_links() as usize {
+            return Ok(LinkId(idx as u32));
+        }
+        return Err(format!("link index {idx} out of range"));
+    }
+    if let Some(name) = v.as_str() {
+        for l in 0..net.topology.num_links() {
+            let id = LinkId(l);
+            if net.topology.link_name(id) == name {
+                return Ok(id);
+            }
+        }
+        return Err(format!("no link named '{name}'"));
+    }
+    Err("link must be an index or a name".to_string())
+}
+
+/// Resolve a label given as a dense index or an interned name.
+fn resolve_label(net: &Network, v: &Value) -> Result<LabelId, String> {
+    if let Some(n) = v.as_f64() {
+        let idx = n as usize;
+        if idx < net.labels.len() {
+            return Ok(LabelId(idx as u32));
+        }
+        return Err(format!("label index {idx} out of range"));
+    }
+    if let Some(name) = v.as_str() {
+        return net
+            .labels
+            .get(name)
+            .ok_or_else(|| format!("no label named '{name}'"));
+    }
+    Err("label must be an index or a name".to_string())
+}
+
+/// Parse the `ops` array of a rule delta: `"pop"`, `{"swap":label}`,
+/// `{"push":label}`.
+fn parse_ops(net: &Network, v: Option<&Value>) -> Result<Vec<Op>, String> {
+    let Some(v) = v else {
+        return Ok(Vec::new());
+    };
+    let Value::Array(items) = v else {
+        return Err("ops must be an array".to_string());
+    };
+    let mut ops = Vec::with_capacity(items.len());
+    for item in items {
+        if item.as_str() == Some("pop") {
+            ops.push(Op::Pop);
+        } else if let Some(l) = item.get("swap") {
+            ops.push(Op::Swap(resolve_label(net, l)?));
+        } else if let Some(l) = item.get("push") {
+            ops.push(Op::Push(resolve_label(net, l)?));
+        } else {
+            return Err(format!("unknown op {}", item.to_json()));
+        }
+    }
+    Ok(ops)
+}
+
+/// Parse a delta object against the loaded network. Links and labels
+/// may be given as dense indices or names; see the module docs for the
+/// verb table and [`Delta`] for the semantics of each kind.
+pub fn parse_delta(net: &Network, v: &Value) -> Result<Delta, String> {
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("delta needs a string 'kind'")?;
+    let field = |k: &str| v.get(k).ok_or(format!("delta '{kind}' needs '{k}'"));
+    let number = |k: &str| -> Result<usize, String> {
+        field(k)?
+            .as_f64()
+            .map(|n| n as usize)
+            .ok_or(format!("'{k}' must be a number"))
+    };
+    match kind {
+        "link-down" => Ok(Delta::LinkDown(resolve_link(net, field("link")?)?)),
+        "link-up" => Ok(Delta::LinkUp(resolve_link(net, field("link")?)?)),
+        "set-priority" => Ok(Delta::SetPriority {
+            in_link: resolve_link(net, field("inLink")?)?,
+            label: resolve_label(net, field("label")?)?,
+            from: number("from")?,
+            to: number("to")?,
+        }),
+        "add-rule" | "remove-rule" => {
+            let in_link = resolve_link(net, field("inLink")?)?;
+            let label = resolve_label(net, field("label")?)?;
+            let priority = number("priority")?;
+            let entry = RoutingEntry {
+                out: resolve_link(net, field("out")?)?,
+                ops: parse_ops(net, v.get("ops"))?,
+            };
+            Ok(if kind == "add-rule" {
+                Delta::AddRule {
+                    in_link,
+                    label,
+                    priority,
+                    entry,
+                }
+            } else {
+                Delta::RemoveRule {
+                    in_link,
+                    label,
+                    priority,
+                    entry,
+                }
+            })
+        }
+        other => Err(format!("unknown delta kind '{other}'")),
+    }
+}
+
+impl Daemon {
+    /// A daemon with no dataplane loaded yet.
+    pub fn new(config: DaemonConfig) -> Self {
+        Daemon {
+            shared: Arc::new(Shared {
+                config,
+                session: RwLock::new(None),
+                subscribers: Mutex::new(Vec::new()),
+                shutdown: AtomicBool::new(false),
+                socket: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Install an already-loaded dataplane (the `--demo` /
+    /// `--topology` CLI path), replacing any current session.
+    pub fn preload(&self, net: Network) {
+        let session = self.build_session(net);
+        *self.shared.session.write().unwrap() = Some(session);
+    }
+
+    fn build_session(&self, net: Network) -> Session {
+        SessionBuilder::new()
+            .threads(self.shared.config.threads)
+            .cache_size(self.shared.config.cache_size)
+            .open(net)
+    }
+
+    /// Whether `shutdown` has been requested.
+    pub fn is_shut_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handle one request line on behalf of `peer`, returning the
+    /// response envelope (without trailing newline). Pushed updates to
+    /// other subscribers are written as a side effect.
+    pub fn handle(&self, line: &str, peer: &Peer) -> String {
+        let request = match parse_json(line) {
+            Ok(v) => v,
+            Err(e) => return error_envelope(&format!("bad request JSON: {e}")),
+        };
+        let Some(verb) = request.get("verb").and_then(Value::as_str) else {
+            return error_envelope("request needs a string 'verb'");
+        };
+        match verb {
+            "load" => self.handle_load(&request),
+            "query" => self.handle_query(&request),
+            "batch" => self.handle_batch(&request),
+            "stats" => self.handle_stats(),
+            "subscribe" => self.handle_subscribe(&request, peer),
+            "delta" => self.handle_delta(&request),
+            "shutdown" => self.handle_shutdown(peer),
+            other => error_envelope(&format!("unknown verb '{other}'")),
+        }
+    }
+
+    fn handle_load(&self, request: &Value) -> String {
+        let net = if request.get("demo").map(|v| v == &Value::Bool(true)) == Some(true) {
+            aalwines::examples::paper_network()
+        } else {
+            let path_field = |k: &str| -> Result<String, String> {
+                match request.get(k) {
+                    Some(v) => v
+                        .as_str()
+                        .map(str::to_string)
+                        .ok_or(format!("'{k}' must be a path string")),
+                    None => Err(format!("load needs 'demo':true or '{k}'")),
+                }
+            };
+            let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+            let loaded = (|| {
+                let topo = read(&path_field("topology")?)?;
+                let routes = read(&path_field("routing")?)?;
+                let locations = match request.get("locations").and_then(Value::as_str) {
+                    Some(p) => Some(read(p)?),
+                    None => None,
+                };
+                let repair = request.get("repair") == Some(&Value::Bool(true));
+                aalwines_suite::load_dataplane(&topo, &routes, locations.as_deref(), repair)
+                    .map_err(|e| e.to_string())
+            })();
+            match loaded {
+                Ok(net) => net,
+                Err(e) => return error_envelope(&e),
+            }
+        };
+        let session = self.build_session(net);
+        let stats = session.stats();
+        *self.shared.session.write().unwrap() = Some(session);
+        // Watch indices of the previous dataplane are meaningless now.
+        self.shared.subscribers.lock().unwrap().clear();
+        envelope("loaded", &stats.to_json())
+    }
+
+    /// Run `f` under the session read lock, or answer `error` when no
+    /// dataplane is loaded.
+    fn with_session(&self, f: impl FnOnce(&Session) -> String) -> String {
+        match self.shared.session.read().unwrap().as_ref() {
+            Some(session) => f(session),
+            None => error_envelope("no dataplane loaded (send 'load' first)"),
+        }
+    }
+
+    fn handle_query(&self, request: &Value) -> String {
+        let Some(text) = request.get("query").and_then(Value::as_str) else {
+            return error_envelope("query needs a string 'query'");
+        };
+        self.with_session(|session| match session.verify_text(text) {
+            Ok(answer) => envelope(
+                "answer",
+                &gui::answer_to_json(session.network(), text, &answer).to_json(),
+            ),
+            Err(e) => error_envelope(&format!("parse error: {e}")),
+        })
+    }
+
+    fn handle_batch(&self, request: &Value) -> String {
+        let Some(Value::Array(items)) = request.get("queries") else {
+            return error_envelope("batch needs an array 'queries'");
+        };
+        let mut texts = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            match item.as_str() {
+                Some(t) => texts.push(t),
+                None => return error_envelope(&format!("queries[{i}] is not a string")),
+            }
+        }
+        let mut parsed = Vec::with_capacity(texts.len());
+        for (i, t) in texts.iter().enumerate() {
+            match query::parse_query(t) {
+                Ok(q) => parsed.push(q),
+                Err(e) => return error_envelope(&format!("queries[{i}]: {e}")),
+            }
+        }
+        self.with_session(|session| {
+            let answers = session.verify_batch(&parsed);
+            let summary = aalwines::BatchSummary::summarize(&answers);
+            let rendered: Vec<String> = answers
+                .iter()
+                .zip(&texts)
+                .map(|(a, t)| gui::answer_to_json(session.network(), t, a).to_json())
+                .collect();
+            let mut o = JsonObject::new();
+            o.raw("answers", &format!("[{}]", rendered.join(",")));
+            o.raw("summary", &summary.to_json());
+            envelope("batch-result", &o.finish())
+        })
+    }
+
+    fn handle_stats(&self) -> String {
+        self.with_session(|session| envelope("session-stats", &session.stats().to_json()))
+    }
+
+    fn handle_subscribe(&self, request: &Value, peer: &Peer) -> String {
+        let Some(text) = request.get("query").and_then(Value::as_str) else {
+            return error_envelope("subscribe needs a string 'query'");
+        };
+        let mut guard = self.shared.session.write().unwrap();
+        let Some(session) = guard.as_mut() else {
+            return error_envelope("no dataplane loaded (send 'load' first)");
+        };
+        match session.watch(text) {
+            Ok((index, answer)) => {
+                self.shared.subscribers.lock().unwrap().push(Subscriber {
+                    index,
+                    peer: Arc::clone(peer),
+                });
+                let mut o = JsonObject::new();
+                o.number("index", index as f64);
+                o.raw(
+                    "answer",
+                    &gui::answer_to_json(session.network(), text, &answer).to_json(),
+                );
+                envelope("subscribed", &o.finish())
+            }
+            Err(e) => error_envelope(&format!("parse error: {e}")),
+        }
+    }
+
+    fn handle_delta(&self, request: &Value) -> String {
+        let Some(spec) = request.get("delta") else {
+            return error_envelope("delta needs an object 'delta'");
+        };
+        let mut guard = self.shared.session.write().unwrap();
+        let Some(session) = guard.as_mut() else {
+            return error_envelope("no dataplane loaded (send 'load' first)");
+        };
+        let delta = match parse_delta(session.network(), spec) {
+            Ok(d) => d,
+            Err(e) => return error_envelope(&e),
+        };
+        let report = session.apply_delta(&delta);
+        // Push changed answers to the affected subscribers while still
+        // holding the session lock, so a concurrent delta cannot
+        // reorder updates.
+        for changed in &report.changed {
+            let mut o = JsonObject::new();
+            o.number("index", changed.index as f64);
+            o.string("query", &changed.query);
+            o.raw(
+                "answer",
+                &gui::answer_to_json(session.network(), &changed.query, &changed.answer).to_json(),
+            );
+            let update = envelope("update", &o.finish());
+            let subscribers = self.shared.subscribers.lock().unwrap();
+            for sub in subscribers.iter().filter(|s| s.index == changed.index) {
+                let mut w = sub.peer.lock().unwrap();
+                // A dead subscriber is dropped on its own thread's exit;
+                // ignore its broken pipe here.
+                let _ = writeln!(w, "{update}");
+                let _ = w.flush();
+            }
+        }
+        let mut o = JsonObject::new();
+        o.string("delta", delta.kind());
+        o.raw("report", &report.to_json());
+        envelope("delta-report", &o.finish())
+    }
+
+    fn handle_shutdown(&self, peer: &Peer) -> String {
+        // Deliver the farewell *before* raising the shutdown flag:
+        // once the flag is up the accept loop (and, in the binary, the
+        // whole process) may exit ahead of a response queued the normal
+        // way, closing the connection with no `bye` on it.
+        {
+            let mut w = peer.lock().unwrap();
+            let _ = writeln!(w, "{}", envelope("bye", "{}"));
+            let _ = w.flush();
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        if let Some(path) = self.shared.socket.lock().unwrap().clone() {
+            let _ = UnixStream::connect(path);
+        }
+        String::new()
+    }
+
+    /// Drop subscriber registrations pushing to `peer` (its client
+    /// disconnected).
+    fn drop_peer(&self, peer: &Peer) {
+        self.shared
+            .subscribers
+            .lock()
+            .unwrap()
+            .retain(|s| !Arc::ptr_eq(&s.peer, peer));
+    }
+
+    /// Serve clients on a Unix domain socket at `path` until a
+    /// `shutdown` request arrives. A stale socket file at `path` is
+    /// removed first; the file is removed again on exit.
+    pub fn serve(&self, path: &Path) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        *self.shared.socket.lock().unwrap() = Some(path.to_path_buf());
+        for stream in listener.incoming() {
+            if self.is_shut_down() {
+                break;
+            }
+            let stream = stream?;
+            let daemon = self.clone();
+            std::thread::spawn(move || daemon.serve_client(stream));
+        }
+        *self.shared.socket.lock().unwrap() = None;
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+
+    fn serve_client(&self, stream: UnixStream) {
+        let Ok(write_half) = stream.try_clone() else {
+            return;
+        };
+        let peer = peer_of(write_half);
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = self.handle(&line, &peer);
+            // An empty response means the handler already wrote to the
+            // peer itself (the shutdown farewell).
+            if !response.is_empty() {
+                let mut w = peer.lock().unwrap();
+                if writeln!(w, "{response}").is_err() || w.flush().is_err() {
+                    break;
+                }
+            }
+            if self.is_shut_down() {
+                break;
+            }
+        }
+        self.drop_peer(&peer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory peer for socket-free protocol tests.
+    fn sink() -> Peer {
+        peer_of(Vec::new())
+    }
+
+    fn demo_daemon() -> Daemon {
+        let d = Daemon::new(DaemonConfig::default());
+        d.preload(aalwines::examples::paper_network());
+        d
+    }
+
+    fn kind_of(envelope: &str) -> String {
+        parse_json(envelope)
+            .unwrap()
+            .get("kind")
+            .and_then(Value::as_str)
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn envelopes_are_versioned_and_kinded() {
+        let d = demo_daemon();
+        let resp = d.handle(r#"{"verb":"stats"}"#, &sink());
+        let v = parse_json(&resp).unwrap();
+        assert_eq!(v.get("schemaVersion").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("session-stats"));
+        assert!(v.get("payload").is_some());
+    }
+
+    #[test]
+    fn query_answers_against_resident_session() {
+        let d = demo_daemon();
+        let resp = d.handle(
+            r#"{"verb":"query","query":"<ip> [.#v0] .* [v3#.] <ip> 0"}"#,
+            &sink(),
+        );
+        let v = parse_json(&resp).unwrap();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("answer"));
+        let result = v
+            .get("payload")
+            .and_then(|p| p.get("result"))
+            .and_then(Value::as_str);
+        assert_eq!(result, Some("satisfied"));
+    }
+
+    #[test]
+    fn unloaded_daemon_answers_errors_not_panics() {
+        let d = Daemon::new(DaemonConfig::default());
+        for req in [
+            r#"{"verb":"query","query":"<ip> .* <ip> 0"}"#,
+            r#"{"verb":"stats"}"#,
+            r#"{"verb":"delta","delta":{"kind":"link-down","link":0}}"#,
+        ] {
+            assert_eq!(kind_of(&d.handle(req, &sink())), "error");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_answer_error() {
+        let d = demo_daemon();
+        for req in [
+            "not json",
+            r#"{"no":"verb"}"#,
+            r#"{"verb":"frobnicate"}"#,
+            r#"{"verb":"delta","delta":{"kind":"link-down","link":"nonexistent"}}"#,
+            r#"{"verb":"batch","queries":"not-an-array"}"#,
+        ] {
+            assert_eq!(kind_of(&d.handle(req, &sink())), "error", "{req}");
+        }
+    }
+
+    #[test]
+    fn delta_reports_invalidation_counters() {
+        let d = demo_daemon();
+        // Warm the cache first.
+        d.handle(
+            r#"{"verb":"query","query":"<ip> [.#v0] .* [v3#.] <ip> 0"}"#,
+            &sink(),
+        );
+        let resp = d.handle(
+            r#"{"verb":"delta","delta":{"kind":"link-down","link":0}}"#,
+            &sink(),
+        );
+        let v = parse_json(&resp).unwrap();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("delta-report"));
+        let report = v.get("payload").and_then(|p| p.get("report")).unwrap();
+        assert_eq!(report.get("applied"), Some(&Value::Bool(true)));
+        assert!(report.get("invalidated").and_then(Value::as_f64).is_some());
+        assert!(report.get("retained").and_then(Value::as_f64).is_some());
+    }
+
+    #[test]
+    fn load_demo_over_the_protocol() {
+        let d = Daemon::new(DaemonConfig::default());
+        let resp = d.handle(r#"{"verb":"load","demo":true}"#, &sink());
+        assert_eq!(kind_of(&resp), "loaded");
+        assert_eq!(
+            kind_of(&d.handle(r#"{"verb":"stats"}"#, &sink())),
+            "session-stats"
+        );
+    }
+}

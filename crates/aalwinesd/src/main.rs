@@ -1,0 +1,307 @@
+//! CLI entry point for `aalwinesd`: bind a Unix socket, optionally
+//! preload a dataplane, and serve the NDJSON protocol until `shutdown`.
+
+use aalwinesd::{Daemon, DaemonConfig};
+use formats::json::{parse as parse_json, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+aalwinesd — resident what-if verification service (NDJSON over a Unix socket)
+
+USAGE:
+    aalwinesd --socket PATH [--demo | --topology T.xml --routing R.xml]
+              [--locations L.json] [--repair] [--threads N] [--cache-size N]
+    aalwinesd --smoke
+
+OPTIONS:
+    --socket PATH      Unix domain socket to listen on
+    --demo             preload the paper's example network
+    --topology PATH    preload: topology XML
+    --routing PATH     preload: routing XML
+    --locations PATH   preload: optional router-coordinate JSON
+    --repair           drop ill-formed rules while preloading
+    --threads N        worker threads for batch requests (default 1)
+    --cache-size N     construction-cache capacity (default 256, 0 = off)
+    --smoke            run a self-contained end-to-end exercise and exit
+";
+
+struct Args {
+    socket: Option<PathBuf>,
+    demo: bool,
+    topology: Option<String>,
+    routing: Option<String>,
+    locations: Option<String>,
+    repair: bool,
+    threads: usize,
+    cache_size: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: None,
+        demo: false,
+        topology: None,
+        routing: None,
+        locations: None,
+        repair: false,
+        threads: 1,
+        cache_size: aalwines::DEFAULT_CACHE_SIZE,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--socket" => args.socket = Some(PathBuf::from(value("--socket")?)),
+            "--demo" => args.demo = true,
+            "--topology" => args.topology = Some(value("--topology")?),
+            "--routing" => args.routing = Some(value("--routing")?),
+            "--locations" => args.locations = Some(value("--locations")?),
+            "--repair" => args.repair = true,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--cache-size" => {
+                args.cache_size = value("--cache-size")?
+                    .parse()
+                    .map_err(|e| format!("--cache-size: {e}"))?
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.smoke {
+        return match smoke() {
+            Ok(()) => {
+                println!("aalwinesd smoke: OK");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("aalwinesd smoke: FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let Some(socket) = args.socket.clone() else {
+        eprintln!("error: --socket is required (or --smoke)\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let daemon = Daemon::new(DaemonConfig {
+        threads: args.threads,
+        cache_size: args.cache_size,
+    });
+    if args.demo {
+        daemon.preload(aalwines::examples::paper_network());
+        eprintln!("aalwinesd: preloaded demo network");
+    } else if let (Some(topo), Some(routes)) = (&args.topology, &args.routing) {
+        let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+        let loaded = (|| {
+            let topo = read(topo)?;
+            let routes = read(routes)?;
+            let locations = match &args.locations {
+                Some(p) => Some(read(p)?),
+                None => None,
+            };
+            aalwines_suite::load_dataplane(&topo, &routes, locations.as_deref(), args.repair)
+                .map_err(|e| e.to_string())
+        })();
+        match loaded {
+            Ok(net) => {
+                daemon.preload(net);
+                eprintln!("aalwinesd: preloaded dataplane");
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("aalwinesd: listening on {}", socket.display());
+    match daemon.serve(&socket) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One scripted client connection for the smoke exercise.
+struct SmokeClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl SmokeClient {
+    fn connect(path: &std::path::Path) -> Result<Self, String> {
+        let stream = UnixStream::connect(path).map_err(|e| format!("connect: {e}"))?;
+        let writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        Ok(SmokeClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<Value, String> {
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if line.is_empty() {
+            return Err("connection closed".to_string());
+        }
+        parse_json(line.trim_end()).map_err(|e| format!("bad envelope: {e}"))
+    }
+
+    /// Send one request and expect the response envelope kind,
+    /// returning its payload. Unsolicited `update` pushes that arrive
+    /// first are collected into `updates`.
+    fn roundtrip(
+        &mut self,
+        request: &str,
+        want_kind: &str,
+        updates: &mut Vec<Value>,
+    ) -> Result<Value, String> {
+        self.send(request)?;
+        loop {
+            let envelope = self.recv()?;
+            if envelope.get("schemaVersion").and_then(Value::as_f64) != Some(1.0) {
+                return Err(format!("unversioned envelope: {}", envelope.to_json()));
+            }
+            let kind = envelope
+                .get("kind")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let payload = envelope.get("payload").cloned().unwrap_or(Value::Null);
+            if kind == "update" {
+                updates.push(payload);
+                continue;
+            }
+            if kind != want_kind {
+                return Err(format!(
+                    "{request}: expected kind '{want_kind}', got {}",
+                    envelope.to_json()
+                ));
+            }
+            return Ok(payload);
+        }
+    }
+}
+
+/// Self-contained end-to-end exercise over a real Unix socket: load →
+/// query → subscribe → delta (with changed-answer push) → stats →
+/// shutdown. Used by CI as the daemon smoke job.
+fn smoke() -> Result<(), String> {
+    let path = std::env::temp_dir().join(format!("aalwinesd-smoke-{}.sock", std::process::id()));
+    let daemon = Daemon::new(DaemonConfig {
+        threads: 2,
+        cache_size: aalwines::DEFAULT_CACHE_SIZE,
+    });
+    let server = {
+        let daemon = daemon.clone();
+        let path = path.clone();
+        std::thread::spawn(move || daemon.serve(&path))
+    };
+    // The listener comes up asynchronously; poll for the socket file.
+    for _ in 0..200 {
+        if path.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let mut updates = Vec::new();
+    let mut a = SmokeClient::connect(&path)?;
+    a.roundtrip(r#"{"verb":"load","demo":true}"#, "loaded", &mut updates)?;
+
+    let q = "<ip> [.#v0] .* [v3#.] <ip> 0";
+    let payload = a.roundtrip(
+        &format!(r#"{{"verb":"query","query":"{q}"}}"#),
+        "answer",
+        &mut updates,
+    )?;
+    if payload.get("result").and_then(Value::as_str) != Some("satisfied") {
+        return Err(format!("demo query not satisfied: {}", payload.to_json()));
+    }
+
+    // A second, concurrent client sees the same warm session.
+    let mut b = SmokeClient::connect(&path)?;
+    let stats = b.roundtrip(r#"{"verb":"stats"}"#, "session-stats", &mut updates)?;
+    if stats.get("cacheEntries").and_then(Value::as_f64) == Some(0.0) {
+        return Err("cache should be warm after the first query".to_string());
+    }
+    if stats
+        .get("bytesResident")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+        <= 0.0
+    {
+        return Err("bytesResident missing from stats".to_string());
+    }
+
+    a.roundtrip(
+        &format!(r#"{{"verb":"subscribe","query":"{q}"}}"#),
+        "subscribed",
+        &mut updates,
+    )?;
+
+    // Take links down until the subscribed answer changes; the daemon
+    // must push an `update` to client A.
+    let links = {
+        let net = aalwines::examples::paper_network();
+        net.topology.num_links()
+    };
+    for l in 0..links {
+        let report = a.roundtrip(
+            &format!(r#"{{"verb":"delta","delta":{{"kind":"link-down","link":{l}}}}}"#),
+            "delta-report",
+            &mut updates,
+        )?;
+        let changed = report
+            .get("report")
+            .and_then(|r| r.get("changed"))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        if changed > 0.0 {
+            break;
+        }
+    }
+    if updates.is_empty() {
+        return Err("no update push received after deltas".to_string());
+    }
+
+    a.roundtrip(r#"{"verb":"shutdown"}"#, "bye", &mut updates)?;
+    drop(a);
+    drop(b);
+    server
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| format!("serve: {e}"))?;
+    Ok(())
+}

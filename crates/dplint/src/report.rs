@@ -252,7 +252,6 @@ impl LintReport {
         }
         arr.push(']');
         let mut o = JsonObject::new();
-        o.string("kind", "lint-report");
         o.number("errors", self.errors() as f64);
         o.number("warnings", self.warnings() as f64);
         o.raw("findings", &arr);
@@ -316,7 +315,9 @@ mod tests {
         assert_eq!(r.max_severity(), Some(Severity::Error));
         assert_eq!(r.exit_code(), 1);
         let json = r.to_json();
-        assert!(json.contains("\"kind\":\"lint-report\""));
+        // Bare payload: the "kind" lives in the versioned envelope the
+        // CLI wraps around it.
+        assert!(!json.contains("\"kind\""));
         assert!(json.contains("\"code\":\"DP010\""));
         let text = r.to_string();
         assert!(text.contains("error DP010[blackhole]"));

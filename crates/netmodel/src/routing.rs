@@ -254,6 +254,92 @@ impl Network {
         groups[priority - 1].push(entry);
     }
 
+    /// Remove one forwarding entry equal to `entry` from the group at
+    /// `priority` of key `(in_link, label)`. Returns whether an entry was
+    /// removed. Trailing empty groups are pruned and a key left without
+    /// any entries is dropped, so removal keeps the table in the same
+    /// canonical shape [`Network::repair`] produces.
+    pub fn remove_entry(
+        &mut self,
+        in_link: LinkId,
+        label: LabelId,
+        priority: usize,
+        entry: &RoutingEntry,
+    ) -> bool {
+        let Some(groups) = self.table.get_mut(&(in_link, label)) else {
+            return false;
+        };
+        let Some(group) = priority.checked_sub(1).and_then(|i| groups.get_mut(i)) else {
+            return false;
+        };
+        let Some(pos) = group.iter().position(|e| e == entry) else {
+            return false;
+        };
+        group.remove(pos);
+        while groups.last().is_some_and(Vec::is_empty) {
+            groups.pop();
+        }
+        if groups.iter().all(Vec::is_empty) {
+            self.table.remove(&(in_link, label));
+        }
+        true
+    }
+
+    /// Move the whole traffic-engineering group of key `(in_link,
+    /// label)` from priority `from` to priority `to`, merging with any
+    /// entries already at `to`. Returns whether anything moved. This is
+    /// the "priority change" dataplane delta: re-ranking a failover
+    /// alternative without touching its entries.
+    pub fn move_group(&mut self, in_link: LinkId, label: LabelId, from: usize, to: usize) -> bool {
+        if from == 0 || to == 0 || from == to {
+            return false;
+        }
+        let Some(groups) = self.table.get_mut(&(in_link, label)) else {
+            return false;
+        };
+        let Some(src) = from.checked_sub(1).and_then(|i| groups.get_mut(i)) else {
+            return false;
+        };
+        if src.is_empty() {
+            return false;
+        }
+        let moved = std::mem::take(src);
+        if groups.len() < to {
+            groups.resize(to, TeGroup::new());
+        }
+        groups[to - 1].extend(moved);
+        while groups.last().is_some_and(Vec::is_empty) {
+            groups.pop();
+        }
+        true
+    }
+
+    /// All rules forwarding *over* `out`, flattened as
+    /// `(in_link, label, priority, entry)` in a deterministic order.
+    /// This is the blast radius of a link-down delta: exactly the
+    /// entries that stop forwarding when `out` is taken out of service.
+    pub fn entries_over(&self, out: LinkId) -> Vec<(LinkId, LabelId, usize, RoutingEntry)> {
+        let mut hits = Vec::new();
+        for ((in_link, label), groups) in &self.table {
+            for (gi, group) in groups.iter().enumerate() {
+                for entry in group {
+                    if entry.out == out {
+                        hits.push((*in_link, *label, gi + 1, entry.clone()));
+                    }
+                }
+            }
+        }
+        hits.sort_by(|a, b| {
+            (a.0.index(), a.1.index(), a.2, a.3.out.index()).cmp(&(
+                b.0.index(),
+                b.1.index(),
+                b.2,
+                b.3.out.index(),
+            ))
+        });
+        hits
+    }
+
     /// The full priority-ordered group sequence `τ(e, ℓ)`; empty slice if
     /// no rule exists.
     pub fn groups(&self, in_link: LinkId, label: LabelId) -> &[TeGroup] {
@@ -623,6 +709,101 @@ mod tests {
         // Display renders severity + kind + location.
         let rendered = issues[0].to_string();
         assert!(rendered.contains('['));
+    }
+
+    #[test]
+    fn remove_entry_prunes_empty_keys_and_groups() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let mut net = Network::new(t, labels);
+        let first = RoutingEntry {
+            out: e[1],
+            ops: vec![],
+        };
+        let backup = RoutingEntry {
+            out: e[2],
+            ops: vec![],
+        };
+        net.add_rule(e[0], ip, 1, first.clone());
+        net.add_rule(e[0], ip, 2, backup.clone());
+        // Removing a non-existent entry is a no-op.
+        assert!(!net.remove_entry(e[0], ip, 1, &backup));
+        assert!(!net.remove_entry(e[0], ip, 9, &first));
+        assert_eq!(net.num_rules(), 2);
+        // Removing the backup prunes its now-empty trailing group.
+        assert!(net.remove_entry(e[0], ip, 2, &backup));
+        assert_eq!(net.groups(e[0], ip).len(), 1);
+        // Removing the last entry drops the key entirely.
+        assert!(net.remove_entry(e[0], ip, 1, &first));
+        assert!(net.groups(e[0], ip).is_empty());
+        assert_eq!(net.routing_keys().count(), 0);
+    }
+
+    #[test]
+    fn move_group_rebalances_priorities() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let mut net = Network::new(t, labels);
+        net.add_rule(
+            e[0],
+            ip,
+            1,
+            RoutingEntry {
+                out: e[1],
+                ops: vec![],
+            },
+        );
+        net.add_rule(
+            e[0],
+            ip,
+            2,
+            RoutingEntry {
+                out: e[2],
+                ops: vec![],
+            },
+        );
+        // Promote the backup group to priority 1 (merging).
+        assert!(net.move_group(e[0], ip, 2, 1));
+        let groups = net.groups(e[0], ip);
+        assert_eq!(groups.len(), 1, "emptied trailing group is pruned");
+        assert_eq!(groups[0].len(), 2);
+        // Degenerate moves are no-ops.
+        assert!(!net.move_group(e[0], ip, 1, 1));
+        assert!(!net.move_group(e[0], ip, 5, 1));
+        assert!(!net.move_group(e[0], ip, 0, 1));
+    }
+
+    #[test]
+    fn entries_over_reports_link_blast_radius() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let mut net = Network::new(t, labels);
+        net.add_rule(
+            e[0],
+            ip,
+            1,
+            RoutingEntry {
+                out: e[1],
+                ops: vec![],
+            },
+        );
+        net.add_rule(
+            e[0],
+            ip,
+            2,
+            RoutingEntry {
+                out: e[2],
+                ops: vec![],
+            },
+        );
+        let over = net.entries_over(e[2]);
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].0, e[0]);
+        assert_eq!(over[0].2, 2);
+        assert!(net.entries_over(e[0]).is_empty());
     }
 
     #[test]

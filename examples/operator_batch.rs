@@ -7,7 +7,7 @@
 //! cargo run --release --example operator_batch [-- <threads>]
 //! ```
 
-use aalwines::{verify_batch, Outcome, VerifyOptions};
+use aalwines::{Outcome, SessionBuilder};
 use query::parse_query;
 use std::time::Instant;
 use topogen::queries::figure4_queries;
@@ -58,7 +58,8 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let answers = verify_batch(&dp.net, &queries, &VerifyOptions::default(), threads);
+    let session = SessionBuilder::new().threads(threads).open(dp.net.clone());
+    let answers = session.verify_batch(&queries);
     let elapsed = t0.elapsed();
 
     let mut sat = 0;
@@ -90,13 +91,20 @@ fn main() {
         println!("    needs deeper analysis: {q}");
     }
 
-    // Sequential re-run of a sample to show the speedup honestly.
+    // Sequential re-run of a sample to show the speedup honestly: both
+    // runs get a fresh session (cold cache) so only the thread count
+    // differs.
     let sample = &queries[..queries.len().min(40)];
     let t1 = Instant::now();
-    let _ = verify_batch(&dp.net, sample, &VerifyOptions::default(), 1);
+    let _ = SessionBuilder::new()
+        .open(dp.net.clone())
+        .verify_batch(sample);
     let seq = t1.elapsed();
     let t2 = Instant::now();
-    let _ = verify_batch(&dp.net, sample, &VerifyOptions::default(), threads);
+    let _ = SessionBuilder::new()
+        .threads(threads)
+        .open(dp.net.clone())
+        .verify_batch(sample);
     let par = t2.elapsed();
     println!(
         "\nsample of {}: sequential {:.2}s vs {} threads {:.2}s ({:.1}x)",

@@ -18,10 +18,8 @@
 //! 1: usage or input error. With `--lint`/`--lint-json`: 0 clean,
 //! 2 warnings only, 1 at least one error.
 
-use aalwines::{
-    Answer, BatchOptions, BatchSummary, Engine, MopedEngine, Outcome, Verifier, VerifyOptions,
-    WeightSpec,
-};
+use aalwines::telemetry::envelope;
+use aalwines::{Answer, Backend, BatchSummary, Outcome, SessionBuilder, VerifyOptions, WeightSpec};
 use netmodel::Network;
 use query::parse_query;
 use std::io::BufRead;
@@ -300,7 +298,7 @@ fn main() -> ExitCode {
         }
         let report = dplint::lint_all(&net, &lint_queries);
         if has("--lint-json") {
-            println!("{}", report.to_json());
+            println!("{}", envelope("lint-report", &report.to_json()));
         } else {
             println!("{report}");
         }
@@ -346,7 +344,7 @@ fn main() -> ExitCode {
             &chaos::ChaosOptions::new(seed, mutants),
         );
         if has("--json") {
-            println!("{}", report.to_json());
+            println!("{}", envelope("chaos-report", &report.to_json()));
         } else {
             println!(
                 "chaos: {} mutants ({} clean, {} repaired, {} rejected), \
@@ -439,10 +437,10 @@ fn main() -> ExitCode {
             }
         }
     }
-    let mut batch = BatchOptions::new();
+    let mut builder = SessionBuilder::new();
     if let Some(v) = value("--threads") {
         match v.parse::<usize>() {
-            Ok(n) => batch = batch.with_threads(n),
+            Ok(n) => builder = builder.threads(n),
             Err(_) => {
                 eprintln!("--threads: expected a count, got {v:?}");
                 return ExitCode::FAILURE;
@@ -450,7 +448,7 @@ fn main() -> ExitCode {
         }
     }
     match parse_millis("--batch-deadline-ms") {
-        Ok(Some(t)) => batch = batch.with_timeout(t),
+        Ok(Some(t)) => builder = builder.batch_timeout(t),
         Ok(None) => {}
         Err(code) => return code,
     }
@@ -493,45 +491,52 @@ fn main() -> ExitCode {
     }
 
     // Construction cache (dual engine only; Moped has no cache).
-    let mut verifier = Verifier::new(&net);
     if has("--no-cache") {
-        verifier = verifier.without_cache();
+        builder = builder.cache_size(0);
     }
     if let Some(v) = value("--cache-size") {
         match v.parse::<usize>() {
-            Ok(n) => verifier = verifier.with_cache_size(n),
+            Ok(n) => builder = builder.cache_size(n),
             Err(_) => {
                 eprintln!("--cache-size: expected a count (0 disables the cache), got {v:?}");
                 return ExitCode::FAILURE;
             }
         }
     }
-    let moped = MopedEngine::new(&net);
-    let engine: &dyn Engine = match engine_name.as_str() {
-        "dual" => &verifier,
-        "moped" => &moped,
+    match engine_name.as_str() {
+        "dual" => {}
+        "moped" => builder = builder.backend(Backend::Moped),
         other => {
             eprintln!("unknown engine {other:?} (use dual or moped)");
             return ExitCode::FAILURE;
         }
-    };
+    }
 
-    let answers = aalwines::verify_batch_with(engine, &parsed, &opts, &batch);
+    // One resident session owns the network, precomputation, and cache;
+    // every query of the run (and any future interactive follow-ups)
+    // reuses them.
+    let session = builder.verify_options(opts).open(net);
+    let net = session.network();
+
+    let answers = session.verify_batch(&parsed);
     let mut all_conclusive = true;
     for (text, answer) in queries.iter().zip(&answers) {
         if json_output {
             println!(
                 "{}",
-                aalwines_suite::gui::answer_to_json(&net, text, answer).to_json()
+                envelope(
+                    "answer",
+                    &aalwines_suite::gui::answer_to_json(net, text, answer).to_json()
+                )
             );
             all_conclusive &= answer.outcome.is_conclusive();
         } else {
-            all_conclusive &= report(&net, text, answer, show_stats);
+            all_conclusive &= report(net, text, answer, show_stats);
         }
     }
     let summary = BatchSummary::summarize(&answers);
     if json_output {
-        println!("{}", summary.to_json());
+        println!("{}", envelope("batch-summary", &summary.to_json()));
     } else if show_stats {
         println!(
             "summary: {} queries — {} satisfied, {} unsatisfied, {} inconclusive, {} aborted, \

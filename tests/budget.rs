@@ -2,7 +2,9 @@
 //! `Outcome::Aborted` promptly (instead of an unbounded run), batches
 //! degrade gracefully, and the JSON telemetry is valid JSON.
 
-use aalwines::{AbortReason, BatchOptions, CancelToken, Engine, Outcome, Verifier, VerifyOptions};
+use aalwines::{
+    AbortReason, CancelToken, Engine, Outcome, SessionBuilder, Verifier, VerifyOptions,
+};
 use query::parse_query;
 use std::time::{Duration, Instant};
 use topogen::lsp::{build_mpls_dataplane, Dataplane, LspConfig};
@@ -108,12 +110,8 @@ fn cancelled_batch_preserves_order_and_answers_every_slot() {
 
     let token = CancelToken::new();
     token.cancel();
-    let answers = aalwines::verify_batch_with(
-        &Verifier::new(&dp.net),
-        &queries,
-        &VerifyOptions::new(),
-        &BatchOptions::new().with_threads(4).with_cancel(token),
-    );
+    let session = SessionBuilder::new().threads(4).cancel(token).open(dp.net);
+    let answers = session.verify_batch(&queries);
     assert_eq!(answers.len(), queries.len(), "one answer per query slot");
     for (i, a) in answers.iter().enumerate() {
         assert!(
@@ -128,7 +126,7 @@ fn cancelled_batch_preserves_order_and_answers_every_slot() {
 fn stats_json_round_trips_through_the_parser() {
     let net = aalwines::examples::paper_network();
     let q = parse_query("<ip> [.#v0] .* [v3#.] <ip> 0").unwrap();
-    let answers = aalwines::verify_batch(&net, &[q], &VerifyOptions::new(), 1);
+    let answers = aalwines::Session::open(net).verify_batch(&[q]);
 
     let stats_json = answers[0].stats.to_json();
     let parsed = formats::json::parse(&stats_json).expect("EngineStats::to_json is valid JSON");
