@@ -278,20 +278,56 @@ impl ConstructionCache {
         n
     }
 
+    /// Bookkeeping + artifact bytes of one slot (shared by
+    /// [`ConstructionCache::bytes_resident`] and the shedding loop).
+    fn slot_bytes(key: &(String, TypeId), slot: &Slot) -> usize {
+        let mut bytes = key.0.capacity() + std::mem::size_of::<Slot>() + slot.bytes;
+        if let Some(fp) = &slot.footprint {
+            bytes += fp.approx_bytes();
+        }
+        bytes
+    }
+
     /// Estimated resident heap bytes of all cached artifacts plus the
     /// cache's own bookkeeping (keys, footprints). Artifacts inserted
     /// without a byte estimate contribute only their bookkeeping.
     pub fn bytes_resident(&self) -> usize {
         let inner = self.lock();
-        let mut bytes = std::mem::size_of::<Self>();
-        for ((key, _), slot) in inner.map.iter() {
-            bytes += key.capacity() + std::mem::size_of::<Slot>();
-            bytes += slot.bytes;
-            if let Some(fp) = &slot.footprint {
-                bytes += fp.approx_bytes();
+        std::mem::size_of::<Self>()
+            + inner
+                .map
+                .iter()
+                .map(|(k, s)| Self::slot_bytes(k, s))
+                .sum::<usize>()
+    }
+
+    /// Shed least-recently-used artifacts until the cache's resident
+    /// bytes fit inside `budget` (graceful degradation under memory
+    /// pressure, oldest-first so the hottest artifacts die last).
+    /// Returns how many entries were evicted; an already-fitting cache
+    /// sheds nothing. A budget of 0 empties the cache.
+    pub fn shed_to_bytes(&self, budget: usize) -> usize {
+        let mut inner = self.lock();
+        let mut total = std::mem::size_of::<Self>()
+            + inner
+                .map
+                .iter()
+                .map(|(k, s)| Self::slot_bytes(k, s))
+                .sum::<usize>();
+        let mut evicted = 0;
+        while total > budget && !inner.map.is_empty() {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(key) = oldest else { break };
+            if let Some(slot) = inner.map.remove(&key) {
+                total = total.saturating_sub(Self::slot_bytes(&key, &slot));
+                evicted += 1;
             }
         }
-        bytes
+        evicted
     }
 }
 
@@ -413,6 +449,32 @@ mod tests {
         assert!(one >= empty + 1024, "artifact bytes are counted: {one}");
         cache.invalidate_intersecting(&Footprint::from_links([LinkId(9)]));
         assert!(cache.bytes_resident() < one);
+    }
+
+    #[test]
+    fn shed_to_bytes_evicts_lru_first_until_under_budget() {
+        let cache = ConstructionCache::new(8);
+        cache.get_or_build_tracked("old", || (1u64, None, 10_000));
+        cache.get_or_build_tracked("mid", || (2u64, None, 10_000));
+        cache.get_or_build_tracked("hot", || (3u64, None, 10_000));
+        // Touch "old" so "mid" becomes the LRU entry.
+        let (_, hit) = cache.get_or_build_tracked("old", || (0u64, None, 0));
+        assert!(hit);
+        let before = cache.bytes_resident();
+        assert!(before > 30_000);
+
+        // A budget that fits two artifacts sheds exactly the LRU one.
+        let evicted = cache.shed_to_bytes(before - 10_000);
+        assert_eq!(evicted, 1);
+        let (_, hit_mid) = cache.get_or_build_tracked("mid", || (0u64, None, 0));
+        assert!(!hit_mid, "LRU entry must be shed first");
+        let (_, hit_hot) = cache.get_or_build_tracked("hot", || (0u64, None, 0));
+        assert!(hit_hot, "recently used entries survive shedding");
+
+        // Budget 0 empties the cache entirely; shedding again is a no-op.
+        assert!(cache.shed_to_bytes(0) >= 2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.shed_to_bytes(0), 0);
     }
 
     #[test]

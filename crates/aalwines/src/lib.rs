@@ -99,4 +99,4 @@ pub use moped::MopedEngine;
 pub use pdaal::budget::{AbortReason, Budget, CancelToken};
 pub use quantities::{AtomicQuantity, LinearExpr, WeightSpec, WeightSpecError};
 pub use session::{Backend, Delta, DeltaReport, Session, SessionBuilder, SessionStats};
-pub use telemetry::BatchSummary;
+pub use telemetry::{BatchSummary, PressureState};

@@ -132,6 +132,63 @@ impl Delta {
             Delta::LinkUp(_) => "link-up",
         }
     }
+
+    /// Serialize in canonical **dense-index** form: the exact shape the
+    /// `aalwinesd` wire protocol accepts for its `delta` verb, so a
+    /// journaled delta replays through the same parser that admitted
+    /// it. Indices are stable for the lifetime of a session because
+    /// deltas never mutate topology or the label universe.
+    pub fn to_json(&self) -> String {
+        fn ops_json(entry: &RoutingEntry) -> String {
+            let rendered: Vec<String> = entry
+                .ops
+                .iter()
+                .map(|op| match op {
+                    netmodel::Op::Pop => "\"pop\"".to_string(),
+                    netmodel::Op::Swap(l) => format!("{{\"swap\":{}}}", l.index()),
+                    netmodel::Op::Push(l) => format!("{{\"push\":{}}}", l.index()),
+                })
+                .collect();
+            format!("[{}]", rendered.join(","))
+        }
+        let mut o = JsonObject::new();
+        o.string("kind", self.kind());
+        match self {
+            Delta::AddRule {
+                in_link,
+                label,
+                priority,
+                entry,
+            }
+            | Delta::RemoveRule {
+                in_link,
+                label,
+                priority,
+                entry,
+            } => {
+                o.number("inLink", in_link.index() as f64);
+                o.number("label", label.index() as f64);
+                o.number("priority", *priority as f64);
+                o.number("out", entry.out.index() as f64);
+                o.raw("ops", &ops_json(entry));
+            }
+            Delta::SetPriority {
+                in_link,
+                label,
+                from,
+                to,
+            } => {
+                o.number("inLink", in_link.index() as f64);
+                o.number("label", label.index() as f64);
+                o.number("from", *from as f64);
+                o.number("to", *to as f64);
+            }
+            Delta::LinkDown(link) | Delta::LinkUp(link) => {
+                o.number("link", link.index() as f64);
+            }
+        }
+        o.finish()
+    }
 }
 
 /// A watched query whose answer changed under a delta.
@@ -216,6 +273,11 @@ pub struct SessionStats {
     pub bytes_resident: usize,
     /// Watched queries registered via [`Session::watch`].
     pub watched: usize,
+    /// Construction-cache entries shed under memory pressure via
+    /// [`Session::shed_cache_to`], cumulative.
+    pub shed_entries_total: usize,
+    /// Links currently taken down by [`Delta::LinkDown`].
+    pub downed_links: usize,
     /// Validation issues in the current dataplane.
     pub validation_issues: usize,
     /// Routing rules in the current dataplane.
@@ -237,6 +299,8 @@ impl SessionStats {
         o.number("cacheCapacity", self.cache_capacity as f64);
         o.number("bytesResident", self.bytes_resident as f64);
         o.number("watched", self.watched as f64);
+        o.number("shedEntriesTotal", self.shed_entries_total as f64);
+        o.number("downedLinks", self.downed_links as f64);
         o.number("validationIssues", self.validation_issues as f64);
         o.number("rules", self.rules as f64);
         o.finish()
@@ -350,6 +414,7 @@ impl SessionBuilder {
             deltas_applied: 0,
             invalidated_total: 0,
             retained_total: 0,
+            shed_total: AtomicUsize::new(0),
         }
     }
 }
@@ -385,6 +450,9 @@ pub struct Session {
     deltas_applied: usize,
     invalidated_total: usize,
     retained_total: usize,
+    /// Cache entries shed under memory pressure (atomic so shedding can
+    /// run behind a shared reference, e.g. under a service's read lock).
+    shed_total: AtomicUsize,
 }
 
 /// Canonical signature of an answer for change detection: the outcome
@@ -476,6 +544,39 @@ impl Session {
         self.watched.iter().map(|w| w.text.as_str()).collect()
     }
 
+    /// Links currently out of service ([`Delta::LinkDown`] without a
+    /// matching [`Delta::LinkUp`] yet), in the order they went down.
+    pub fn downed_links(&self) -> Vec<LinkId> {
+        self.downed.iter().map(|(l, _)| *l).collect()
+    }
+
+    /// Estimated resident heap bytes of the session's warm state
+    /// (precomputation plus construction cache).
+    pub fn bytes_resident(&self) -> usize {
+        let mut bytes = self.precomp.bytes_resident();
+        if let Some(cache) = &self.cache {
+            bytes += cache.bytes_resident();
+        }
+        bytes
+    }
+
+    /// Graceful degradation under memory pressure: shed
+    /// least-recently-used construction-cache artifacts until
+    /// [`Session::bytes_resident`] fits inside `max_bytes`. The
+    /// precomputation itself is not sheddable (it is required for every
+    /// future verification), so the cache gets whatever budget remains
+    /// after it — possibly zero, emptying the cache. Returns how many
+    /// entries were shed; callers that still exceed `max_bytes`
+    /// afterwards must degrade further themselves (e.g. refuse new
+    /// subscriptions).
+    pub fn shed_cache_to(&self, max_bytes: usize) -> usize {
+        let Some(cache) = &self.cache else { return 0 };
+        let cache_budget = max_bytes.saturating_sub(self.precomp.bytes_resident());
+        let shed = cache.shed_to_bytes(cache_budget);
+        self.shed_total.fetch_add(shed, Ordering::Relaxed);
+        shed
+    }
+
     /// Apply one dataplane delta incrementally: mutate the routing
     /// table, rebuild the query-independent precomputation, drop only
     /// the cached artifacts whose footprint intersects the touched
@@ -524,7 +625,11 @@ impl Session {
             }
             Delta::LinkDown(link) => {
                 if self.downed.iter().any(|(l, _)| l == link) {
-                    return report; // already down: nothing to do
+                    report.error = Some(format!(
+                        "link {} is already down",
+                        self.net.topology.link_name(*link)
+                    ));
+                    return report;
                 }
                 let hits = self.net.entries_over(*link);
                 for (in_link, label, priority, entry) in &hits {
@@ -538,7 +643,13 @@ impl Session {
             }
             Delta::LinkUp(link) => {
                 let Some(pos) = self.downed.iter().position(|(l, _)| l == link) else {
-                    return report; // not down: nothing to do
+                    // Restoring a link that was never taken down is a
+                    // client mistake, not a silent success: say so.
+                    report.error = Some(format!(
+                        "link {} is not down; nothing to restore",
+                        self.net.topology.link_name(*link)
+                    ));
+                    return report;
                 };
                 let (_, hits) = self.downed.remove(pos);
                 for (in_link, label, priority, entry) in hits {
@@ -599,6 +710,8 @@ impl Session {
             invalidated_total: self.invalidated_total,
             retained_total: self.retained_total,
             watched: self.watched.len(),
+            shed_entries_total: self.shed_total.load(Ordering::Relaxed),
+            downed_links: self.downed.len(),
             validation_issues: self.validation_issues,
             rules: self.net.num_rules(),
             bytes_resident: self.precomp.bytes_resident(),
@@ -725,6 +838,91 @@ mod tests {
         let json = s.to_json();
         assert!(json.contains("\"bytesResident\":"));
         assert!(json.contains("\"backend\":\"dual\""));
+    }
+
+    #[test]
+    fn link_up_on_a_live_link_reports_an_error() {
+        let mut session = Session::open(paper_network());
+        let report = session.apply_delta(&Delta::LinkUp(LinkId(3)));
+        assert!(!report.applied);
+        // The report serializes the explanation too.
+        assert!(report_to_json_has_error(&report));
+        let error = report
+            .error
+            .expect("LinkUp on a live link must explain itself");
+        assert!(error.contains("not down"), "{error}");
+
+        // Downing twice also explains instead of silently no-opping.
+        assert!(session.apply_delta(&Delta::LinkDown(LinkId(3))).applied);
+        let again = session.apply_delta(&Delta::LinkDown(LinkId(3)));
+        assert!(!again.applied);
+        assert!(again
+            .error
+            .expect("double down explains")
+            .contains("already down"));
+        assert_eq!(session.downed_links(), vec![LinkId(3)]);
+    }
+
+    fn report_to_json_has_error(report: &DeltaReport) -> bool {
+        let json = report.to_json();
+        json.contains("\"error\":\"") && json.contains("\"applied\":false")
+    }
+
+    #[test]
+    fn delta_to_json_is_canonical_index_form() {
+        let add = Delta::AddRule {
+            in_link: LinkId(1),
+            label: LabelId(2),
+            priority: 1,
+            entry: RoutingEntry {
+                out: LinkId(3),
+                ops: vec![Op::Pop, Op::Swap(LabelId(4)), Op::Push(LabelId(5))],
+            },
+        };
+        assert_eq!(
+            add.to_json(),
+            r#"{"kind":"add-rule","inLink":1,"label":2,"priority":1,"out":3,"ops":["pop",{"swap":4},{"push":5}]}"#
+        );
+        assert_eq!(
+            Delta::LinkDown(LinkId(7)).to_json(),
+            r#"{"kind":"link-down","link":7}"#
+        );
+        assert_eq!(
+            Delta::SetPriority {
+                in_link: LinkId(0),
+                label: LabelId(1),
+                from: 2,
+                to: 1
+            }
+            .to_json(),
+            r#"{"kind":"set-priority","inLink":0,"label":1,"from":2,"to":1}"#
+        );
+    }
+
+    #[test]
+    fn shed_cache_to_degrades_gracefully() {
+        let session = Session::open(paper_network());
+        for text in demo_queries() {
+            let q = parse_query(text).unwrap();
+            session.verify(&q);
+        }
+        let warm = session.stats();
+        assert!(warm.cache_entries > 0);
+
+        // A generous budget sheds nothing.
+        assert_eq!(session.shed_cache_to(usize::MAX), 0);
+
+        // An impossible budget (smaller than the precomp itself) empties
+        // the cache but leaves the session able to answer.
+        let shed = session.shed_cache_to(1);
+        assert_eq!(shed, warm.cache_entries);
+        let after = session.stats();
+        assert_eq!(after.cache_entries, 0);
+        assert_eq!(after.shed_entries_total, shed);
+        assert!(after.bytes_resident < warm.bytes_resident);
+        let q = parse_query(demo_queries()[0]).unwrap();
+        assert!(session.verify(&q).outcome.is_satisfied());
+        assert!(after.to_json().contains("\"shedEntriesTotal\":"));
     }
 
     #[test]

@@ -35,6 +35,55 @@ pub fn envelope(kind: &str, payload: &str) -> String {
     o.finish()
 }
 
+/// Degradation level of a resident service under memory pressure, as
+/// reported by `aalwinesd`'s `health` verb and [`SessionStats`]
+/// consumers. Order matters: each level strictly degrades further.
+///
+/// [`SessionStats`]: crate::session::SessionStats
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PressureState {
+    /// Resident bytes within budget; nothing was shed.
+    #[default]
+    Normal,
+    /// The budget was exceeded and construction-cache artifacts were
+    /// shed to get back under it; service continues at full function
+    /// but with a colder cache.
+    Shedding,
+    /// Even an empty cache exceeds the budget: new subscriptions are
+    /// refused until resident bytes fall back under it.
+    Refusing,
+}
+
+impl PressureState {
+    /// Stable lower-case name for JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PressureState::Normal => "normal",
+            PressureState::Shedding => "shedding",
+            PressureState::Refusing => "refusing",
+        }
+    }
+
+    /// Compact encoding for lock-free storage in an atomic.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            PressureState::Normal => 0,
+            PressureState::Shedding => 1,
+            PressureState::Refusing => 2,
+        }
+    }
+
+    /// Inverse of [`PressureState::as_u8`]; unknown values decode as
+    /// the most degraded state rather than silently healthy.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => PressureState::Normal,
+            1 => PressureState::Shedding,
+            _ => PressureState::Refusing,
+        }
+    }
+}
+
 /// Escape a string for inclusion in a JSON document (quotes included).
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -344,6 +393,21 @@ mod tests {
         let wrapped = envelope("batch-summary", &json);
         assert!(wrapped.starts_with(r#"{"schemaVersion":1,"kind":"batch-summary","payload":{"#));
         assert!(wrapped.ends_with("}}"));
+    }
+
+    #[test]
+    fn pressure_state_round_trips_and_orders() {
+        for s in [
+            PressureState::Normal,
+            PressureState::Shedding,
+            PressureState::Refusing,
+        ] {
+            assert_eq!(PressureState::from_u8(s.as_u8()), s);
+        }
+        assert_eq!(PressureState::from_u8(77), PressureState::Refusing);
+        assert!(PressureState::Normal < PressureState::Shedding);
+        assert!(PressureState::Shedding < PressureState::Refusing);
+        assert_eq!(PressureState::default().as_str(), "normal");
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Append-only write-ahead journal for the daemon's session state.
+//!
+//! Every state-changing operation (`load`, applied `delta`,
+//! `subscribe`) is appended as one NDJSON record **before** it is
+//! applied to the resident session; on startup the daemon replays the
+//! journal to reconstruct the session a crash destroyed. Replay is a
+//! pure function of the journal: deltas are recorded in canonical
+//! dense-index form ([`aalwines::Delta::to_json`]), so a replayed
+//! session answers byte-identically to a cold rebuild of the same
+//! operation prefix.
+//!
+//! ## Record format
+//!
+//! One JSON object per line, with a fixed-width checksum prefix:
+//!
+//! ```json
+//! {"crc":"89abcdef01234567","seq":3,"op":{"kind":"delta","delta":{...}}}
+//! ```
+//!
+//! `crc` is the FNV-1a 64-bit hash (16 lowercase hex digits) of every
+//! byte after its closing `",` — i.e. of `"seq":3,"op":{...}}`. Putting
+//! the checksum first at a fixed offset means the checksummed region is
+//! a plain byte suffix: no canonical-JSON re-serialization is needed to
+//! verify it, and any torn or bit-flipped tail fails loudly.
+//!
+//! `seq` is 1-based and strictly increasing. A record that fails the
+//! checksum, fails to parse, or breaks the sequence ends the replay:
+//! everything from its first byte on is a **torn tail** and is
+//! truncated from the file (a crash mid-`write` must not brick the
+//! daemon), with the dropped bytes reported in [`Replay`].
+
+use aalwines::telemetry::JsonObject;
+use formats::json::{parse as parse_json, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit hash of `bytes` (the per-record checksum).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One journaled state-changing operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalOp {
+    /// A dataplane load; `spec` is the canonical load-spec JSON object
+    /// (`{"demo":true}` or `{"topology":..,"routing":..[,..]}`).
+    Load {
+        /// Canonical load-spec JSON.
+        spec: String,
+    },
+    /// An admitted dataplane delta; `delta` is the canonical
+    /// dense-index JSON of [`aalwines::Delta::to_json`].
+    Delta {
+        /// Canonical delta JSON.
+        delta: String,
+    },
+    /// A watched-query registration.
+    Subscribe {
+        /// The watched query's text.
+        query: String,
+    },
+}
+
+impl JournalOp {
+    /// Serialize as the record's `op` object.
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        match self {
+            JournalOp::Load { spec } => {
+                o.string("kind", "load");
+                o.raw("spec", spec);
+            }
+            JournalOp::Delta { delta } => {
+                o.string("kind", "delta");
+                o.raw("delta", delta);
+            }
+            JournalOp::Subscribe { query } => {
+                o.string("kind", "subscribe");
+                o.string("query", query);
+            }
+        }
+        o.finish()
+    }
+
+    /// Parse a record's `op` object back; `None` for unknown kinds
+    /// (forward compatibility: an unknown op ends the replay like a
+    /// corrupt record would, since its effect cannot be reproduced).
+    fn from_value(v: &Value) -> Option<JournalOp> {
+        match v.get("kind").and_then(Value::as_str)? {
+            "load" => Some(JournalOp::Load {
+                spec: v.get("spec")?.to_json(),
+            }),
+            "delta" => Some(JournalOp::Delta {
+                delta: v.get("delta")?.to_json(),
+            }),
+            "subscribe" => Some(JournalOp::Subscribe {
+                query: v.get("query")?.as_str()?.to_string(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// What [`Journal::open`] recovered from an existing journal file.
+#[derive(Clone, Debug, Default)]
+pub struct Replay {
+    /// The intact operations, in append order. The daemon re-applies
+    /// them to reconstruct its session.
+    pub ops: Vec<JournalOp>,
+    /// Number of intact records (`ops.len()` as recorded on disk).
+    pub records: u64,
+    /// Bytes truncated off the tail (0 for a cleanly closed journal).
+    pub truncated_bytes: u64,
+    /// Newline-terminated records dropped by the truncation. A crash
+    /// can tear at most the record being written, so anything above 1
+    /// indicates real corruption, not just an unlucky `kill -9`.
+    pub dropped_records: u64,
+    /// Whether the replay is *clean*: every surviving record applied,
+    /// and at most the single in-flight record was lost to the tear.
+    pub clean: bool,
+}
+
+/// An append-only, checksummed NDJSON journal. See the
+/// [module docs](self).
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    seq: u64,
+}
+
+/// Fixed layout prefix: `{"crc":"` (8 bytes) + 16 hex digits + `",`.
+const CRC_PREFIX: &str = "{\"crc\":\"";
+const BODY_OFFSET: usize = 8 + 16 + 2;
+
+/// Validate one record line; returns `(seq, op)` when intact.
+fn parse_record(line: &str, expect_seq: u64) -> Option<(u64, JournalOp)> {
+    if line.len() <= BODY_OFFSET || !line.starts_with(CRC_PREFIX) {
+        return None;
+    }
+    let stored = u64::from_str_radix(&line[8..24], 16).ok()?;
+    if &line[24..26] != "\"," {
+        return None;
+    }
+    let body = &line[BODY_OFFSET..];
+    if fnv1a64(body.as_bytes()) != stored {
+        return None;
+    }
+    let v = parse_json(line).ok()?;
+    let seq = v.get("seq").and_then(Value::as_f64)? as u64;
+    if seq != expect_seq {
+        return None;
+    }
+    let op = JournalOp::from_value(v.get("op")?)?;
+    Some((seq, op))
+}
+
+impl Journal {
+    /// Open (creating if absent) the journal at `path`, replaying any
+    /// existing records. A torn or corrupt tail is truncated off the
+    /// file — recovery must never fail on the artifact of the very
+    /// crash it exists to survive — and reported in the [`Replay`].
+    pub fn open(path: &Path) -> std::io::Result<(Journal, Replay)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut contents = Vec::new();
+        file.read_to_end(&mut contents)?;
+
+        let mut replay = Replay {
+            clean: true,
+            ..Replay::default()
+        };
+        let mut good_len = 0usize; // bytes of validated, newline-terminated records
+        let mut cursor = 0usize;
+        let mut seq = 0u64;
+        while cursor < contents.len() {
+            let Some(nl) = contents[cursor..].iter().position(|&b| b == b'\n') else {
+                break; // unterminated tail
+            };
+            let line_end = cursor + nl;
+            let Ok(line) = std::str::from_utf8(&contents[cursor..line_end]) else {
+                break;
+            };
+            let Some((s, op)) = parse_record(line, seq + 1) else {
+                break;
+            };
+            seq = s;
+            replay.ops.push(op);
+            cursor = line_end + 1;
+            good_len = cursor;
+        }
+        replay.records = replay.ops.len() as u64;
+        if good_len < contents.len() {
+            replay.truncated_bytes = (contents.len() - good_len) as u64;
+            replay.dropped_records =
+                contents[good_len..].iter().filter(|&&b| b == b'\n').count() as u64;
+            // One lost record is the expected signature of a crash
+            // mid-append; more means the file was damaged beyond that.
+            replay.clean = replay.dropped_records <= 1;
+            file.set_len(good_len as u64)?;
+        }
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+                seq,
+            },
+            replay,
+        ))
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended so far (including replayed ones).
+    pub fn records(&self) -> u64 {
+        self.seq
+    }
+
+    /// Append one operation, flushing it to the OS before returning, so
+    /// a `kill -9` immediately after cannot lose it. Returns the
+    /// record's sequence number.
+    pub fn append(&mut self, op: &JournalOp) -> std::io::Result<u64> {
+        let seq = self.seq + 1;
+        let body = format!("\"seq\":{seq},\"op\":{}}}", op.to_json());
+        let line = format!("{CRC_PREFIX}{:016x}\",{body}\n", fnv1a64(body.as_bytes()));
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.seq = seq;
+        Ok(seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "aalwinesd-journal-test-{}-{tag}.ndjson",
+            std::process::id()
+        ))
+    }
+
+    fn ops() -> Vec<JournalOp> {
+        vec![
+            JournalOp::Load {
+                spec: "{\"demo\":true}".to_string(),
+            },
+            JournalOp::Delta {
+                delta: "{\"kind\":\"link-down\",\"link\":7}".to_string(),
+            },
+            JournalOp::Subscribe {
+                query: "<ip> .* <ip> 0".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, replay) = Journal::open(&path).unwrap();
+            assert_eq!(replay.records, 0);
+            assert!(replay.clean);
+            for (i, op) in ops().iter().enumerate() {
+                assert_eq!(j.append(op).unwrap(), i as u64 + 1);
+            }
+            assert_eq!(j.records(), 3);
+        }
+        let (j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.records, 3);
+        assert_eq!(replay.ops, ops());
+        assert_eq!(replay.truncated_bytes, 0);
+        assert!(replay.clean);
+        assert_eq!(j.records(), 3, "appends continue after the replayed tail");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            for op in &ops() {
+                j.append(op).unwrap();
+            }
+        }
+        // Simulate a crash mid-append: a partial, unterminated record.
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"crc\":\"dead").unwrap();
+        }
+        let (mut j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.records, 3);
+        assert_eq!(replay.ops, ops());
+        assert!(replay.truncated_bytes > 0);
+        assert_eq!(replay.dropped_records, 0);
+        assert!(replay.clean, "a torn tail is an expected crash artifact");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
+        // The journal keeps appending where the intact prefix ended.
+        assert_eq!(j.append(&ops()[1]).unwrap(), 4);
+        let (_, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.records, 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flip_fails_the_checksum_and_ends_replay() {
+        let path = temp_path("bitflip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            for op in &ops() {
+                j.append(op).unwrap();
+            }
+        }
+        // Flip one byte inside the second record's body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let second_start = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        bytes[second_start + BODY_OFFSET + 3] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.records, 1, "replay stops at the corrupt record");
+        assert_eq!(replay.ops, ops()[..1]);
+        assert!(replay.truncated_bytes > 0);
+        assert_eq!(
+            replay.dropped_records, 2,
+            "both full records past the flip are dropped"
+        );
+        assert!(!replay.clean, "mid-file corruption is not a clean tear");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sequence_gaps_end_the_replay() {
+        let path = temp_path("seqgap");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            j.append(&ops()[0]).unwrap();
+        }
+        // Forge a record with a skipped sequence number (valid crc).
+        {
+            let body = "\"seq\":5,\"op\":{\"kind\":\"subscribe\",\"query\":\"q\"}}";
+            let line = format!("{CRC_PREFIX}{:016x}\",{body}\n", fnv1a64(body.as_bytes()));
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(line.as_bytes()).unwrap();
+        }
+        let (_, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.records, 1);
+        assert!(replay.truncated_bytes > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

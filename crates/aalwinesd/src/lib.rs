@@ -20,28 +20,82 @@
 //! | `query`    | `query` (text)                                  | `answer`        |
 //! | `batch`    | `queries` (array of texts)                      | `batch-result`  |
 //! | `stats`    | —                                               | `session-stats` |
+//! | `health`   | —                                               | `health`        |
 //! | `subscribe`| `query` (text)                                  | `subscribed`    |
 //! | `delta`    | `delta` (object, see [`parse_delta`])           | `delta-report`  |
 //! | `shutdown` | —                                               | `bye`           |
 //!
 //! After a `delta`, every subscriber whose watched query changed its
 //! answer receives an unsolicited `"update"` envelope on its own
-//! connection. Malformed requests answer an `"error"` envelope; the
-//! connection stays open.
+//! connection; after a `load`, every subscriber receives a `"reset"`
+//! envelope (its watch indices died with the old dataplane) before the
+//! subscriber list is cleared. Malformed requests answer an `"error"`
+//! envelope; the connection stays open.
+//!
+//! ## Robustness
+//!
+//! The daemon is built to survive crashes, restarts, and hostile
+//! clients:
+//!
+//! * **Durability.** With [`Daemon::with_journal`] every state-changing
+//!   op (`load`, admitted `delta`, `subscribe`) is appended to a
+//!   checksummed write-ahead [`journal`] *before* it is applied; on
+//!   startup the journal is replayed (truncating a torn tail) so a
+//!   `kill -9` loses at most the record being written.
+//! * **Admission control.** At most [`DaemonConfig::max_clients`]
+//!   concurrent connections; excess connections get a `busy` envelope
+//!   and are closed instead of queueing unboundedly. Frames are capped
+//!   at [`DaemonConfig::max_frame_bytes`] and a frame that stays
+//!   incomplete longer than [`DaemonConfig::read_timeout`] gets a
+//!   structured `error` — a slow or oversized client costs one
+//!   connection, never a wedged thread.
+//! * **Graceful degradation.** When resident bytes exceed
+//!   [`DaemonConfig::max_resident_bytes`], construction-cache entries
+//!   are shed LRU-first; if even that is not enough, new subscriptions
+//!   are refused until memory recovers. A panicking request handler is
+//!   caught per connection ([`std::panic::catch_unwind`]): the client
+//!   gets an `error` and its connection closes, every other client —
+//!   and the daemon — keeps running. The `health` verb reports uptime,
+//!   journal state, replay cleanliness, pressure level, and last error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use aalwines::telemetry::{envelope, JsonObject};
+pub mod journal;
+
+pub use journal::{Journal, JournalOp, Replay};
+
+use aalwines::telemetry::{envelope, JsonObject, PressureState};
 use aalwines::{Delta, Session, SessionBuilder};
 use aalwines_suite::gui;
 use formats::json::{parse as parse_json, Value};
 use netmodel::{LabelId, LinkId, Network, Op, RoutingEntry};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering from poison: a panicking handler thread is
+/// already degraded to an error response by the connection supervisor,
+/// and every mutation under these locks is a complete operation, so the
+/// data is structurally sound — sibling connections must keep serving
+/// rather than panic in a chain.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-tolerant read lock (see [`lock`]).
+fn read_lock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Poison-tolerant write lock (see [`lock`]).
+fn write_lock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A shared, interleaving-safe handle to one client's write side.
 /// Responses and pushed updates both go through it, so a subscriber
@@ -53,14 +107,32 @@ pub fn peer_of(w: impl Write + Send + 'static) -> Peer {
     Arc::new(Mutex::new(Box::new(w)))
 }
 
-/// Daemon configuration (session shape; the dataplane itself arrives
-/// via `load` or [`Daemon::preload`]).
+/// Daemon configuration (session shape plus service limits; the
+/// dataplane itself arrives via `load` or [`Daemon::preload`]).
 #[derive(Clone, Copy, Debug)]
 pub struct DaemonConfig {
     /// Worker threads for `batch` requests.
     pub threads: usize,
     /// Construction-cache capacity in artifacts (0 disables caching).
     pub cache_size: usize,
+    /// Maximum concurrent client connections; further connections are
+    /// shed with a `busy` envelope instead of queueing.
+    pub max_clients: usize,
+    /// Maximum bytes of one NDJSON request frame; an oversized frame
+    /// answers a structured `error` and closes the connection.
+    pub max_frame_bytes: usize,
+    /// How long a *started* frame may stay incomplete before the
+    /// connection is treated as stalled and closed with an `error`. An
+    /// idle connection (no pending bytes, e.g. a subscriber waiting for
+    /// pushes) is never timed out.
+    pub read_timeout: Duration,
+    /// Resident-memory budget in bytes (0 = unbounded). Past it, cache
+    /// entries are shed LRU-first; if the budget still cannot be met,
+    /// new subscriptions are refused until memory recovers.
+    pub max_resident_bytes: usize,
+    /// Enable test-only verbs (`debug-panic`) used to exercise the
+    /// per-connection panic supervisor. Never enable in production.
+    pub debug_verbs: bool,
 }
 
 impl Default for DaemonConfig {
@@ -68,7 +140,55 @@ impl Default for DaemonConfig {
         DaemonConfig {
             threads: 1,
             cache_size: aalwines::DEFAULT_CACHE_SIZE,
+            max_clients: DEFAULT_MAX_CLIENTS,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            max_resident_bytes: 0,
+            debug_verbs: false,
         }
+    }
+}
+
+/// Default concurrent-connection cap.
+pub const DEFAULT_MAX_CLIENTS: usize = 64;
+/// Default request-frame size cap (256 KiB — far above any legitimate
+/// batch request, far below a memory-exhaustion payload).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 256 * 1024;
+/// Default stalled-frame timeout.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How the daemon recovered its state from a journal at startup; part
+/// of the `health` payload.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayStatus {
+    /// Whether a journal is attached at all.
+    pub enabled: bool,
+    /// Intact records replayed at startup.
+    pub records: u64,
+    /// Bytes truncated off a torn tail at startup.
+    pub truncated_bytes: u64,
+    /// Whole records dropped by the truncation (>1 implies corruption
+    /// beyond an ordinary crash tear).
+    pub dropped_records: u64,
+    /// Whether the replay was clean: every intact record re-applied
+    /// successfully and at most one in-flight record was lost.
+    pub clean: bool,
+    /// First error hit while re-applying records, if any.
+    pub error: Option<String>,
+}
+
+impl ReplayStatus {
+    fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.number("records", self.records as f64);
+        o.number("truncatedBytes", self.truncated_bytes as f64);
+        o.number("droppedRecords", self.dropped_records as f64);
+        o.boolean("clean", self.clean);
+        match &self.error {
+            Some(e) => o.string("error", e),
+            None => o.null("error"),
+        }
+        o.finish()
     }
 }
 
@@ -89,6 +209,25 @@ struct Shared {
     /// Socket path while serving (used to self-connect on shutdown so
     /// the accept loop wakes up).
     socket: Mutex<Option<PathBuf>>,
+    /// When the daemon came up (for `health` uptime).
+    started: Instant,
+    /// Write-ahead journal, if durability is enabled. Appended to while
+    /// holding the session write lock, so journal order equals state
+    /// order.
+    journal: Mutex<Option<Journal>>,
+    /// How startup replay went (static after construction).
+    replay: Mutex<ReplayStatus>,
+    /// Currently connected clients (admission control).
+    active_clients: AtomicUsize,
+    /// Current [`PressureState`], encoded via `as_u8`.
+    pressure: AtomicU8,
+    /// Times the memory budget forced cache shedding.
+    shed_events: AtomicUsize,
+    /// State-changing ops applied but *not* journaled because an append
+    /// failed — a nonzero lag means a restart would lose them.
+    journal_lag: AtomicUsize,
+    /// Most recent internal error (journal failure, handler panic).
+    last_error: Mutex<Option<String>>,
 }
 
 /// The resident verification service. See the [module docs](self).
@@ -220,8 +359,57 @@ pub fn parse_delta(net: &Network, v: &Value) -> Result<Delta, String> {
     }
 }
 
+/// Build a [`Network`] from a canonical load-spec object
+/// (`{"demo":true}` or `{"topology":..,"routing":..[,"locations":..]
+/// [,"repair":..]}`) — the shape `load` requests are normalized to and
+/// the journal records.
+fn load_from_spec(spec: &Value) -> Result<Network, String> {
+    if spec.get("demo").map(|v| v == &Value::Bool(true)) == Some(true) {
+        return Ok(aalwines::examples::paper_network());
+    }
+    let path_field = |k: &str| -> Result<String, String> {
+        match spec.get(k) {
+            Some(v) => v
+                .as_str()
+                .map(str::to_string)
+                .ok_or(format!("'{k}' must be a path string")),
+            None => Err(format!("load needs 'demo':true or '{k}'")),
+        }
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let topo = read(&path_field("topology")?)?;
+    let routes = read(&path_field("routing")?)?;
+    let locations = match spec.get("locations").and_then(Value::as_str) {
+        Some(p) => Some(read(p)?),
+        None => None,
+    };
+    let repair = spec.get("repair") == Some(&Value::Bool(true));
+    aalwines_suite::load_dataplane(&topo, &routes, locations.as_deref(), repair)
+        .map_err(|e| e.to_string())
+}
+
+/// Normalize a `load` request into the canonical spec object recorded
+/// in the journal (paths and flags only — never file contents).
+fn load_spec_of(request: &Value) -> String {
+    let mut o = JsonObject::new();
+    if request.get("demo").map(|v| v == &Value::Bool(true)) == Some(true) {
+        o.boolean("demo", true);
+        return o.finish();
+    }
+    for k in ["topology", "routing", "locations"] {
+        if let Some(p) = request.get(k).and_then(Value::as_str) {
+            o.string(k, p);
+        }
+    }
+    if request.get("repair") == Some(&Value::Bool(true)) {
+        o.boolean("repair", true);
+    }
+    o.finish()
+}
+
 impl Daemon {
-    /// A daemon with no dataplane loaded yet.
+    /// A daemon with no dataplane loaded yet (and no journal: state
+    /// dies with the process).
     pub fn new(config: DaemonConfig) -> Self {
         Daemon {
             shared: Arc::new(Shared {
@@ -230,15 +418,125 @@ impl Daemon {
                 subscribers: Mutex::new(Vec::new()),
                 shutdown: AtomicBool::new(false),
                 socket: Mutex::new(None),
+                started: Instant::now(),
+                journal: Mutex::new(None),
+                replay: Mutex::new(ReplayStatus::default()),
+                active_clients: AtomicUsize::new(0),
+                pressure: AtomicU8::new(PressureState::Normal.as_u8()),
+                shed_events: AtomicUsize::new(0),
+                journal_lag: AtomicUsize::new(0),
+                last_error: Mutex::new(None),
             }),
         }
+    }
+
+    /// A durable daemon: open (creating if absent) the write-ahead
+    /// journal at `path`, replay any records it holds — truncating a
+    /// torn tail from a previous crash — and reconstruct the session
+    /// they describe: the loaded dataplane, every applied delta, and
+    /// the watched queries. Subsequent state-changing requests are
+    /// journaled before they are applied.
+    pub fn with_journal(config: DaemonConfig, path: &Path) -> std::io::Result<Daemon> {
+        let (journal, replay) = Journal::open(path)?;
+        let daemon = Daemon::new(config);
+        let mut status = ReplayStatus {
+            enabled: true,
+            records: replay.records,
+            truncated_bytes: replay.truncated_bytes,
+            dropped_records: replay.dropped_records,
+            clean: replay.clean,
+            error: None,
+        };
+        let fail = |status: &mut ReplayStatus, msg: String| {
+            status.clean = false;
+            if status.error.is_none() {
+                status.error = Some(msg);
+            }
+        };
+
+        let mut session: Option<Session> = None;
+        // Re-subscribing after every reconnect appends a fresh record,
+        // so dedupe watches by text during replay to keep the watched
+        // set (and re-verification work) bounded across restarts.
+        let mut watched: Vec<String> = Vec::new();
+        for op in &replay.ops {
+            match op {
+                JournalOp::Load { spec } => {
+                    let loaded = parse_json(spec)
+                        .map_err(|e| e.to_string())
+                        .and_then(|v| load_from_spec(&v));
+                    match loaded {
+                        Ok(net) => {
+                            session = Some(daemon.build_session(net));
+                            watched.clear();
+                        }
+                        Err(e) => fail(&mut status, format!("replaying load: {e}")),
+                    }
+                }
+                JournalOp::Delta { delta } => match session.as_mut() {
+                    Some(s) => {
+                        let parsed = parse_json(delta)
+                            .map_err(|e| e.to_string())
+                            .and_then(|v| parse_delta(s.network(), &v));
+                        match parsed {
+                            Ok(d) => {
+                                s.apply_delta(&d);
+                            }
+                            Err(e) => fail(&mut status, format!("replaying delta: {e}")),
+                        }
+                    }
+                    None => fail(&mut status, "journaled delta precedes any load".to_string()),
+                },
+                JournalOp::Subscribe { query } => {
+                    if let Some(s) = session.as_mut() {
+                        if !watched.iter().any(|w| w == query) {
+                            match s.watch(query) {
+                                Ok(_) => watched.push(query.clone()),
+                                Err(e) => fail(&mut status, format!("replaying subscribe: {e}")),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(s) = &session {
+            daemon.enforce_budget(s);
+        }
+        *write_lock(&daemon.shared.session) = session;
+        *lock(&daemon.shared.journal) = Some(journal);
+        *lock(&daemon.shared.replay) = status;
+        Ok(daemon)
+    }
+
+    /// Whether a dataplane is currently loaded (e.g. restored by
+    /// journal replay).
+    pub fn is_loaded(&self) -> bool {
+        read_lock(&self.shared.session).is_some()
+    }
+
+    /// How startup journal replay went.
+    pub fn replay_status(&self) -> ReplayStatus {
+        lock(&self.shared.replay).clone()
     }
 
     /// Install an already-loaded dataplane (the `--demo` /
     /// `--topology` CLI path), replacing any current session.
     pub fn preload(&self, net: Network) {
+        self.preload_with_spec(net, None);
+    }
+
+    /// Like [`Daemon::preload`], and — when `spec` is given and a
+    /// journal is attached — record the load so a restart replays it.
+    pub fn preload_with_spec(&self, net: Network, spec: Option<&str>) {
         let session = self.build_session(net);
-        *self.shared.session.write().unwrap() = Some(session);
+        let mut guard = write_lock(&self.shared.session);
+        if let Some(spec) = spec {
+            self.journal_append(JournalOp::Load {
+                spec: spec.to_string(),
+            });
+        }
+        self.enforce_budget(&session);
+        *guard = Some(session);
     }
 
     fn build_session(&self, net: Network) -> Session {
@@ -269,55 +567,59 @@ impl Daemon {
             "query" => self.handle_query(&request),
             "batch" => self.handle_batch(&request),
             "stats" => self.handle_stats(),
+            "health" => self.handle_health(),
             "subscribe" => self.handle_subscribe(&request, peer),
             "delta" => self.handle_delta(&request),
             "shutdown" => self.handle_shutdown(peer),
+            "debug-panic" if self.shared.config.debug_verbs => {
+                panic!("debug-panic requested by client")
+            }
             other => error_envelope(&format!("unknown verb '{other}'")),
         }
     }
 
     fn handle_load(&self, request: &Value) -> String {
-        let net = if request.get("demo").map(|v| v == &Value::Bool(true)) == Some(true) {
-            aalwines::examples::paper_network()
-        } else {
-            let path_field = |k: &str| -> Result<String, String> {
-                match request.get(k) {
-                    Some(v) => v
-                        .as_str()
-                        .map(str::to_string)
-                        .ok_or(format!("'{k}' must be a path string")),
-                    None => Err(format!("load needs 'demo':true or '{k}'")),
-                }
-            };
-            let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
-            let loaded = (|| {
-                let topo = read(&path_field("topology")?)?;
-                let routes = read(&path_field("routing")?)?;
-                let locations = match request.get("locations").and_then(Value::as_str) {
-                    Some(p) => Some(read(p)?),
-                    None => None,
-                };
-                let repair = request.get("repair") == Some(&Value::Bool(true));
-                aalwines_suite::load_dataplane(&topo, &routes, locations.as_deref(), repair)
-                    .map_err(|e| e.to_string())
-            })();
-            match loaded {
-                Ok(net) => net,
-                Err(e) => return error_envelope(&e),
-            }
+        let spec_text = load_spec_of(request);
+        let spec = match parse_json(&spec_text) {
+            Ok(v) => v,
+            Err(e) => return error_envelope(&format!("bad load spec: {e}")),
+        };
+        let net = match load_from_spec(&spec) {
+            Ok(net) => net,
+            Err(e) => return error_envelope(&e),
         };
         let session = self.build_session(net);
         let stats = session.stats();
-        *self.shared.session.write().unwrap() = Some(session);
-        // Watch indices of the previous dataplane are meaningless now.
-        self.shared.subscribers.lock().unwrap().clear();
+        let mut guard = write_lock(&self.shared.session);
+        self.journal_append(JournalOp::Load { spec: spec_text });
+        self.enforce_budget(&session);
+        *guard = Some(session);
+        // Watch indices of the previous dataplane are meaningless now —
+        // tell each subscriber so, before forgetting it, while still
+        // holding the session lock (a racing `subscribe` against the new
+        // dataplane must not be swept up in the clear).
+        let reset = {
+            let mut o = JsonObject::new();
+            o.string(
+                "reason",
+                "dataplane reloaded; watches cleared, re-subscribe to resume updates",
+            );
+            envelope("reset", &o.finish())
+        };
+        let mut subs = lock(&self.shared.subscribers);
+        for sub in subs.iter() {
+            let mut w = lock(&sub.peer);
+            let _ = writeln!(w, "{reset}");
+            let _ = w.flush();
+        }
+        subs.clear();
         envelope("loaded", &stats.to_json())
     }
 
     /// Run `f` under the session read lock, or answer `error` when no
     /// dataplane is loaded.
     fn with_session(&self, f: impl FnOnce(&Session) -> String) -> String {
-        match self.shared.session.read().unwrap().as_ref() {
+        match read_lock(&self.shared.session).as_ref() {
             Some(session) => f(session),
             None => error_envelope("no dataplane loaded (send 'load' first)"),
         }
@@ -373,17 +675,129 @@ impl Daemon {
         self.with_session(|session| envelope("session-stats", &session.stats().to_json()))
     }
 
+    /// Current pressure level (set by [`Daemon::enforce_budget`]).
+    fn pressure(&self) -> PressureState {
+        PressureState::from_u8(self.shared.pressure.load(Ordering::Relaxed))
+    }
+
+    fn set_pressure(&self, p: PressureState) {
+        self.shared.pressure.store(p.as_u8(), Ordering::Relaxed);
+    }
+
+    /// Enforce the resident-memory budget on `session`: shed
+    /// construction-cache entries LRU-first when over it, and — when
+    /// even an empty cache cannot meet the budget — raise the pressure
+    /// to `Refusing` so new subscriptions are turned away until memory
+    /// recovers. No-op when the budget is 0 (unbounded).
+    fn enforce_budget(&self, session: &Session) {
+        let budget = self.shared.config.max_resident_bytes;
+        if budget == 0 {
+            return;
+        }
+        if session.bytes_resident() <= budget {
+            self.set_pressure(PressureState::Normal);
+            return;
+        }
+        if session.shed_cache_to(budget) > 0 {
+            self.shared.shed_events.fetch_add(1, Ordering::Relaxed);
+        }
+        if session.bytes_resident() <= budget {
+            self.set_pressure(PressureState::Shedding);
+        } else {
+            self.set_pressure(PressureState::Refusing);
+        }
+    }
+
+    /// Append `op` to the journal, if one is attached. Callers hold the
+    /// session write lock, so journal order equals state-mutation
+    /// order. An append failure must not take the daemon down: the op
+    /// proceeds in memory and the failure surfaces as journal lag (and
+    /// `lastError`) in `health`.
+    fn journal_append(&self, op: JournalOp) {
+        let mut guard = lock(&self.shared.journal);
+        let Some(journal) = guard.as_mut() else {
+            return;
+        };
+        if let Err(e) = journal.append(&op) {
+            self.shared.journal_lag.fetch_add(1, Ordering::Relaxed);
+            self.record_error(&format!("journal append failed: {e}"));
+        }
+    }
+
+    fn record_error(&self, msg: &str) {
+        *lock(&self.shared.last_error) = Some(msg.to_string());
+    }
+
+    fn handle_health(&self) -> String {
+        let mut o = JsonObject::new();
+        o.number("uptimeMs", self.shared.started.elapsed().as_millis() as f64);
+        let resident = read_lock(&self.shared.session)
+            .as_ref()
+            .map(Session::bytes_resident);
+        o.boolean("loaded", resident.is_some());
+        o.number("residentBytes", resident.unwrap_or(0) as f64);
+        o.number(
+            "maxResidentBytes",
+            self.shared.config.max_resident_bytes as f64,
+        );
+        o.string("pressure", self.pressure().as_str());
+        o.number(
+            "shedEvents",
+            self.shared.shed_events.load(Ordering::Relaxed) as f64,
+        );
+        o.number(
+            "activeClients",
+            self.shared.active_clients.load(Ordering::Relaxed) as f64,
+        );
+        o.number("subscribers", lock(&self.shared.subscribers).len() as f64);
+        {
+            let journal = lock(&self.shared.journal);
+            let mut j = JsonObject::new();
+            j.boolean("enabled", journal.is_some());
+            if let Some(journal) = journal.as_ref() {
+                j.string("path", &journal.path().display().to_string());
+                j.number("records", journal.records() as f64);
+            }
+            j.number(
+                "lagRecords",
+                self.shared.journal_lag.load(Ordering::Relaxed) as f64,
+            );
+            o.raw("journal", &j.finish());
+        }
+        {
+            let replay = lock(&self.shared.replay);
+            if replay.enabled {
+                o.raw("replay", &replay.to_json());
+            } else {
+                o.null("replay");
+            }
+        }
+        match lock(&self.shared.last_error).as_deref() {
+            Some(e) => o.string("lastError", e),
+            None => o.null("lastError"),
+        }
+        envelope("health", &o.finish())
+    }
+
     fn handle_subscribe(&self, request: &Value, peer: &Peer) -> String {
         let Some(text) = request.get("query").and_then(Value::as_str) else {
             return error_envelope("subscribe needs a string 'query'");
         };
-        let mut guard = self.shared.session.write().unwrap();
+        let mut guard = write_lock(&self.shared.session);
         let Some(session) = guard.as_mut() else {
             return error_envelope("no dataplane loaded (send 'load' first)");
         };
+        if self.pressure() == PressureState::Refusing {
+            return error_envelope(
+                "over the resident-memory budget: refusing new subscriptions until memory recovers",
+            );
+        }
         match session.watch(text) {
             Ok((index, answer)) => {
-                self.shared.subscribers.lock().unwrap().push(Subscriber {
+                self.journal_append(JournalOp::Subscribe {
+                    query: text.to_string(),
+                });
+                lock(&self.shared.subscribers).push(Subscriber {
                     index,
                     peer: Arc::clone(peer),
                 });
@@ -393,7 +807,9 @@ impl Daemon {
                     "answer",
                     &gui::answer_to_json(session.network(), text, &answer).to_json(),
                 );
-                envelope("subscribed", &o.finish())
+                let response = envelope("subscribed", &o.finish());
+                self.enforce_budget(session);
+                response
             }
             Err(e) => error_envelope(&format!("parse error: {e}")),
         }
@@ -403,7 +819,7 @@ impl Daemon {
         let Some(spec) = request.get("delta") else {
             return error_envelope("delta needs an object 'delta'");
         };
-        let mut guard = self.shared.session.write().unwrap();
+        let mut guard = write_lock(&self.shared.session);
         let Some(session) = guard.as_mut() else {
             return error_envelope("no dataplane loaded (send 'load' first)");
         };
@@ -411,6 +827,11 @@ impl Daemon {
             Ok(d) => d,
             Err(e) => return error_envelope(&e),
         };
+        // Write-ahead: journal the canonical form before mutating, so a
+        // crash between the two replays the delta rather than losing it.
+        self.journal_append(JournalOp::Delta {
+            delta: delta.to_json(),
+        });
         let report = session.apply_delta(&delta);
         // Push changed answers to the affected subscribers while still
         // holding the session lock, so a concurrent delta cannot
@@ -424,9 +845,9 @@ impl Daemon {
                 &gui::answer_to_json(session.network(), &changed.query, &changed.answer).to_json(),
             );
             let update = envelope("update", &o.finish());
-            let subscribers = self.shared.subscribers.lock().unwrap();
+            let subscribers = lock(&self.shared.subscribers);
             for sub in subscribers.iter().filter(|s| s.index == changed.index) {
-                let mut w = sub.peer.lock().unwrap();
+                let mut w = lock(&sub.peer);
                 // A dead subscriber is dropped on its own thread's exit;
                 // ignore its broken pipe here.
                 let _ = writeln!(w, "{update}");
@@ -436,7 +857,9 @@ impl Daemon {
         let mut o = JsonObject::new();
         o.string("delta", delta.kind());
         o.raw("report", &report.to_json());
-        envelope("delta-report", &o.finish())
+        let response = envelope("delta-report", &o.finish());
+        self.enforce_budget(session);
+        response
     }
 
     fn handle_shutdown(&self, peer: &Peer) -> String {
@@ -445,13 +868,13 @@ impl Daemon {
         // whole process) may exit ahead of a response queued the normal
         // way, closing the connection with no `bye` on it.
         {
-            let mut w = peer.lock().unwrap();
+            let mut w = lock(peer);
             let _ = writeln!(w, "{}", envelope("bye", "{}"));
             let _ = w.flush();
         }
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Wake the accept loop with a throwaway connection.
-        if let Some(path) = self.shared.socket.lock().unwrap().clone() {
+        if let Some(path) = lock(&self.shared.socket).clone() {
             let _ = UnixStream::connect(path);
         }
         String::new()
@@ -460,29 +883,44 @@ impl Daemon {
     /// Drop subscriber registrations pushing to `peer` (its client
     /// disconnected).
     fn drop_peer(&self, peer: &Peer) {
-        self.shared
-            .subscribers
-            .lock()
-            .unwrap()
-            .retain(|s| !Arc::ptr_eq(&s.peer, peer));
+        lock(&self.shared.subscribers).retain(|s| !Arc::ptr_eq(&s.peer, peer));
     }
 
     /// Serve clients on a Unix domain socket at `path` until a
     /// `shutdown` request arrives. A stale socket file at `path` is
     /// removed first; the file is removed again on exit.
+    ///
+    /// Admission control: with [`DaemonConfig::max_clients`] clients
+    /// already connected, a new connection is answered a single `busy`
+    /// envelope and closed — overload sheds load instead of queueing
+    /// threads without bound.
     pub fn serve(&self, path: &Path) -> std::io::Result<()> {
         let _ = std::fs::remove_file(path);
         let listener = UnixListener::bind(path)?;
-        *self.shared.socket.lock().unwrap() = Some(path.to_path_buf());
+        *lock(&self.shared.socket) = Some(path.to_path_buf());
         for stream in listener.incoming() {
             if self.is_shut_down() {
                 break;
             }
-            let stream = stream?;
+            let mut stream = stream?;
+            let admitted = self.shared.active_clients.load(Ordering::SeqCst)
+                < self.shared.config.max_clients.max(1);
+            if !admitted {
+                let mut o = JsonObject::new();
+                o.string("message", "server at capacity; retry later");
+                o.number("maxClients", self.shared.config.max_clients as f64);
+                let _ = writeln!(stream, "{}", envelope("busy", &o.finish()));
+                let _ = stream.flush();
+                continue; // dropping the stream closes it
+            }
+            self.shared.active_clients.fetch_add(1, Ordering::SeqCst);
             let daemon = self.clone();
-            std::thread::spawn(move || daemon.serve_client(stream));
+            std::thread::spawn(move || {
+                daemon.serve_client(stream);
+                daemon.shared.active_clients.fetch_sub(1, Ordering::SeqCst);
+            });
         }
-        *self.shared.socket.lock().unwrap() = None;
+        *lock(&self.shared.socket) = None;
         let _ = std::fs::remove_file(path);
         Ok(())
     }
@@ -491,27 +929,157 @@ impl Daemon {
         let Ok(write_half) = stream.try_clone() else {
             return;
         };
+        // Short socket timeout as a poll tick: lets a started frame
+        // observe its deadline and an idle connection notice shutdown.
+        let tick = self
+            .shared
+            .config
+            .read_timeout
+            .min(Duration::from_millis(200))
+            .max(Duration::from_millis(10));
+        let _ = stream.set_read_timeout(Some(tick));
         let peer = peer_of(write_half);
-        let reader = BufReader::new(stream);
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
+        let mut reader = BufReader::new(stream);
+        loop {
+            let line = match self.read_frame(&mut reader) {
+                Frame::Line(line) => line,
+                Frame::Closed | Frame::Shutdown => break,
+                Frame::TooLarge => {
+                    let msg = format!(
+                        "request frame exceeds {} bytes; closing connection",
+                        self.shared.config.max_frame_bytes
+                    );
+                    let mut w = lock(&peer);
+                    let _ = writeln!(w, "{}", error_envelope(&msg));
+                    let _ = w.flush();
+                    break;
+                }
+                Frame::Stalled => {
+                    let msg = format!(
+                        "request frame stalled for over {:?}; closing connection",
+                        self.shared.config.read_timeout
+                    );
+                    let mut w = lock(&peer);
+                    let _ = writeln!(w, "{}", error_envelope(&msg));
+                    let _ = w.flush();
+                    break;
+                }
+            };
             if line.trim().is_empty() {
                 continue;
             }
-            let response = self.handle(&line, &peer);
+            // Per-connection supervisor: a panicking handler costs this
+            // client an error and its connection — never the daemon.
+            let (response, fatal) =
+                match catch_unwind(AssertUnwindSafe(|| self.handle(&line, &peer))) {
+                    Ok(response) => (response, false),
+                    Err(panic) => {
+                        let text = panic_text(panic.as_ref());
+                        self.record_error(&format!("request handler panicked: {text}"));
+                        (
+                            error_envelope(&format!(
+                                "internal error: request handler panicked: {text}"
+                            )),
+                            true,
+                        )
+                    }
+                };
             // An empty response means the handler already wrote to the
             // peer itself (the shutdown farewell).
             if !response.is_empty() {
-                let mut w = peer.lock().unwrap();
+                let mut w = lock(&peer);
                 if writeln!(w, "{response}").is_err() || w.flush().is_err() {
                     break;
                 }
             }
-            if self.is_shut_down() {
+            if fatal || self.is_shut_down() {
                 break;
             }
         }
         self.drop_peer(&peer);
+    }
+
+    /// Read one newline-terminated frame, enforcing the frame-size cap
+    /// and the stalled-frame deadline. The deadline arms only once the
+    /// first byte of a frame arrives, so an idle connection (e.g. a
+    /// subscriber waiting for pushes) can sit quiet forever.
+    fn read_frame(&self, reader: &mut BufReader<UnixStream>) -> Frame {
+        let max = self.shared.config.max_frame_bytes.max(1);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut started: Option<Instant> = None;
+        loop {
+            let chunk = match reader.fill_buf() {
+                Ok(c) => c,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    if self.is_shut_down() {
+                        return Frame::Shutdown;
+                    }
+                    if let Some(t0) = started {
+                        if t0.elapsed() >= self.shared.config.read_timeout {
+                            return Frame::Stalled;
+                        }
+                    }
+                    continue;
+                }
+                Err(_) => return Frame::Closed,
+            };
+            if chunk.is_empty() {
+                return Frame::Closed; // EOF
+            }
+            if started.is_none() {
+                started = Some(Instant::now());
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&chunk[..pos]);
+                    reader.consume(pos + 1);
+                    if buf.len() > max {
+                        return Frame::TooLarge;
+                    }
+                    // Lossy decoding turns invalid UTF-8 into a frame
+                    // the JSON parser rejects with a structured error.
+                    return Frame::Line(String::from_utf8_lossy(&buf).into_owned());
+                }
+                None => {
+                    let len = chunk.len();
+                    buf.extend_from_slice(chunk);
+                    reader.consume(len);
+                    if buf.len() > max {
+                        return Frame::TooLarge;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of reading one request frame off a client connection.
+enum Frame {
+    /// A complete newline-terminated frame (newline stripped).
+    Line(String),
+    /// EOF or a hard I/O error: the client is gone.
+    Closed,
+    /// The frame exceeded [`DaemonConfig::max_frame_bytes`].
+    TooLarge,
+    /// A started frame sat incomplete past [`DaemonConfig::read_timeout`].
+    Stalled,
+    /// The daemon is shutting down.
+    Shutdown,
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -620,5 +1188,170 @@ mod tests {
             kind_of(&d.handle(r#"{"verb":"stats"}"#, &sink())),
             "session-stats"
         );
+    }
+
+    /// A peer whose written bytes the test can read back.
+    #[derive(Clone, Default)]
+    struct Capture(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Capture {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            lock(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl Capture {
+        fn text(&self) -> String {
+            String::from_utf8(lock(&self.0).clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn health_answers_with_or_without_a_session() {
+        let d = Daemon::new(DaemonConfig::default());
+        let v = parse_json(&d.handle(r#"{"verb":"health"}"#, &sink())).unwrap();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("health"));
+        let p = v.get("payload").unwrap();
+        assert_eq!(p.get("loaded"), Some(&Value::Bool(false)));
+        assert_eq!(p.get("pressure").and_then(Value::as_str), Some("normal"));
+        assert_eq!(
+            p.get("journal").and_then(|j| j.get("enabled")),
+            Some(&Value::Bool(false))
+        );
+
+        d.preload(aalwines::examples::paper_network());
+        let v = parse_json(&d.handle(r#"{"verb":"health"}"#, &sink())).unwrap();
+        let p = v.get("payload").unwrap();
+        assert_eq!(p.get("loaded"), Some(&Value::Bool(true)));
+        assert!(p.get("residentBytes").and_then(Value::as_f64).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn load_pushes_reset_to_subscribers_before_clearing_them() {
+        let d = demo_daemon();
+        let capture = Capture::default();
+        let peer = peer_of(capture.clone());
+        let resp = d.handle(
+            r#"{"verb":"subscribe","query":"<ip> [.#v0] .* [v3#.] <ip> 0"}"#,
+            &peer,
+        );
+        assert_eq!(kind_of(&resp), "subscribed");
+        assert_eq!(
+            kind_of(&d.handle(r#"{"verb":"load","demo":true}"#, &sink())),
+            "loaded"
+        );
+        let pushed = capture.text();
+        let v = parse_json(pushed.lines().next().unwrap()).unwrap();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("reset"));
+        assert_eq!(v.get("schemaVersion").and_then(Value::as_f64), Some(1.0));
+        assert!(lock(&d.shared.subscribers).is_empty());
+    }
+
+    #[test]
+    fn subscriptions_are_refused_while_over_the_memory_budget() {
+        let d = Daemon::new(DaemonConfig {
+            max_resident_bytes: 1, // precomp alone exceeds this
+            ..DaemonConfig::default()
+        });
+        d.preload(aalwines::examples::paper_network());
+        assert_eq!(d.pressure(), PressureState::Refusing);
+        let resp = d.handle(r#"{"verb":"subscribe","query":"<ip> .* <ip> 0"}"#, &sink());
+        assert_eq!(kind_of(&resp), "error");
+        assert!(resp.contains("refusing new subscriptions"), "{resp}");
+        // Plain queries still work: degradation, not denial of service.
+        assert_eq!(
+            kind_of(&d.handle(
+                r#"{"verb":"query","query":"<ip> [.#v0] .* [v3#.] <ip> 0"}"#,
+                &sink()
+            )),
+            "answer"
+        );
+    }
+
+    #[test]
+    fn a_panicking_handler_poisons_nothing_for_other_connections() {
+        let d = Daemon::new(DaemonConfig {
+            debug_verbs: true,
+            ..DaemonConfig::default()
+        });
+        d.preload(aalwines::examples::paper_network());
+        // Panic while holding no locks (the verb panics in dispatch)...
+        let panicked = catch_unwind(AssertUnwindSafe(|| {
+            d.handle(r#"{"verb":"debug-panic"}"#, &sink())
+        }));
+        assert!(panicked.is_err());
+        // ...and the daemon keeps answering on other "connections".
+        assert_eq!(
+            kind_of(&d.handle(r#"{"verb":"stats"}"#, &sink())),
+            "session-stats"
+        );
+    }
+
+    #[test]
+    fn journal_restart_restores_session_deltas_and_watches() {
+        let path = std::env::temp_dir().join(format!(
+            "aalwinesd-libtest-journal-{}.ndjson",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let query = "<ip> [.#v0] .* [v3#.] <ip> 0";
+        let answer_before;
+        {
+            let d = Daemon::with_journal(DaemonConfig::default(), &path).unwrap();
+            assert!(!d.is_loaded());
+            assert_eq!(
+                kind_of(&d.handle(r#"{"verb":"load","demo":true}"#, &sink())),
+                "loaded"
+            );
+            assert_eq!(
+                kind_of(&d.handle(
+                    &format!(r#"{{"verb":"subscribe","query":"{query}"}}"#),
+                    &sink()
+                )),
+                "subscribed"
+            );
+            assert_eq!(
+                kind_of(&d.handle(
+                    r#"{"verb":"delta","delta":{"kind":"link-down","link":0}}"#,
+                    &sink()
+                )),
+                "delta-report"
+            );
+            answer_before = d.handle(&format!(r#"{{"verb":"query","query":"{query}"}}"#), &sink());
+        }
+        // "Restart": a fresh daemon over the same journal.
+        let d = Daemon::with_journal(DaemonConfig::default(), &path).unwrap();
+        assert!(d.is_loaded(), "replay reloads the dataplane");
+        let status = d.replay_status();
+        assert!(status.clean, "{:?}", status.error);
+        assert_eq!(status.records, 3);
+        {
+            let guard = read_lock(&d.shared.session);
+            let s = guard.as_ref().unwrap();
+            assert_eq!(s.downed_links(), vec![LinkId(0)]);
+            assert_eq!(s.watched_queries(), vec![query]);
+        }
+        let answer_after = d.handle(&format!(r#"{{"verb":"query","query":"{query}"}}"#), &sink());
+        assert_eq!(
+            strip_stats(&answer_before),
+            strip_stats(&answer_after),
+            "replayed session answers identically to the pre-crash one"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Drop the volatile timing `stats` from an `answer` payload.
+    fn strip_stats(envelope: &str) -> Value {
+        let mut v = parse_json(envelope).unwrap();
+        if let Value::Object(o) = &mut v {
+            if let Some(Value::Object(payload)) = o.get_mut("payload") {
+                payload.remove("stats");
+            }
+        }
+        v
     }
 }

@@ -1,12 +1,15 @@
 //! CLI entry point for `aalwinesd`: bind a Unix socket, optionally
-//! preload a dataplane, and serve the NDJSON protocol until `shutdown`.
+//! preload a dataplane (or restore one from the write-ahead journal),
+//! and serve the NDJSON protocol until `shutdown`.
 
+use aalwines::telemetry::JsonObject;
 use aalwinesd::{Daemon, DaemonConfig};
 use formats::json::{parse as parse_json, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 aalwinesd — resident what-if verification service (NDJSON over a Unix socket)
@@ -14,18 +17,34 @@ aalwinesd — resident what-if verification service (NDJSON over a Unix socket)
 USAGE:
     aalwinesd --socket PATH [--demo | --topology T.xml --routing R.xml]
               [--locations L.json] [--repair] [--threads N] [--cache-size N]
-    aalwinesd --smoke
+              [--journal PATH] [--max-clients N] [--max-frame-bytes N]
+              [--read-timeout-ms N] [--max-resident-bytes N]
+    aalwinesd --smoke | --smoke-reconnect
 
 OPTIONS:
-    --socket PATH      Unix domain socket to listen on
-    --demo             preload the paper's example network
-    --topology PATH    preload: topology XML
-    --routing PATH     preload: routing XML
-    --locations PATH   preload: optional router-coordinate JSON
-    --repair           drop ill-formed rules while preloading
-    --threads N        worker threads for batch requests (default 1)
-    --cache-size N     construction-cache capacity (default 256, 0 = off)
-    --smoke            run a self-contained end-to-end exercise and exit
+    --socket PATH            Unix domain socket to listen on
+    --demo                   preload the paper's example network
+    --topology PATH          preload: topology XML
+    --routing PATH           preload: routing XML
+    --locations PATH         preload: optional router-coordinate JSON
+    --repair                 drop ill-formed rules while preloading
+    --threads N              worker threads for batch requests (default 1)
+    --cache-size N           construction-cache capacity (default 256, 0 = off)
+    --journal PATH           write-ahead journal: replay it at startup, then
+                             record every load/delta/subscribe for crash safety
+    --max-clients N          concurrent-connection cap; extra connections get
+                             a 'busy' envelope (default 64)
+    --max-frame-bytes N      request-frame size cap (default 262144)
+    --read-timeout-ms N      stalled-frame deadline; idle connections are
+                             never timed out (default 10000)
+    --max-resident-bytes N   resident-memory budget: past it, cache entries
+                             are shed LRU-first, then new subscriptions are
+                             refused (default 0 = unbounded)
+    --debug-verbs            enable test-only verbs (debug-panic); never use
+                             in production
+    --smoke                  run a self-contained end-to-end exercise and exit
+    --smoke-reconnect        kill -9 a child daemon mid-stream and verify the
+                             journal replay + client reconnect path; exit
 ";
 
 struct Args {
@@ -37,10 +56,18 @@ struct Args {
     repair: bool,
     threads: usize,
     cache_size: usize,
+    journal: Option<PathBuf>,
+    max_clients: usize,
+    max_frame_bytes: usize,
+    read_timeout_ms: u64,
+    max_resident_bytes: usize,
+    debug_verbs: bool,
     smoke: bool,
+    smoke_reconnect: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let defaults = DaemonConfig::default();
     let mut args = Args {
         socket: None,
         demo: false,
@@ -50,11 +77,21 @@ fn parse_args() -> Result<Args, String> {
         repair: false,
         threads: 1,
         cache_size: aalwines::DEFAULT_CACHE_SIZE,
+        journal: None,
+        max_clients: defaults.max_clients,
+        max_frame_bytes: defaults.max_frame_bytes,
+        read_timeout_ms: defaults.read_timeout.as_millis() as u64,
+        max_resident_bytes: 0,
+        debug_verbs: false,
         smoke: false,
+        smoke_reconnect: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        let parsed = |name: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        };
         match arg.as_str() {
             "--socket" => args.socket = Some(PathBuf::from(value("--socket")?)),
             "--demo" => args.demo = true,
@@ -62,17 +99,24 @@ fn parse_args() -> Result<Args, String> {
             "--routing" => args.routing = Some(value("--routing")?),
             "--locations" => args.locations = Some(value("--locations")?),
             "--repair" => args.repair = true,
-            "--threads" => {
-                args.threads = value("--threads")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?
+            "--threads" => args.threads = parsed("--threads", value("--threads")?)?,
+            "--cache-size" => args.cache_size = parsed("--cache-size", value("--cache-size")?)?,
+            "--journal" => args.journal = Some(PathBuf::from(value("--journal")?)),
+            "--max-clients" => args.max_clients = parsed("--max-clients", value("--max-clients")?)?,
+            "--max-frame-bytes" => {
+                args.max_frame_bytes = parsed("--max-frame-bytes", value("--max-frame-bytes")?)?
             }
-            "--cache-size" => {
-                args.cache_size = value("--cache-size")?
-                    .parse()
-                    .map_err(|e| format!("--cache-size: {e}"))?
+            "--read-timeout-ms" => {
+                args.read_timeout_ms =
+                    parsed("--read-timeout-ms", value("--read-timeout-ms")?)? as u64
             }
+            "--max-resident-bytes" => {
+                args.max_resident_bytes =
+                    parsed("--max-resident-bytes", value("--max-resident-bytes")?)?
+            }
+            "--debug-verbs" => args.debug_verbs = true,
             "--smoke" => args.smoke = true,
+            "--smoke-reconnect" => args.smoke_reconnect = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -81,6 +125,20 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+impl Args {
+    fn config(&self) -> DaemonConfig {
+        DaemonConfig {
+            threads: self.threads,
+            cache_size: self.cache_size,
+            max_clients: self.max_clients,
+            max_frame_bytes: self.max_frame_bytes,
+            read_timeout: Duration::from_millis(self.read_timeout_ms),
+            max_resident_bytes: self.max_resident_bytes,
+            debug_verbs: self.debug_verbs,
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -92,43 +150,71 @@ fn main() -> ExitCode {
         }
     };
     if args.smoke {
-        return match smoke() {
-            Ok(()) => {
-                println!("aalwinesd smoke: OK");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("aalwinesd smoke: FAILED: {e}");
-                ExitCode::FAILURE
-            }
-        };
+        return report_smoke("smoke", smoke());
+    }
+    if args.smoke_reconnect {
+        return report_smoke("smoke-reconnect", smoke_reconnect());
     }
     let Some(socket) = args.socket.clone() else {
-        eprintln!("error: --socket is required (or --smoke)\n\n{USAGE}");
+        eprintln!("error: --socket is required (or --smoke/--smoke-reconnect)\n\n{USAGE}");
         return ExitCode::FAILURE;
     };
-    let daemon = Daemon::new(DaemonConfig {
-        threads: args.threads,
-        cache_size: args.cache_size,
-    });
-    if args.demo {
-        daemon.preload(aalwines::examples::paper_network());
+    let daemon = match &args.journal {
+        Some(journal) => match Daemon::with_journal(args.config(), journal) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("error: journal {}: {e}", journal.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Daemon::new(args.config()),
+    };
+    if daemon.is_loaded() {
+        // The journal replay already reconstructed a session (including
+        // any preload recorded by an earlier run); preloading again
+        // would discard the replayed deltas and watches.
+        let status = daemon.replay_status();
+        eprintln!(
+            "aalwinesd: restored session from journal ({} records{})",
+            status.records,
+            if status.clean {
+                ", clean replay"
+            } else {
+                ", UNCLEAN replay — see the health verb"
+            }
+        );
+    } else if args.demo {
+        daemon.preload_with_spec(aalwines::examples::paper_network(), Some("{\"demo\":true}"));
         eprintln!("aalwinesd: preloaded demo network");
     } else if let (Some(topo), Some(routes)) = (&args.topology, &args.routing) {
         let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
         let loaded = (|| {
-            let topo = read(topo)?;
-            let routes = read(routes)?;
+            let topo_xml = read(topo)?;
+            let routes_xml = read(routes)?;
             let locations = match &args.locations {
                 Some(p) => Some(read(p)?),
                 None => None,
             };
-            aalwines_suite::load_dataplane(&topo, &routes, locations.as_deref(), args.repair)
-                .map_err(|e| e.to_string())
+            aalwines_suite::load_dataplane(
+                &topo_xml,
+                &routes_xml,
+                locations.as_deref(),
+                args.repair,
+            )
+            .map_err(|e| e.to_string())
         })();
         match loaded {
             Ok(net) => {
-                daemon.preload(net);
+                let mut spec = JsonObject::new();
+                spec.string("topology", topo);
+                spec.string("routing", routes);
+                if let Some(l) = &args.locations {
+                    spec.string("locations", l);
+                }
+                if args.repair {
+                    spec.boolean("repair", true);
+                }
+                daemon.preload_with_spec(net, Some(&spec.finish()));
                 eprintln!("aalwinesd: preloaded dataplane");
             }
             Err(e) => {
@@ -147,7 +233,20 @@ fn main() -> ExitCode {
     }
 }
 
-/// One scripted client connection for the smoke exercise.
+fn report_smoke(name: &str, result: Result<(), String>) -> ExitCode {
+    match result {
+        Ok(()) => {
+            println!("aalwinesd {name}: OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("aalwinesd {name}: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One scripted client connection for the smoke exercises.
 struct SmokeClient {
     reader: BufReader<UnixStream>,
     writer: UnixStream,
@@ -161,6 +260,25 @@ impl SmokeClient {
             reader: BufReader::new(stream),
             writer,
         })
+    }
+
+    /// Reconnect with capped exponential backoff — the client half of
+    /// crash recovery: a daemon restart leaves a window with no socket.
+    fn connect_with_backoff(path: &std::path::Path, budget: Duration) -> Result<Self, String> {
+        let start = Instant::now();
+        let mut delay = Duration::from_millis(10);
+        loop {
+            match SmokeClient::connect(path) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if start.elapsed() >= budget {
+                        return Err(format!("reconnect window exhausted: {e}"));
+                    }
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_millis(250));
+                }
+            }
+        }
     }
 
     fn send(&mut self, line: &str) -> Result<(), String> {
@@ -214,6 +332,15 @@ impl SmokeClient {
     }
 }
 
+/// Strip the volatile timing `stats` from an `answer` payload so two
+/// runs of the same deterministic verification compare byte-identical.
+fn strip_stats(mut payload: Value) -> Value {
+    if let Value::Object(o) = &mut payload {
+        o.remove("stats");
+    }
+    payload
+}
+
 /// Self-contained end-to-end exercise over a real Unix socket: load →
 /// query → subscribe → delta (with changed-answer push) → stats →
 /// shutdown. Used by CI as the daemon smoke job.
@@ -221,7 +348,7 @@ fn smoke() -> Result<(), String> {
     let path = std::env::temp_dir().join(format!("aalwinesd-smoke-{}.sock", std::process::id()));
     let daemon = Daemon::new(DaemonConfig {
         threads: 2,
-        cache_size: aalwines::DEFAULT_CACHE_SIZE,
+        ..DaemonConfig::default()
     });
     let server = {
         let daemon = daemon.clone();
@@ -265,6 +392,11 @@ fn smoke() -> Result<(), String> {
         return Err("bytesResident missing from stats".to_string());
     }
 
+    let health = b.roundtrip(r#"{"verb":"health"}"#, "health", &mut updates)?;
+    if health.get("loaded") != Some(&Value::Bool(true)) {
+        return Err(format!("health says unloaded: {}", health.to_json()));
+    }
+
     a.roundtrip(
         &format!(r#"{{"verb":"subscribe","query":"{q}"}}"#),
         "subscribed",
@@ -304,4 +436,109 @@ fn smoke() -> Result<(), String> {
         .map_err(|_| "server thread panicked".to_string())?
         .map_err(|e| format!("serve: {e}"))?;
     Ok(())
+}
+
+/// Crash-recovery exercise: spawn a *child* daemon process with a
+/// journal, stream deltas at it, `kill -9` it mid-session, restart it
+/// over the same journal, and verify (a) a client reconnects with
+/// capped exponential backoff and re-issues its subscription, and
+/// (b) the replayed session answers the watched query byte-identically
+/// (modulo timing stats) to the pre-crash one, with `health` reporting
+/// a clean replay.
+fn smoke_reconnect() -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let pid = std::process::id();
+    let socket = std::env::temp_dir().join(format!("aalwinesd-reconnect-{pid}.sock"));
+    let journal = std::env::temp_dir().join(format!("aalwinesd-reconnect-{pid}.journal"));
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&journal);
+
+    let spawn = || {
+        std::process::Command::new(&exe)
+            .arg("--socket")
+            .arg(&socket)
+            .arg("--journal")
+            .arg(&journal)
+            .arg("--demo")
+            .spawn()
+            .map_err(|e| format!("spawn: {e}"))
+    };
+    let budget = Duration::from_secs(10);
+
+    let mut child = spawn()?;
+    let result = (|| {
+        let mut updates = Vec::new();
+        let q = "<ip> [.#v0] .* [v3#.] <ip> 0";
+        let mut c = SmokeClient::connect_with_backoff(&socket, budget)?;
+        c.roundtrip(
+            &format!(r#"{{"verb":"subscribe","query":"{q}"}}"#),
+            "subscribed",
+            &mut updates,
+        )?;
+        for l in [0, 2] {
+            c.roundtrip(
+                &format!(r#"{{"verb":"delta","delta":{{"kind":"link-down","link":{l}}}}}"#),
+                "delta-report",
+                &mut updates,
+            )?;
+        }
+        let before = strip_stats(c.roundtrip(
+            &format!(r#"{{"verb":"query","query":"{q}"}}"#),
+            "answer",
+            &mut updates,
+        )?);
+
+        // The crash: SIGKILL, no warning, mid-stream.
+        child.kill().map_err(|e| format!("kill: {e}"))?;
+        child.wait().map_err(|e| format!("wait: {e}"))?;
+        let _ = std::fs::remove_file(&socket); // the child never got to clean up
+        child = spawn()?;
+
+        // The client notices the dead connection and recovers: backoff
+        // reconnect, then re-issue the subscription.
+        if c.roundtrip(r#"{"verb":"stats"}"#, "session-stats", &mut updates)
+            .is_ok()
+        {
+            return Err("request succeeded over a connection to a killed daemon".to_string());
+        }
+        let mut c = SmokeClient::connect_with_backoff(&socket, budget)?;
+        c.roundtrip(
+            &format!(r#"{{"verb":"subscribe","query":"{q}"}}"#),
+            "subscribed",
+            &mut updates,
+        )?;
+
+        let after = strip_stats(c.roundtrip(
+            &format!(r#"{{"verb":"query","query":"{q}"}}"#),
+            "answer",
+            &mut updates,
+        )?);
+        if before.to_json() != after.to_json() {
+            return Err(format!(
+                "replayed answer differs:\n  before: {}\n  after:  {}",
+                before.to_json(),
+                after.to_json()
+            ));
+        }
+
+        let health = c.roundtrip(r#"{"verb":"health"}"#, "health", &mut updates)?;
+        let replay = health
+            .get("replay")
+            .ok_or("health payload lacks 'replay'")?;
+        if replay.get("clean") != Some(&Value::Bool(true)) {
+            return Err(format!("replay not clean: {}", health.to_json()));
+        }
+        if health.get("journal").and_then(|j| j.get("enabled")) != Some(&Value::Bool(true)) {
+            return Err(format!("journal not enabled: {}", health.to_json()));
+        }
+
+        c.roundtrip(r#"{"verb":"shutdown"}"#, "bye", &mut updates)?;
+        Ok(())
+    })();
+
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&journal);
+    result
 }

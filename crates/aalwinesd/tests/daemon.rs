@@ -70,7 +70,7 @@ fn start(tag: &str) -> (Daemon, PathBuf, std::thread::JoinHandle<()>) {
     let path = socket_path(tag);
     let daemon = Daemon::new(DaemonConfig {
         threads: 2,
-        cache_size: aalwines::DEFAULT_CACHE_SIZE,
+        ..DaemonConfig::default()
     });
     daemon.preload(aalwines::examples::paper_network());
     let server = {

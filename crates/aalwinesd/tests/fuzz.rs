@@ -1,0 +1,290 @@
+//! Protocol fuzz: hostile byte streams against a live daemon socket.
+//! Whatever arrives — seeded garbage, megabyte lines, truncated
+//! frames, interleaved partial writes — every response line must be a
+//! well-formed schemaVersion-1 envelope and the daemon must keep
+//! serving other clients. The daemon process never exits.
+
+use aalwinesd::{Daemon, DaemonConfig};
+use detrand::DetRng;
+use formats::json::{parse as parse_json, Value};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::Shutdown;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("aalwinesd-fuzz-{}-{tag}.sock", std::process::id()))
+}
+
+fn start(tag: &str, config: DaemonConfig) -> (Daemon, PathBuf, std::thread::JoinHandle<()>) {
+    let path = socket_path(tag);
+    let daemon = Daemon::new(config);
+    daemon.preload(aalwines::examples::paper_network());
+    let server = {
+        let daemon = daemon.clone();
+        let path = path.clone();
+        std::thread::spawn(move || daemon.serve(&path).expect("serve"))
+    };
+    for _ in 0..400 {
+        if path.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(path.exists(), "daemon never bound {}", path.display());
+    (daemon, path, server)
+}
+
+/// Assert every line readable on `stream` until EOF is a well-formed
+/// versioned envelope; returns the kinds seen.
+fn drain_envelopes(stream: UnixStream) -> Vec<String> {
+    let mut kinds = Vec::new();
+    for line in BufReader::new(stream).lines() {
+        let Ok(line) = line else { break };
+        if line.is_empty() {
+            continue;
+        }
+        let envelope =
+            parse_json(&line).unwrap_or_else(|e| panic!("unparseable response {line:?}: {e}"));
+        assert_eq!(
+            envelope.get("schemaVersion").and_then(Value::as_f64),
+            Some(1.0),
+            "unversioned response: {line}"
+        );
+        let kind = envelope
+            .get("kind")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("kindless response: {line}"))
+            .to_string();
+        assert!(
+            envelope.get("payload").is_some(),
+            "payloadless response: {line}"
+        );
+        kinds.push(kind);
+    }
+    kinds
+}
+
+/// The daemon is still alive iff a fresh client gets real answers.
+fn assert_alive(path: &Path) {
+    let mut stream = UnixStream::connect(path).expect("daemon gone");
+    writeln!(stream, r#"{{"verb":"stats"}}"#).expect("send");
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .expect("recv");
+    let envelope = parse_json(line.trim_end()).expect("envelope");
+    assert_eq!(
+        envelope.get("kind").and_then(Value::as_str),
+        Some("session-stats")
+    );
+}
+
+fn graceful_shutdown(path: &Path, server: std::thread::JoinHandle<()>) {
+    let mut stream = UnixStream::connect(path).expect("connect for shutdown");
+    writeln!(stream, r#"{{"verb":"shutdown"}}"#).expect("send");
+    let _ = drain_envelopes(stream);
+    server.join().expect("server thread");
+}
+
+#[test]
+fn seeded_garbage_lines_answer_structured_errors() {
+    let (_d, path, server) = start("garbage", DaemonConfig::default());
+    let mut rng = DetRng::seed_from_u64(0xFA22);
+    for _ in 0..8 {
+        let stream = UnixStream::connect(&path).expect("connect");
+        let mut w = stream.try_clone().expect("clone");
+        let lines = rng.gen_range(1usize..6);
+        for _ in 0..lines {
+            let len = rng.gen_range(1usize..2000);
+            let mut junk = Vec::with_capacity(len);
+            for _ in 0..len {
+                // Anything but the frame delimiter.
+                let b = rng.gen_range(1u64..256) as u8;
+                junk.push(if b == b'\n' { b' ' } else { b });
+            }
+            w.write_all(&junk).expect("send junk");
+            w.write_all(b"\n").expect("send newline");
+        }
+        w.flush().expect("flush");
+        stream.shutdown(Shutdown::Write).expect("half-close");
+        let kinds = drain_envelopes(stream);
+        assert_eq!(kinds.len(), lines, "one response per garbage line");
+        assert!(kinds.iter().all(|k| k == "error"), "{kinds:?}");
+    }
+    assert_alive(&path);
+    graceful_shutdown(&path, server);
+}
+
+#[test]
+fn a_megabyte_line_is_refused_not_buffered_without_bound() {
+    let (_d, path, server) = start("huge", DaemonConfig::default());
+    let stream = UnixStream::connect(&path).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    // 1 MiB of 'a' with no newline until the very end — four times the
+    // frame cap. The daemon must cut it off mid-stream with an error.
+    let chunk = vec![b'a'; 64 * 1024];
+    let mut sent = 0usize;
+    while sent < 1024 * 1024 {
+        if w.write_all(&chunk).is_err() {
+            break; // daemon already closed on us: also acceptable
+        }
+        sent += chunk.len();
+    }
+    let _ = w.write_all(b"\n");
+    let _ = w.flush();
+    let kinds = drain_envelopes(stream);
+    if let Some(kind) = kinds.first() {
+        assert_eq!(kind, "error");
+    }
+    assert_alive(&path);
+    graceful_shutdown(&path, server);
+}
+
+#[test]
+fn a_truncated_frame_then_eof_is_dropped_quietly() {
+    let (_d, path, server) = start("truncated", DaemonConfig::default());
+    let stream = UnixStream::connect(&path).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    w.write_all(br#"{"verb":"que"#).expect("send partial");
+    w.flush().expect("flush");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let kinds = drain_envelopes(stream);
+    assert!(
+        kinds.is_empty(),
+        "no frame completed, no response: {kinds:?}"
+    );
+    assert_alive(&path);
+    graceful_shutdown(&path, server);
+}
+
+#[test]
+fn a_stalled_frame_times_out_with_a_structured_error() {
+    let (_d, path, server) = start(
+        "stalled",
+        DaemonConfig {
+            read_timeout: Duration::from_millis(300),
+            ..DaemonConfig::default()
+        },
+    );
+    let stream = UnixStream::connect(&path).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    w.write_all(br#"{"verb":"stats""#).expect("send partial");
+    w.flush().expect("flush");
+    // ...and never finish the frame. The daemon must give up on us.
+    let mut r = stream.try_clone().expect("clone");
+    let mut line = String::new();
+    BufReader::new(&mut r).read_line(&mut line).expect("recv");
+    let envelope = parse_json(line.trim_end()).expect("envelope");
+    assert_eq!(envelope.get("kind").and_then(Value::as_str), Some("error"));
+    assert!(
+        envelope.to_json().contains("stalled"),
+        "unexpected error: {line}"
+    );
+    // The connection is closed after the error.
+    let mut rest = Vec::new();
+    let n = r.read_to_end(&mut rest).expect("eof");
+    assert_eq!(n, 0, "connection must close after a stall: {rest:?}");
+    assert_alive(&path);
+    graceful_shutdown(&path, server);
+}
+
+#[test]
+fn an_idle_subscriber_is_never_timed_out() {
+    let (_d, path, server) = start(
+        "idle",
+        DaemonConfig {
+            read_timeout: Duration::from_millis(200),
+            ..DaemonConfig::default()
+        },
+    );
+    let stream = UnixStream::connect(&path).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    writeln!(
+        w,
+        r#"{{"verb":"subscribe","query":"<ip> [.#v0] .* [v3#.] <ip> 0"}}"#
+    )
+    .expect("send");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("recv");
+    assert_eq!(
+        parse_json(line.trim_end())
+            .unwrap()
+            .get("kind")
+            .and_then(Value::as_str),
+        Some("subscribed")
+    );
+    // Sit idle for several read-timeouts, then prove the connection
+    // still works by receiving a pushed update.
+    std::thread::sleep(Duration::from_millis(800));
+    let mut other = UnixStream::connect(&path).expect("connect");
+    writeln!(
+        other,
+        r#"{{"verb":"delta","delta":{{"kind":"link-down","link":7}}}}"#
+    )
+    .expect("send delta");
+    let mut pushed = String::new();
+    reader.read_line(&mut pushed).expect("recv push");
+    assert_eq!(
+        parse_json(pushed.trim_end())
+            .unwrap()
+            .get("kind")
+            .and_then(Value::as_str),
+        Some("update"),
+        "idle subscriber should still receive pushes: {pushed}"
+    );
+    assert_alive(&path);
+    graceful_shutdown(&path, server);
+}
+
+#[test]
+fn interleaved_partial_writes_from_two_clients_stay_isolated() {
+    let (_d, path, server) = start("interleave", DaemonConfig::default());
+    let a = UnixStream::connect(&path).expect("connect a");
+    let b = UnixStream::connect(&path).expect("connect b");
+    let mut wa = a.try_clone().expect("clone");
+    let mut wb = b.try_clone().expect("clone");
+
+    // Two valid requests dribbled out in alternating fragments: each
+    // connection's framing must be independent of the other's pace.
+    let ra = br#"{"verb":"query","query":"<ip> [.#v0] .* [v3#.] <ip> 0"}"#.to_vec();
+    let rb = br#"{"verb":"stats"}"#.to_vec();
+    let mut rng = DetRng::seed_from_u64(0x1EAF);
+    let (mut ia, mut ib) = (0usize, 0usize);
+    while ia < ra.len() || ib < rb.len() {
+        if ia < ra.len() && (ib >= rb.len() || rng.gen_bool(0.6)) {
+            let n = (ia + rng.gen_range(1usize..7)).min(ra.len());
+            wa.write_all(&ra[ia..n]).expect("send a");
+            wa.flush().expect("flush a");
+            ia = n;
+        } else if ib < rb.len() {
+            let n = (ib + rng.gen_range(1usize..4)).min(rb.len());
+            wb.write_all(&rb[ib..n]).expect("send b");
+            wb.flush().expect("flush b");
+            ib = n;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    wa.write_all(b"\n").expect("a newline");
+    wb.write_all(b"\n").expect("b newline");
+    wa.flush().expect("flush");
+    wb.flush().expect("flush");
+
+    let mut line = String::new();
+    BufReader::new(a).read_line(&mut line).expect("recv a");
+    let va = parse_json(line.trim_end()).expect("a envelope");
+    assert_eq!(va.get("kind").and_then(Value::as_str), Some("answer"));
+
+    let mut line = String::new();
+    BufReader::new(b).read_line(&mut line).expect("recv b");
+    let vb = parse_json(line.trim_end()).expect("b envelope");
+    assert_eq!(
+        vb.get("kind").and_then(Value::as_str),
+        Some("session-stats")
+    );
+
+    assert_alive(&path);
+    graceful_shutdown(&path, server);
+}

@@ -1,0 +1,310 @@
+//! Overload and degradation behavior over a real socket: admission
+//! control (`busy`), memory-pressure shedding and subscription refusal,
+//! the `reset` push on reload, the panic supervisor, and the
+//! `link-up`-on-a-live-link error report.
+
+use aalwinesd::{Daemon, DaemonConfig};
+use formats::json::{parse as parse_json, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "aalwinesd-robust-{}-{tag}.sock",
+        std::process::id()
+    ))
+}
+
+fn start(tag: &str, config: DaemonConfig) -> (Daemon, PathBuf, std::thread::JoinHandle<()>) {
+    let path = socket_path(tag);
+    let daemon = Daemon::new(config);
+    daemon.preload(aalwines::examples::paper_network());
+    let server = {
+        let daemon = daemon.clone();
+        let path = path.clone();
+        std::thread::spawn(move || daemon.serve(&path).expect("serve"))
+    };
+    for _ in 0..400 {
+        if path.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(path.exists(), "daemon never bound {}", path.display());
+    (daemon, path, server)
+}
+
+struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    fn connect(path: &Path) -> Client {
+        let stream = UnixStream::connect(path).expect("connect");
+        let writer = stream.try_clone().expect("clone");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn send(&mut self, request: &str) {
+        writeln!(self.writer, "{request}").expect("send");
+    }
+
+    /// Next envelope on the connection (kind, payload); None on EOF.
+    fn next_envelope(&mut self) -> Option<(String, Value)> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        if line.is_empty() {
+            return None;
+        }
+        let envelope = parse_json(line.trim_end()).expect("envelope JSON");
+        assert_eq!(
+            envelope.get("schemaVersion").and_then(Value::as_f64),
+            Some(1.0),
+            "unversioned envelope: {line}"
+        );
+        Some((
+            envelope
+                .get("kind")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string(),
+            envelope.get("payload").cloned().unwrap(),
+        ))
+    }
+
+    fn roundtrip(&mut self, request: &str, want_kind: &str) -> Value {
+        self.send(request);
+        let (kind, payload) = self.next_envelope().expect("response");
+        assert_eq!(kind, want_kind, "{request} answered kind {kind}");
+        payload
+    }
+}
+
+fn shutdown(mut c: Client, server: std::thread::JoinHandle<()>) {
+    c.roundtrip(r#"{"verb":"shutdown"}"#, "bye");
+    server.join().expect("server thread");
+}
+
+#[test]
+fn excess_connections_get_busy_not_a_queue() {
+    let (_d, path, server) = start(
+        "busy",
+        DaemonConfig {
+            max_clients: 1,
+            ..DaemonConfig::default()
+        },
+    );
+    let mut a = Client::connect(&path);
+    a.roundtrip(r#"{"verb":"stats"}"#, "session-stats"); // a is admitted and live
+
+    let mut b = Client::connect(&path);
+    let (kind, payload) = b.next_envelope().expect("busy envelope");
+    assert_eq!(kind, "busy");
+    assert_eq!(payload.get("maxClients").and_then(Value::as_f64), Some(1.0));
+    assert!(
+        b.next_envelope().is_none(),
+        "busy connection must be closed"
+    );
+
+    // The admitted client is unaffected.
+    a.roundtrip(r#"{"verb":"stats"}"#, "session-stats");
+    shutdown(a, server);
+}
+
+#[test]
+fn memory_pressure_refuses_subscriptions_but_serves_queries() {
+    let (_d, path, server) = start(
+        "pressure",
+        DaemonConfig {
+            max_resident_bytes: 1, // precomp alone exceeds this
+            ..DaemonConfig::default()
+        },
+    );
+    let mut c = Client::connect(&path);
+
+    // Degraded, not dead: plain queries still answer.
+    let q = "<ip> [.#v0] .* [v3#.] <ip> 0";
+    let payload = c.roundtrip(&format!(r#"{{"verb":"query","query":"{q}"}}"#), "answer");
+    assert_eq!(
+        payload.get("result").and_then(Value::as_str),
+        Some("satisfied")
+    );
+
+    // One delta re-runs budget enforcement over the protocol.
+    c.roundtrip(
+        r#"{"verb":"delta","delta":{"kind":"link-down","link":0}}"#,
+        "delta-report",
+    );
+    let health = c.roundtrip(r#"{"verb":"health"}"#, "health");
+    assert_eq!(
+        health.get("pressure").and_then(Value::as_str),
+        Some("refusing"),
+        "{}",
+        health.to_json()
+    );
+
+    let refused = c.roundtrip(&format!(r#"{{"verb":"subscribe","query":"{q}"}}"#), "error");
+    assert!(
+        refused
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("refusing new subscriptions"),
+        "{}",
+        refused.to_json()
+    );
+    shutdown(c, server);
+}
+
+#[test]
+fn budget_shedding_keeps_the_cache_within_bounds() {
+    // A budget big enough for the precomp but far too small for a warm
+    // cache: every query evicts back down, health reports "shedding",
+    // and subscriptions stay admitted.
+    let net = aalwines::examples::paper_network();
+    let precomp_floor = {
+        let s = aalwines::Session::open(net.clone());
+        s.bytes_resident()
+    };
+    let (daemon, path, server) = start(
+        "shed",
+        DaemonConfig {
+            max_resident_bytes: precomp_floor + 2048,
+            ..DaemonConfig::default()
+        },
+    );
+    let mut c = Client::connect(&path);
+    for q in [
+        "<ip> [.#v0] .* [v3#.] <ip> 0",
+        "<ip> [.#v0] [^v2#v3]* [v3#.] <ip> 2",
+        "<ip> [.#v3] .* [v0#.] <ip> 2",
+    ] {
+        c.roundtrip(
+            &format!(r#"{{"verb":"subscribe","query":"{q}"}}"#),
+            "subscribed",
+        );
+    }
+    let health = c.roundtrip(r#"{"verb":"health"}"#, "health");
+    assert_eq!(
+        health.get("pressure").and_then(Value::as_str),
+        Some("shedding"),
+        "{}",
+        health.to_json()
+    );
+    assert!(health.get("shedEvents").and_then(Value::as_f64).unwrap() >= 1.0);
+    assert!(
+        health.get("residentBytes").and_then(Value::as_f64).unwrap()
+            <= (precomp_floor + 2048) as f64
+    );
+    let _ = daemon;
+    shutdown(c, server);
+}
+
+#[test]
+fn load_pushes_reset_to_existing_subscribers() {
+    let (_d, path, server) = start("reset", DaemonConfig::default());
+    let mut sub = Client::connect(&path);
+    sub.roundtrip(
+        r#"{"verb":"subscribe","query":"<ip> [.#v0] .* [v3#.] <ip> 0"}"#,
+        "subscribed",
+    );
+    let mut loader = Client::connect(&path);
+    loader.roundtrip(r#"{"verb":"load","demo":true}"#, "loaded");
+
+    let (kind, payload) = sub.next_envelope().expect("reset push");
+    assert_eq!(kind, "reset");
+    assert!(payload
+        .get("reason")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("re-subscribe"));
+    // The old watch is gone: a fresh subscribe starts at index 0 again.
+    let again = sub.roundtrip(
+        r#"{"verb":"subscribe","query":"<ip> [.#v0] .* [v3#.] <ip> 0"}"#,
+        "subscribed",
+    );
+    assert_eq!(again.get("index").and_then(Value::as_f64), Some(0.0));
+    shutdown(loader, server);
+}
+
+#[test]
+fn a_panicking_handler_costs_one_connection_not_the_daemon() {
+    let (_d, path, server) = start(
+        "panic",
+        DaemonConfig {
+            debug_verbs: true,
+            ..DaemonConfig::default()
+        },
+    );
+    let mut victim = Client::connect(&path);
+    let payload = victim.roundtrip(r#"{"verb":"debug-panic"}"#, "error");
+    assert!(
+        payload
+            .get("message")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("panicked"),
+        "{}",
+        payload.to_json()
+    );
+    assert!(
+        victim.next_envelope().is_none(),
+        "panicked connection must be closed"
+    );
+
+    // The daemon survives, serves new clients, and reports the panic.
+    let mut c = Client::connect(&path);
+    c.roundtrip(r#"{"verb":"stats"}"#, "session-stats");
+    let health = c.roundtrip(r#"{"verb":"health"}"#, "health");
+    assert!(
+        health
+            .get("lastError")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("panicked"),
+        "{}",
+        health.to_json()
+    );
+    shutdown(c, server);
+}
+
+#[test]
+fn debug_verbs_stay_disabled_by_default() {
+    let (_d, path, server) = start("nodebug", DaemonConfig::default());
+    let mut c = Client::connect(&path);
+    let payload = c.roundtrip(r#"{"verb":"debug-panic"}"#, "error");
+    assert!(payload
+        .get("message")
+        .and_then(Value::as_str)
+        .unwrap()
+        .contains("unknown verb"));
+    shutdown(c, server);
+}
+
+#[test]
+fn link_up_on_a_live_link_reports_not_applied_with_reason() {
+    let (_d, path, server) = start("linkup", DaemonConfig::default());
+    let mut c = Client::connect(&path);
+    let payload = c.roundtrip(
+        r#"{"verb":"delta","delta":{"kind":"link-up","link":3}}"#,
+        "delta-report",
+    );
+    let report = payload.get("report").expect("report");
+    assert_eq!(report.get("applied"), Some(&Value::Bool(false)));
+    assert!(
+        report
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("not down"),
+        "{}",
+        payload.to_json()
+    );
+    shutdown(c, server);
+}
