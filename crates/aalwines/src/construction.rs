@@ -249,6 +249,11 @@ pub struct NetworkPrecomp {
     label_kind: Vec<LabelKind>,
     start_measure: Vec<StepMeasure>,
     build_time: Duration,
+    /// Memoized [`NetworkPrecomp::bytes_resident`] estimate. The tables
+    /// are immutable after construction, and deep-walking them per call
+    /// showed up as a per-query regression (`resident_bytes` runs up to
+    /// three times per verification).
+    bytes_resident: usize,
 }
 
 impl NetworkPrecomp {
@@ -335,14 +340,18 @@ impl NetworkPrecomp {
                 .or_default()
                 .push(PrecompKey { label, groups });
         }
-        NetworkPrecomp {
+        let mut precomp = NetworkPrecomp {
             n_symbols: num_labels as u32,
             keys_of_link,
             labels_of_kind,
             label_kind,
             start_measure,
-            build_time: t0.elapsed(),
-        }
+            build_time: Duration::ZERO,
+            bytes_resident: 0,
+        };
+        precomp.bytes_resident = precomp.measure_bytes_resident();
+        precomp.build_time = t0.elapsed();
+        precomp
     }
 
     /// Number of stack symbols (= network labels).
@@ -377,7 +386,14 @@ impl NetworkPrecomp {
 
     /// Estimated resident heap bytes of the precomputed tables
     /// (capacity-based; feeds the `bytesResident` telemetry counter).
+    /// Memoized at construction time — the tables never change.
     pub fn bytes_resident(&self) -> usize {
+        self.bytes_resident
+    }
+
+    /// The deep capacity walk behind [`NetworkPrecomp::bytes_resident`],
+    /// run once in [`NetworkPrecomp::new`].
+    fn measure_bytes_resident(&self) -> usize {
         use std::mem::size_of;
         let mut bytes = size_of::<Self>();
         bytes +=

@@ -24,7 +24,7 @@
 //! the main engine, mirroring Figure 3 where the engines are
 //! interchangeable backends.
 
-use crate::construction::{self, ApproxMode, Construction};
+use crate::construction::{self, ApproxMode, Construction, NetworkPrecomp};
 use crate::engine::{Answer, Engine, EngineStats, Outcome, VerifyOptions, Witness};
 use crate::lift::{lift_run, trace_pairs};
 use netmodel::{feasible_failures, Network};
@@ -35,6 +35,7 @@ use pdaal::witness::reconstruct_run;
 use pdaal::{AutState, PAutomaton, Pds, RuleOp, StateId, SymbolId, TLabel, TransId, Unweighted};
 use query::{compile, CompiledQuery, Query};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Expand filter transitions into concrete per-symbol transitions, as
@@ -321,26 +322,37 @@ pub fn verify_moped(net: &Network, q: &Query) -> Answer {
 pub struct MopedEngine<'a> {
     net: &'a Network,
     validation_issues: usize,
+    /// Query-independent construction tables, built once per engine and
+    /// shared by both approximation phases of every query. Building a
+    /// fresh precomp inside each phase was the `engine/moped` bench
+    /// regression: two full-network precomputations per query.
+    precomp: Arc<NetworkPrecomp>,
 }
 
 impl<'a> MopedEngine<'a> {
-    /// A Moped-style engine for `net`. Runs [`Network::validate`] once
-    /// so every answer's [`EngineStats::validation_issues`] reports how
-    /// clean the network was.
+    /// A Moped-style engine for `net`. Runs [`Network::validate`] and
+    /// [`NetworkPrecomp::new`] once so every query reuses them.
     pub fn new(net: &'a Network) -> Self {
         MopedEngine {
             net,
             validation_issues: net.validate().len(),
+            precomp: Arc::new(NetworkPrecomp::new(net)),
         }
     }
 
-    /// Assemble from warm state without re-running validation (used by
-    /// the resident [`Session`](crate::session::Session), which caches
-    /// the validation count across calls).
-    pub(crate) fn from_parts(net: &'a Network, validation_issues: usize) -> Self {
+    /// Assemble from warm state without re-running validation or
+    /// precomputation (used by the resident
+    /// [`Session`](crate::session::Session), which keeps both across
+    /// calls).
+    pub(crate) fn from_parts(
+        net: &'a Network,
+        precomp: Arc<NetworkPrecomp>,
+        validation_issues: usize,
+    ) -> Self {
         MopedEngine {
             net,
             validation_issues,
+            precomp,
         }
     }
 }
@@ -366,7 +378,7 @@ impl Engine for MopedEngine<'_> {
             stats.t_total = t_start.elapsed();
             return Answer::aborted(reason, stats);
         }
-        match run_phase(self.net, cq, ApproxMode::Over, &mut stats) {
+        match run_phase(self.net, &self.precomp, cq, ApproxMode::Over, &mut stats) {
             Phase::Empty => {
                 stats.t_total = t_start.elapsed();
                 return Answer::new(Outcome::Unsatisfied, stats);
@@ -383,7 +395,7 @@ impl Engine for MopedEngine<'_> {
             return Answer::aborted(reason, stats);
         }
         stats.under_runs += 1;
-        let under = run_phase(self.net, cq, ApproxMode::Under, &mut stats);
+        let under = run_phase(self.net, &self.precomp, cq, ApproxMode::Under, &mut stats);
         stats.t_total = t_start.elapsed();
         match under {
             Phase::Witness(w) => Answer::new(Outcome::Satisfied(w), stats),
@@ -404,12 +416,13 @@ enum Phase {
 
 fn run_phase(
     net: &Network,
+    pre: &NetworkPrecomp,
     cq: &CompiledQuery,
     mode: ApproxMode,
     stats: &mut EngineStats,
 ) -> Phase {
     let t0 = Instant::now();
-    let cons: Construction<Unweighted> = construction::build(net, cq, mode, &|_| Unweighted);
+    let cons: Construction<Unweighted> = construction::build_with(pre, cq, mode, &|_| Unweighted);
     stats.t_construct += t0.elapsed();
     if mode == ApproxMode::Over {
         stats.rules_over = cons.pds.num_rules();

@@ -38,15 +38,16 @@
 use crate::batch::{run_batch, BatchOptions};
 use crate::cache::{ConstructionCache, Footprint};
 use crate::construction::NetworkPrecomp;
-use crate::engine::{Answer, Engine, Verifier, VerifyOptions};
+use crate::engine::{Answer, Engine, EngineStats, Verifier, VerifyOptions};
 use crate::moped::MopedEngine;
 use crate::telemetry::JsonObject;
+use dplint::{LintDelta, LintFinding, LintReport, LintState, RestoredRule};
 use netmodel::{LabelId, LinkId, Network, RoutingEntry};
 use pdaal::budget::CancelToken;
 use query::{parse_query, Query};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Which verification engine a [`Session`] dispatches to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -202,6 +203,31 @@ pub struct ChangedAnswer {
     pub answer: Answer,
 }
 
+/// How the resident lint state reacted to a delta (present only when
+/// [`Session::lint`] has been called at least once — lint state is
+/// lazy).
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct LintDeltaReport {
+    /// Cached per-key lint artifacts recomputed for this delta.
+    pub invalidated: usize,
+    /// Cached per-key lint artifacts reused untouched.
+    pub retained: usize,
+    /// Base-report findings that appeared with this delta.
+    pub added: Vec<LintFinding>,
+    /// Base-report findings that disappeared with this delta.
+    pub removed: Vec<LintFinding>,
+    /// Delta-native findings (`DP016`/`DP017`/`QL004`).
+    pub delta_findings: Vec<LintFinding>,
+}
+
+impl LintDeltaReport {
+    /// Findings added plus findings removed.
+    pub fn changed(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
 /// What [`Session::apply_delta`] did: whether the dataplane actually
 /// changed, the cache-invalidation split, and which watched answers
 /// flipped.
@@ -226,12 +252,17 @@ pub struct DeltaReport {
     pub reverified: usize,
     /// Watched queries whose answer changed, with the new answer.
     pub changed: Vec<ChangedAnswer>,
+    /// How the resident lint state reacted, when it exists (see
+    /// [`Session::lint`]).
+    pub lint: Option<LintDeltaReport>,
 }
 
 impl DeltaReport {
     /// Serialize the countable part as one JSON object (the `changed`
     /// answers need network context to render and are serialized by the
-    /// caller).
+    /// caller). The lint counters are always present — zeros when no
+    /// resident lint state exists — so consumers never branch on key
+    /// presence.
     pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
         o.boolean("applied", self.applied);
@@ -244,6 +275,13 @@ impl DeltaReport {
         o.number("retained", self.retained as f64);
         o.number("reverified", self.reverified as f64);
         o.number("changed", self.changed.len() as f64);
+        let lint = self.lint.as_ref();
+        o.number(
+            "lintChanged",
+            lint.map_or(0, LintDeltaReport::changed) as f64,
+        );
+        o.number("lintInvalidated", lint.map_or(0, |l| l.invalidated) as f64);
+        o.number("lintRetained", lint.map_or(0, |l| l.retained) as f64);
         o.finish()
     }
 }
@@ -282,6 +320,12 @@ pub struct SessionStats {
     pub validation_issues: usize,
     /// Routing rules in the current dataplane.
     pub rules: usize,
+    /// Total milliseconds spent linting (cold build plus incremental
+    /// re-lints) since the session opened.
+    pub lint_millis: f64,
+    /// Cumulative per-key lint artifacts reused across deltas instead
+    /// of being recomputed.
+    pub lint_incremental_hits: usize,
 }
 
 impl SessionStats {
@@ -303,8 +347,22 @@ impl SessionStats {
         o.number("downedLinks", self.downed_links as f64);
         o.number("validationIssues", self.validation_issues as f64);
         o.number("rules", self.rules as f64);
+        o.number("lintMillis", self.lint_millis);
+        o.number("lintIncrementalHits", self.lint_incremental_hits as f64);
         o.finish()
     }
+}
+
+/// What [`Session::lint`] returned: the full (byte-identical-to-cold)
+/// report plus the telemetry of producing it.
+#[derive(Clone, Debug)]
+pub struct LintOutcome {
+    /// The current lint report for the resident dataplane.
+    pub report: LintReport,
+    /// Telemetry: `lint_millis` is the cost of *this* call (cold build
+    /// on first use, near-zero afterwards), `lint_incremental_hits` the
+    /// session's cumulative cache-hit counter.
+    pub stats: EngineStats,
 }
 
 /// Configuration for a [`Session`] (entry point:
@@ -415,6 +473,8 @@ impl SessionBuilder {
             invalidated_total: 0,
             retained_total: 0,
             shed_total: AtomicUsize::new(0),
+            lint: None,
+            lint_millis: 0.0,
         }
     }
 }
@@ -453,6 +513,12 @@ pub struct Session {
     /// Cache entries shed under memory pressure (atomic so shedding can
     /// run behind a shared reference, e.g. under a service's read lock).
     shed_total: AtomicUsize,
+    /// Resident incremental lint state, built lazily by the first
+    /// [`Session::lint`] call and kept in lock-step with the dataplane
+    /// by [`Session::apply_delta`] from then on.
+    lint: Option<LintState>,
+    /// Total milliseconds spent in lint builds and incremental re-lints.
+    lint_millis: f64,
 }
 
 /// Canonical signature of an answer for change detection: the outcome
@@ -493,7 +559,11 @@ impl Session {
                 self.cache.clone(),
                 self.validation_issues,
             )),
-            Backend::Moped => f(&MopedEngine::from_parts(&self.net, self.validation_issues)),
+            Backend::Moped => f(&MopedEngine::from_parts(
+                &self.net,
+                Arc::clone(&self.precomp),
+                self.validation_issues,
+            )),
         }
     }
 
@@ -531,6 +601,11 @@ impl Session {
     pub fn watch(&mut self, text: &str) -> Result<(usize, Answer), String> {
         let query = parse_query(text).map_err(|e| e.to_string())?;
         let answer = self.verify(&query);
+        if let Some(lint) = &mut self.lint {
+            // Record the QL004 start-dead baseline at watch time, so
+            // the lint only ever reports a *delta-caused* transition.
+            lint.note_watched(&self.net, text, query::compile(&query, &self.net));
+        }
         self.watched.push(Watched {
             text: text.to_string(),
             query,
@@ -577,13 +652,60 @@ impl Session {
         shed
     }
 
+    /// Lint the resident dataplane. The first call cold-builds the
+    /// incremental [`LintState`] (and registers every already-watched
+    /// query's `QL004` baseline); afterwards the state is kept in
+    /// lock-step by [`Session::apply_delta`], so repeat calls are
+    /// near-free. The returned report is byte-identical to a cold
+    /// `dplint::lint_network` run on the current network.
+    pub fn lint(&mut self) -> LintOutcome {
+        let start = Instant::now();
+        if self.lint.is_none() {
+            let mut state = LintState::new(&self.net);
+            for w in &self.watched {
+                state.note_watched(&self.net, &w.text, query::compile(&w.query, &self.net));
+            }
+            self.lint = Some(state);
+        }
+        self.lint_millis += crate::telemetry::millis(start.elapsed());
+        // The state was just created, but the borrow checker cannot see
+        // that through the Option; unreachable fallback over unwrap.
+        let state = match &self.lint {
+            Some(s) => s,
+            None => unreachable!("lint state initialized above"),
+        };
+        let mut stats = EngineStats::new();
+        stats.lint_millis = crate::telemetry::millis(start.elapsed());
+        stats.lint_incremental_hits = state.incremental_hits();
+        LintOutcome {
+            report: state.report().clone(),
+            stats,
+        }
+    }
+
+    /// Whether [`Session::lint`] has built the resident lint state yet.
+    pub fn lint_resident(&self) -> bool {
+        self.lint.is_some()
+    }
+
+    /// The routing keys the most recent delta re-linted, when lint
+    /// state is resident (empty before the first delta). Exposed for
+    /// footprint-disjointness assertions and debugging.
+    pub fn lint_last_relinted(&self) -> Option<&[(LinkId, LabelId)]> {
+        self.lint.as_ref().map(|l| l.last_relinted())
+    }
+
     /// Apply one dataplane delta incrementally: mutate the routing
     /// table, rebuild the query-independent precomputation, drop only
     /// the cached artifacts whose footprint intersects the touched
-    /// links, and re-verify watched queries.
+    /// links, re-verify watched queries, and (when lint state is
+    /// resident) incrementally re-lint the touched footprints.
     pub fn apply_delta(&mut self, delta: &Delta) -> DeltaReport {
         let mut report = DeltaReport::default();
         let mut touched = Footprint::new();
+        // The dplint-side lowering of this delta, built inside the
+        // mutation arms (link-down/up need the stashed-rule lists).
+        let mut lint_delta: Option<LintDelta> = None;
 
         match delta {
             Delta::AddRule {
@@ -598,6 +720,10 @@ impl Session {
                 Ok(()) => {
                     touched.insert(*in_link);
                     report.applied = true;
+                    lint_delta = Some(LintDelta::RuleChange {
+                        link: *in_link,
+                        label: *label,
+                    });
                 }
                 Err(issue) => report.error = Some(issue.to_string()),
             },
@@ -610,6 +736,10 @@ impl Session {
                 if self.net.remove_entry(*in_link, *label, *priority, entry) {
                     touched.insert(*in_link);
                     report.applied = true;
+                    lint_delta = Some(LintDelta::RuleChange {
+                        link: *in_link,
+                        label: *label,
+                    });
                 }
             }
             Delta::SetPriority {
@@ -621,6 +751,10 @@ impl Session {
                 if self.net.move_group(*in_link, *label, *from, *to) {
                     touched.insert(*in_link);
                     report.applied = true;
+                    lint_delta = Some(LintDelta::RuleChange {
+                        link: *in_link,
+                        label: *label,
+                    });
                 }
             }
             Delta::LinkDown(link) => {
@@ -636,6 +770,10 @@ impl Session {
                     self.net.remove_entry(*in_link, *label, *priority, entry);
                     touched.insert(*in_link);
                 }
+                lint_delta = Some(LintDelta::LinkDown {
+                    link: *link,
+                    touched: hits.iter().map(|h| h.0).collect(),
+                });
                 // Stash even an empty hit list: the link is now "down"
                 // and a later LinkUp must find it.
                 report.applied = true;
@@ -652,6 +790,18 @@ impl Session {
                     return report;
                 };
                 let (_, hits) = self.downed.remove(pos);
+                lint_delta = Some(LintDelta::LinkUp {
+                    link: *link,
+                    restored: hits
+                        .iter()
+                        .map(|(in_link, label, priority, entry)| RestoredRule {
+                            link: *in_link,
+                            label: *label,
+                            priority: *priority,
+                            out: entry.out,
+                        })
+                        .collect(),
+                });
                 for (in_link, label, priority, entry) in hits {
                     // The stashed rules were well-formed when removed and
                     // topology is immutable, so unchecked re-insertion at
@@ -697,6 +847,21 @@ impl Session {
                 });
             }
         }
+
+        // Incrementally re-lint the delta's footprint when lint state
+        // is resident (lazy: sessions that never lint pay nothing).
+        if let (Some(lint), Some(ld)) = (&mut self.lint, &lint_delta) {
+            let start = Instant::now();
+            let outcome = lint.apply_delta(&self.net, ld);
+            self.lint_millis += crate::telemetry::millis(start.elapsed());
+            report.lint = Some(LintDeltaReport {
+                invalidated: outcome.invalidated,
+                retained: outcome.retained,
+                added: outcome.added,
+                removed: outcome.removed,
+                delta_findings: outcome.delta_findings,
+            });
+        }
         report
     }
 
@@ -715,6 +880,8 @@ impl Session {
             validation_issues: self.validation_issues,
             rules: self.net.num_rules(),
             bytes_resident: self.precomp.bytes_resident(),
+            lint_millis: self.lint_millis,
+            lint_incremental_hits: self.lint.as_ref().map_or(0, LintState::incremental_hits),
             ..SessionStats::default()
         };
         if let Some(cache) = &self.cache {

@@ -2,8 +2,13 @@
 //! (serde-free) plus batch-level aggregation of per-query statistics.
 
 use crate::engine::Answer;
-use std::fmt::Write as _;
 use std::time::Duration;
+
+// The JSON writer primitives live in `formats::json` (they are also
+// used by crates, like `dplint`, that sit *below* this one in the
+// dependency graph); re-exported here so existing
+// `aalwines::telemetry::JsonObject` users keep compiling unchanged.
+pub use formats::json::{json_escape, JsonObject};
 
 /// A duration in fractional milliseconds (the unit of all timing fields
 /// in the JSON output).
@@ -81,97 +86,6 @@ impl PressureState {
             1 => PressureState::Shedding,
             _ => PressureState::Refusing,
         }
-    }
-}
-
-/// Escape a string for inclusion in a JSON document (quotes included).
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Format a JSON number: integers without a fraction, non-finite values
-/// as `null` (JSON has no NaN/Infinity).
-fn json_number(x: f64) -> String {
-    if !x.is_finite() {
-        "null".to_string()
-    } else if x.fract() == 0.0 && x.abs() < 1e15 {
-        format!("{}", x as i64)
-    } else {
-        format!("{:.3}", x)
-    }
-}
-
-/// An incremental writer for one flat JSON object. Keys are emitted in
-/// insertion order; values are numbers, strings, nulls, or raw
-/// pre-serialized JSON fragments (for nesting).
-#[derive(Debug, Default)]
-pub struct JsonObject {
-    buf: String,
-}
-
-impl JsonObject {
-    /// Start an empty object.
-    pub fn new() -> Self {
-        JsonObject { buf: String::new() }
-    }
-
-    fn key(&mut self, k: &str) {
-        if !self.buf.is_empty() {
-            self.buf.push(',');
-        }
-        self.buf.push_str(&json_escape(k));
-        self.buf.push(':');
-    }
-
-    /// Add a numeric field.
-    pub fn number(&mut self, k: &str, v: f64) {
-        self.key(k);
-        self.buf.push_str(&json_number(v));
-    }
-
-    /// Add a string field.
-    pub fn string(&mut self, k: &str, v: &str) {
-        self.key(k);
-        self.buf.push_str(&json_escape(v));
-    }
-
-    /// Add a boolean field.
-    pub fn boolean(&mut self, k: &str, v: bool) {
-        self.key(k);
-        self.buf.push_str(if v { "true" } else { "false" });
-    }
-
-    /// Add a `null` field.
-    pub fn null(&mut self, k: &str) {
-        self.key(k);
-        self.buf.push_str("null");
-    }
-
-    /// Add a field whose value is already-serialized JSON.
-    pub fn raw(&mut self, k: &str, v: &str) {
-        self.key(k);
-        self.buf.push_str(v);
-    }
-
-    /// Close the object and return the JSON text.
-    pub fn finish(self) -> String {
-        format!("{{{}}}", self.buf)
     }
 }
 
@@ -330,28 +244,6 @@ mod tests {
     use super::*;
     use crate::engine::{Answer, EngineStats, Outcome};
     use pdaal::budget::AbortReason;
-
-    #[test]
-    fn json_object_builds_flat_objects() {
-        let mut o = JsonObject::new();
-        o.number("a", 1.0);
-        o.string("b", "x\"y");
-        o.boolean("c", true);
-        o.null("d");
-        o.raw("e", "[1,2]");
-        assert_eq!(
-            o.finish(),
-            r#"{"a":1,"b":"x\"y","c":true,"d":null,"e":[1,2]}"#
-        );
-    }
-
-    #[test]
-    fn json_numbers_are_valid_json() {
-        assert_eq!(json_number(3.0), "3");
-        assert_eq!(json_number(0.125), "0.125");
-        assert_eq!(json_number(f64::NAN), "null");
-        assert_eq!(json_number(f64::INFINITY), "null");
-    }
 
     #[test]
     fn percentiles_nearest_rank() {

@@ -220,3 +220,119 @@ fn incremental_answers_equal_cold_reverification_under_delta_storm() {
     assert_eq!(stats.deltas_applied, applied);
     assert!(stats.invalidated_total + stats.retained_total > 0);
 }
+
+/// The tentpole invariant of the incremental lint subsystem: after
+/// *every* delta of a 200-step randomized storm, the resident report
+/// must be byte-identical to a cold `dplint` run on the mutated
+/// network. Three fixed seeds keep the storm deterministic while
+/// covering different delta interleavings.
+#[test]
+fn incremental_lint_is_byte_identical_under_delta_storms() {
+    for seed in [0x51A7u64, 0xBEE5, 0x1D10] {
+        let (net, _map) = paper_network_with_map();
+        let mut session = Session::open(net);
+        // Prime the resident lint state before the storm begins.
+        let primed = session.lint();
+        assert_eq!(
+            primed.report.to_json(),
+            dplint::lint_network(session.network()).to_json(),
+            "seed {seed:#x}: cold prime diverged"
+        );
+
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut applied = 0usize;
+        for step in 0..200 {
+            let delta = random_delta(session.network(), &mut rng);
+            let report = session.apply_delta(&delta);
+            if report.applied {
+                applied += 1;
+                assert!(report.lint.is_some(), "applied delta must re-lint");
+            }
+            let warm = session.lint().report.to_json();
+            let cold = dplint::lint_network(session.network()).to_json();
+            assert_eq!(
+                warm,
+                cold,
+                "seed {seed:#x} step {step} ({:?}): incremental lint diverged from cold",
+                delta.kind()
+            );
+        }
+        // `random_delta` draws from `routing_keys()` whose iteration
+        // order is unspecified, so the applied count varies run to run
+        // (the byte-identity assertions above do not): keep the floor
+        // loose.
+        assert!(
+            applied > 50,
+            "seed {seed:#x}: the storm should mostly apply ({applied}/200)"
+        );
+        let stats = session.stats();
+        assert!(
+            stats.lint_incremental_hits > 0,
+            "seed {seed:#x}: the storm must retain at least some lint artifacts"
+        );
+    }
+}
+
+/// Footprint precision across disjoint islands: a delta confined to
+/// island A must never re-lint an island-B routing key — island B's
+/// artifacts are pure cache hits, visible in the retained counters and
+/// the relinted-key list.
+#[test]
+fn island_a_delta_relints_zero_island_b_footprints() {
+    let (net, [f0, f1, _f2], b_links) = two_islands();
+    let mut session = Session::open(net);
+    session.lint();
+    assert!(session.lint_resident());
+    let sa = session.network().labels.get("sa").unwrap();
+    let ip = session.network().labels.get("ip1").unwrap();
+
+    let a_deltas = vec![
+        Delta::AddRule {
+            in_link: f0,
+            label: ip,
+            priority: 2,
+            entry: RoutingEntry {
+                out: f1,
+                ops: vec![Op::Push(sa)],
+            },
+        },
+        Delta::LinkDown(f1),
+        Delta::LinkUp(f1),
+        Delta::RemoveRule {
+            in_link: f0,
+            label: ip,
+            priority: 2,
+            entry: RoutingEntry {
+                out: f1,
+                ops: vec![Op::Push(sa)],
+            },
+        },
+    ];
+    let mut hits_before = session.stats().lint_incremental_hits;
+    for delta in &a_deltas {
+        let report = session.apply_delta(delta);
+        assert!(report.applied, "{delta:?}");
+        let lint = report.lint.as_ref().expect("applied delta must re-lint");
+        // Both island-B keys ((g0, ip) and (g1, sb)) survive every
+        // island-A delta as cache hits.
+        assert!(lint.retained >= 2, "{delta:?}: retained {}", lint.retained);
+        for &(link, _) in session.lint_last_relinted().unwrap() {
+            assert!(
+                !b_links.contains(&link),
+                "{delta:?} re-linted island-B key at {link:?}"
+            );
+        }
+        let hits_now = session.stats().lint_incremental_hits;
+        assert!(
+            hits_now >= hits_before + 2,
+            "{delta:?}: hit counter must grow by both island-B keys"
+        );
+        hits_before = hits_now;
+        // And the retained-artifact report still matches a cold run.
+        assert_eq!(
+            session.lint().report.to_json(),
+            dplint::lint_network(session.network()).to_json(),
+            "{delta:?}: incremental lint diverged from cold"
+        );
+    }
+}

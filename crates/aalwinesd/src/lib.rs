@@ -23,14 +23,24 @@
 //! | `health`   | —                                               | `health`        |
 //! | `subscribe`| `query` (text)                                  | `subscribed`    |
 //! | `delta`    | `delta` (object, see [`parse_delta`])           | `delta-report`  |
+//! | `lint`     | —                                               | `lint-report`   |
 //! | `shutdown` | —                                               | `bye`           |
 //!
 //! After a `delta`, every subscriber whose watched query changed its
 //! answer receives an unsolicited `"update"` envelope on its own
-//! connection; after a `load`, every subscriber receives a `"reset"`
-//! envelope (its watch indices died with the old dataplane) before the
-//! subscriber list is cleared. Malformed requests answer an `"error"`
-//! envelope; the connection stays open.
+//! connection, and — when the incremental re-lint changed the report or
+//! produced delta-native findings — every subscriber receives a
+//! `"lint-update"` envelope with the added/removed/delta findings and
+//! the invalidation counters. After a `load`, every subscriber receives
+//! a `"reset"` envelope (its watch indices died with the old dataplane)
+//! before the subscriber list is cleared. Malformed requests answer an
+//! `"error"` envelope; the connection stays open.
+//!
+//! The lint report is resident: it is primed when a dataplane loads
+//! (including journal replay, so a restarted daemon reconstructs the
+//! same lint state) and every admitted delta re-lints only the routing
+//! keys whose footprint the delta touches, staying byte-identical to a
+//! cold `dplint` run on the mutated network.
 //!
 //! ## Robustness
 //!
@@ -540,10 +550,18 @@ impl Daemon {
     }
 
     fn build_session(&self, net: Network) -> Session {
-        SessionBuilder::new()
+        let mut session = SessionBuilder::new()
             .threads(self.shared.config.threads)
             .cache_size(self.shared.config.cache_size)
-            .open(net)
+            .open(net);
+        // Prime the resident lint state with the freshly loaded
+        // dataplane: deltas re-lint incrementally from here on, and —
+        // because every path to a session goes through this
+        // constructor — journal replay reconstructs the same lint
+        // state a crashed daemon had (the resident report is a pure
+        // function of the current network and watched queries).
+        session.lint();
+        session
     }
 
     /// Whether `shutdown` has been requested.
@@ -570,6 +588,7 @@ impl Daemon {
             "health" => self.handle_health(),
             "subscribe" => self.handle_subscribe(&request, peer),
             "delta" => self.handle_delta(&request),
+            "lint" => self.handle_lint(),
             "shutdown" => self.handle_shutdown(peer),
             "debug-panic" if self.shared.config.debug_verbs => {
                 panic!("debug-panic requested by client")
@@ -731,11 +750,21 @@ impl Daemon {
     fn handle_health(&self) -> String {
         let mut o = JsonObject::new();
         o.number("uptimeMs", self.shared.started.elapsed().as_millis() as f64);
-        let resident = read_lock(&self.shared.session)
-            .as_ref()
-            .map(Session::bytes_resident);
+        let (resident, lint_millis, lint_hits) = match read_lock(&self.shared.session).as_ref() {
+            Some(s) => {
+                let stats = s.stats();
+                (
+                    Some(s.bytes_resident()),
+                    stats.lint_millis,
+                    stats.lint_incremental_hits,
+                )
+            }
+            None => (None, 0.0, 0),
+        };
         o.boolean("loaded", resident.is_some());
         o.number("residentBytes", resident.unwrap_or(0) as f64);
+        o.number("lintMillis", lint_millis);
+        o.number("lintIncrementalHits", lint_hits as f64);
         o.number(
             "maxResidentBytes",
             self.shared.config.max_resident_bytes as f64,
@@ -815,6 +844,27 @@ impl Daemon {
         }
     }
 
+    /// Serialize a slice of lint findings as a JSON array.
+    fn findings_json(findings: &[dplint::LintFinding]) -> String {
+        let items: Vec<String> = findings.iter().map(|f| f.to_json()).collect();
+        format!("[{}]", items.join(","))
+    }
+
+    fn handle_lint(&self) -> String {
+        // `Session::lint` is `&mut` (it accounts lint time into the
+        // session's telemetry), so this takes the write lock like
+        // `delta` does.
+        let mut guard = write_lock(&self.shared.session);
+        let Some(session) = guard.as_mut() else {
+            return error_envelope("no dataplane loaded (send 'load' first)");
+        };
+        let outcome = session.lint();
+        let mut o = JsonObject::new();
+        o.raw("report", &outcome.report.to_json());
+        o.raw("stats", &outcome.stats.to_json());
+        envelope("lint-report", &o.finish())
+    }
+
     fn handle_delta(&self, request: &Value) -> String {
         let Some(spec) = request.get("delta") else {
             return error_envelope("delta needs an object 'delta'");
@@ -852,6 +902,27 @@ impl Daemon {
                 // ignore its broken pipe here.
                 let _ = writeln!(w, "{update}");
                 let _ = w.flush();
+            }
+        }
+        // The lint report is session-global, so a changed report (or a
+        // delta-native finding) is pushed to *every* subscriber — not
+        // just those whose verification answer changed.
+        if let Some(lint) = &report.lint {
+            if lint.changed() > 0 || !lint.delta_findings.is_empty() {
+                let mut o = JsonObject::new();
+                o.string("delta", delta.kind());
+                o.raw("added", &Self::findings_json(&lint.added));
+                o.raw("removed", &Self::findings_json(&lint.removed));
+                o.raw("deltaFindings", &Self::findings_json(&lint.delta_findings));
+                o.number("lintInvalidated", lint.invalidated as f64);
+                o.number("lintRetained", lint.retained as f64);
+                let update = envelope("lint-update", &o.finish());
+                let subscribers = lock(&self.shared.subscribers);
+                for sub in subscribers.iter() {
+                    let mut w = lock(&sub.peer);
+                    let _ = writeln!(w, "{update}");
+                    let _ = w.flush();
+                }
             }
         }
         let mut o = JsonObject::new();
@@ -1341,6 +1412,106 @@ mod tests {
             strip_stats(&answer_after),
             "replayed session answers identically to the pre-crash one"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lint_verb_answers_the_resident_report() {
+        let d = demo_daemon();
+        let v = parse_json(&d.handle(r#"{"verb":"lint"}"#, &sink())).unwrap();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("lint-report"));
+        let p = v.get("payload").unwrap();
+        // The paper network lints clean, and the report was primed at
+        // load — this call is a cache hit, not a cold lint.
+        assert_eq!(
+            p.get("report").and_then(|r| r.get("findings")),
+            Some(&Value::Array(Vec::new()))
+        );
+        assert!(p
+            .get("stats")
+            .and_then(|st| st.get("lintMillis"))
+            .and_then(Value::as_f64)
+            .is_some());
+        let health = parse_json(&d.handle(r#"{"verb":"health"}"#, &sink())).unwrap();
+        assert!(health
+            .get("payload")
+            .and_then(|h| h.get("lintIncrementalHits"))
+            .and_then(Value::as_f64)
+            .is_some());
+    }
+
+    /// A delta that rewrites `s10` traffic at v1 to an out-label v3 has
+    /// no rule for: a manufactured blackhole, observable as both a
+    /// changed report (DP010 added) and a delta-native DP016 finding.
+    const BLACKHOLE_DELTA: &str = concat!(
+        r#"{"verb":"delta","delta":{"kind":"add-rule","inLink":2,"label":"s10","#,
+        r#""priority":1,"out":3,"ops":[{"swap":"s20"}]}}"#
+    );
+
+    #[test]
+    fn delta_pushes_lint_update_to_every_subscriber() {
+        let d = demo_daemon();
+        let capture = Capture::default();
+        let peer = peer_of(capture.clone());
+        assert_eq!(
+            kind_of(&d.handle(
+                r#"{"verb":"subscribe","query":"<ip> [.#v0] .* [v3#.] <ip> 0"}"#,
+                &peer,
+            )),
+            "subscribed"
+        );
+        assert_eq!(kind_of(&d.handle(BLACKHOLE_DELTA, &sink())), "delta-report");
+        let pushed = capture.text();
+        let lint_update = pushed
+            .lines()
+            .map(|l| parse_json(l).unwrap())
+            .find(|v| v.get("kind").and_then(Value::as_str) == Some("lint-update"))
+            .expect("subscriber received a lint-update push");
+        let p = lint_update.get("payload").unwrap();
+        let added = match p.get("added") {
+            Some(Value::Array(items)) => items,
+            other => panic!("added is {other:?}"),
+        };
+        assert!(!added.is_empty());
+        let delta_findings = p.get("deltaFindings").unwrap().to_json();
+        assert!(delta_findings.contains("DP016"), "{delta_findings}");
+        assert!(p.get("lintInvalidated").and_then(Value::as_f64).is_some());
+        assert!(p.get("lintRetained").and_then(Value::as_f64).is_some());
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_lint_state() {
+        let path = std::env::temp_dir().join(format!(
+            "aalwinesd-libtest-lint-journal-{}.ndjson",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let report_before;
+        {
+            let d = Daemon::with_journal(DaemonConfig::default(), &path).unwrap();
+            assert_eq!(
+                kind_of(&d.handle(r#"{"verb":"load","demo":true}"#, &sink())),
+                "loaded"
+            );
+            assert_eq!(kind_of(&d.handle(BLACKHOLE_DELTA, &sink())), "delta-report");
+            report_before = d.handle(r#"{"verb":"lint"}"#, &sink());
+        }
+        let d = Daemon::with_journal(DaemonConfig::default(), &path).unwrap();
+        let report_after = d.handle(r#"{"verb":"lint"}"#, &sink());
+        // The resident report is a pure function of the current network
+        // (and watched queries), so replaying the journal rebuilds it
+        // exactly; only the timing/hit stats differ.
+        let report_of = |envelope: &str| {
+            parse_json(envelope)
+                .unwrap()
+                .get("payload")
+                .and_then(|p| p.get("report"))
+                .cloned()
+                .unwrap()
+        };
+        let before = report_of(&report_before);
+        assert_eq!(before, report_of(&report_after));
+        assert!(before.to_json().contains("DP010"), "{}", before.to_json());
         let _ = std::fs::remove_file(&path);
     }
 

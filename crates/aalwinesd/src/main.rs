@@ -297,8 +297,9 @@ impl SmokeClient {
     }
 
     /// Send one request and expect the response envelope kind,
-    /// returning its payload. Unsolicited `update` pushes that arrive
-    /// first are collected into `updates`.
+    /// returning its payload. Unsolicited `update` / `lint-update`
+    /// pushes that arrive first are collected into `updates` as whole
+    /// envelopes (so callers can tell the two kinds apart).
     fn roundtrip(
         &mut self,
         request: &str,
@@ -317,8 +318,8 @@ impl SmokeClient {
                 .unwrap_or_default()
                 .to_string();
             let payload = envelope.get("payload").cloned().unwrap_or(Value::Null);
-            if kind == "update" {
-                updates.push(payload);
+            if kind == "update" || kind == "lint-update" {
+                updates.push(envelope);
                 continue;
             }
             if kind != want_kind {
@@ -342,8 +343,8 @@ fn strip_stats(mut payload: Value) -> Value {
 }
 
 /// Self-contained end-to-end exercise over a real Unix socket: load →
-/// query → subscribe → delta (with changed-answer push) → stats →
-/// shutdown. Used by CI as the daemon smoke job.
+/// query → lint → subscribe → delta (with changed-answer push) →
+/// stats → shutdown. Used by CI as the daemon smoke job.
 fn smoke() -> Result<(), String> {
     let path = std::env::temp_dir().join(format!("aalwinesd-smoke-{}.sock", std::process::id()));
     let daemon = Daemon::new(DaemonConfig {
@@ -396,6 +397,27 @@ fn smoke() -> Result<(), String> {
     if health.get("loaded") != Some(&Value::Bool(true)) {
         return Err(format!("health says unloaded: {}", health.to_json()));
     }
+    if health
+        .get("lintIncrementalHits")
+        .and_then(Value::as_f64)
+        .is_none()
+    {
+        return Err(format!("health lacks lint counters: {}", health.to_json()));
+    }
+
+    // The resident lint report is primed at load; the paper network is
+    // clean, so the report must exist and hold zero findings.
+    let lint = b.roundtrip(r#"{"verb":"lint"}"#, "lint-report", &mut updates)?;
+    let clean = matches!(
+        lint.get("report").and_then(|r| r.get("findings")),
+        Some(Value::Array(items)) if items.is_empty()
+    );
+    if !clean {
+        return Err(format!(
+            "demo dataplane should lint clean: {}",
+            lint.to_json()
+        ));
+    }
 
     a.roundtrip(
         &format!(r#"{{"verb":"subscribe","query":"{q}"}}"#),
@@ -424,7 +446,13 @@ fn smoke() -> Result<(), String> {
             break;
         }
     }
-    if updates.is_empty() {
+    let kind_count = |k: &str| {
+        updates
+            .iter()
+            .filter(|u| u.get("kind").and_then(Value::as_str) == Some(k))
+            .count()
+    };
+    if kind_count("update") == 0 {
         return Err("no update push received after deltas".to_string());
     }
 

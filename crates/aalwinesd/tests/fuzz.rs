@@ -288,3 +288,135 @@ fn interleaved_partial_writes_from_two_clients_stay_isolated() {
     assert_alive(&path);
     graceful_shutdown(&path, server);
 }
+
+#[test]
+fn lint_requests_with_seeded_garbage_payloads_never_kill_the_daemon() {
+    let (_d, path, server) = start("lint-garbage", DaemonConfig::default());
+    let mut rng = DetRng::seed_from_u64(0x11A7);
+    for round in 0..6 {
+        let stream = UnixStream::connect(&path).expect("connect");
+        let mut w = stream.try_clone().expect("clone");
+        let mut sent = 0usize;
+        for _ in 0..rng.gen_range(2usize..6) {
+            // A lint request mangled at random: extra junk fields, junk
+            // appended after the object, or the verb buried in noise.
+            let mutation = rng.gen_range(0..4usize);
+            let line = match mutation {
+                0 => r#"{"verb":"lint"}"#.to_string(),
+                1 => format!(r#"{{"verb":"lint","junk":{}}}"#, rng.gen_range(0..1000u64)),
+                2 => {
+                    let mut tail = String::new();
+                    for _ in 0..rng.gen_range(1usize..40) {
+                        let b = rng.gen_range(33u64..126) as u8 as char;
+                        tail.push(if b == '\n' { ' ' } else { b });
+                    }
+                    format!(r#"{{"verb":"lint"}}{tail}"#)
+                }
+                _ => format!(r#"{{"lint":"verb","x":{}}}"#, rng.gen_range(0..100u64)),
+            };
+            w.write_all(line.as_bytes()).expect("send");
+            w.write_all(b"\n").expect("newline");
+            sent += 1;
+        }
+        w.flush().expect("flush");
+        stream.shutdown(Shutdown::Write).expect("half-close");
+        let kinds = drain_envelopes(stream);
+        assert_eq!(kinds.len(), sent, "round {round}: one response per line");
+        assert!(
+            kinds.iter().all(|k| k == "lint-report" || k == "error"),
+            "round {round}: {kinds:?}"
+        );
+    }
+    assert_alive(&path);
+    graceful_shutdown(&path, server);
+}
+
+#[test]
+fn lint_on_an_empty_session_answers_a_structured_error() {
+    // No preload: the daemon has no dataplane, so `lint` must answer a
+    // structured error (not a panic, not a hang) and keep serving.
+    let path = socket_path("lint-empty");
+    let daemon = Daemon::new(DaemonConfig::default());
+    let server = {
+        let daemon = daemon.clone();
+        let path = path.clone();
+        std::thread::spawn(move || daemon.serve(&path).expect("serve"))
+    };
+    for _ in 0..400 {
+        if path.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let stream = UnixStream::connect(&path).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    writeln!(w, r#"{{"verb":"lint"}}"#).expect("send");
+    writeln!(w, r#"{{"verb":"lint"}}"#).expect("send again");
+    w.flush().expect("flush");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let kinds = drain_envelopes(stream);
+    assert_eq!(kinds, vec!["error", "error"]);
+    // Loading over the same daemon then linting works.
+    let stream = UnixStream::connect(&path).expect("reconnect");
+    let mut w = stream.try_clone().expect("clone");
+    writeln!(w, r#"{{"verb":"load","demo":true}}"#).expect("send load");
+    writeln!(w, r#"{{"verb":"lint"}}"#).expect("send lint");
+    w.flush().expect("flush");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    assert_eq!(drain_envelopes(stream), vec!["loaded", "lint-report"]);
+    graceful_shutdown(&path, server);
+}
+
+#[test]
+fn lint_interleaved_with_deltas_from_a_second_client_stays_consistent() {
+    let (_d, path, server) = start("lint-interleave", DaemonConfig::default());
+    let a = UnixStream::connect(&path).expect("connect a");
+    let b = UnixStream::connect(&path).expect("connect b");
+    let mut wa = a.try_clone().expect("clone a");
+    let mut wb = b.try_clone().expect("clone b");
+    let mut ra = BufReader::new(a.try_clone().expect("clone"));
+    let mut rb = BufReader::new(b.try_clone().expect("clone"));
+
+    let recv = |r: &mut BufReader<UnixStream>| -> String {
+        let mut line = String::new();
+        r.read_line(&mut line).expect("recv");
+        let envelope = parse_json(line.trim_end()).expect("envelope");
+        assert_eq!(
+            envelope.get("schemaVersion").and_then(Value::as_f64),
+            Some(1.0),
+            "unversioned: {line}"
+        );
+        envelope
+            .get("kind")
+            .and_then(Value::as_str)
+            .expect("kind")
+            .to_string()
+    };
+
+    let mut rng = DetRng::seed_from_u64(0xD317);
+    for _ in 0..16 {
+        // Client B mutates (sometimes nonsensically), client A lints
+        // right behind it. Both connections must see only well-formed
+        // envelopes of the expected kinds, in request order.
+        let link = rng.gen_range(0u64..12); // some indices out of range
+        let kind = if rng.gen_bool(0.5) {
+            "link-down"
+        } else {
+            "link-up"
+        };
+        writeln!(
+            wb,
+            r#"{{"verb":"delta","delta":{{"kind":"{kind}","link":{link}}}}}"#
+        )
+        .expect("send delta");
+        wb.flush().expect("flush b");
+        let kb = recv(&mut rb);
+        assert!(kb == "delta-report" || kb == "error", "{kb}");
+
+        writeln!(wa, r#"{{"verb":"lint"}}"#).expect("send lint");
+        wa.flush().expect("flush a");
+        assert_eq!(recv(&mut ra), "lint-report");
+    }
+    assert_alive(&path);
+    graceful_shutdown(&path, server);
+}

@@ -153,14 +153,18 @@ fn interpret(net: &Network, key: LabelId, ops: &[Op]) -> AbsResult {
 
 /// Per-network context shared by the analyses: range checks and
 /// pre-computed key/router indexes.
-struct Ctx<'a> {
-    net: &'a Network,
-    n_links: usize,
+///
+/// `pub(crate)` so [`crate::incremental`] can run the *same* per-key
+/// analysis functions against the same context — byte-identity of the
+/// incremental report rests on sharing this code, not mirroring it.
+pub(crate) struct Ctx<'a> {
+    pub(crate) net: &'a Network,
+    pub(crate) n_links: usize,
     n_labels: usize,
     /// All routing keys, sorted by `(link, label)` index for
     /// deterministic reports.
-    keys: Vec<(LinkId, LabelId)>,
-    key_set: HashSet<(LinkId, LabelId)>,
+    pub(crate) keys: Vec<(LinkId, LabelId)>,
+    pub(crate) key_set: HashSet<(LinkId, LabelId)>,
     /// Whether a router has at least one (in-range) routing key — i.e.
     /// participates in MPLS forwarding. Routers without any rules are
     /// treated as egress points of the MPLS domain (the paper's
@@ -169,7 +173,7 @@ struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
-    fn new(net: &'a Network) -> Self {
+    pub(crate) fn new(net: &'a Network) -> Self {
         let n_links = net.topology.num_links() as usize;
         let n_labels = net.labels.len();
         let mut keys: Vec<_> = net.routing_keys().collect();
@@ -202,7 +206,12 @@ impl<'a> Ctx<'a> {
     /// Whether the rule is fully in-range and adjacent — i.e. passes
     /// the well-formedness mirror. Flow analyses skip anything else to
     /// avoid cascading findings off already-reported corruption.
-    fn entry_sane(&self, in_link: LinkId, label: LabelId, entry: &netmodel::RoutingEntry) -> bool {
+    pub(crate) fn entry_sane(
+        &self,
+        in_link: LinkId,
+        label: LabelId,
+        entry: &netmodel::RoutingEntry,
+    ) -> bool {
         self.link_ok(in_link)
             && self.label_ok(label)
             && self.link_ok(entry.out)
@@ -213,7 +222,7 @@ impl<'a> Ctx<'a> {
             })
     }
 
-    fn key_loc(&self, in_link: LinkId, label: LabelId) -> String {
+    pub(crate) fn key_loc(&self, in_link: LinkId, label: LabelId) -> String {
         let link = if self.link_ok(in_link) {
             self.net.topology.link_name(in_link)
         } else {
@@ -229,7 +238,7 @@ impl<'a> Ctx<'a> {
 }
 
 /// Mirror [`Network::validate`]'s typed issues under stable lint codes.
-fn well_formedness(ctx: &Ctx, report: &mut LintReport) {
+pub(crate) fn well_formedness(ctx: &Ctx, report: &mut LintReport) {
     for issue in ctx.net.validate() {
         let rule = match issue.kind {
             netmodel::IssueKind::UnknownLabel => LintRule::UnknownLabel,
@@ -244,97 +253,120 @@ fn well_formedness(ctx: &Ctx, report: &mut LintReport) {
     }
 }
 
+/// Blackholes (`DP010`) and partition violations (`DP013`) for one
+/// routing key — one abstract pass per rule entry. Shared verbatim by
+/// the cold pass ([`flow_checks`]) and [`crate::incremental`], which
+/// caches the returned findings per key.
+pub(crate) fn flow_key(ctx: &Ctx, in_link: LinkId, label: LabelId) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for (gi, group) in ctx.net.groups(in_link, label).iter().enumerate() {
+        for entry in group {
+            if !ctx.entry_sane(in_link, label, entry) {
+                continue;
+            }
+            let loc = format!("rule {} prio {}", ctx.key_loc(in_link, label), gi + 1);
+            let result = interpret(ctx.net, label, &entry.ops);
+            for (severity, message) in result.violations {
+                let mut finding =
+                    LintFinding::new(LintRule::PartitionViolation, loc.clone(), message);
+                finding.severity = severity;
+                findings.push(finding);
+            }
+            let Some(out_top) = result.out_top else {
+                continue;
+            };
+            if ctx.net.labels.kind(out_top) == LabelKind::Ip {
+                // Bare IP headers leave the MPLS lint's scope (IP
+                // routing may deliver them anywhere).
+                continue;
+            }
+            let downstream = ctx.net.topology.dst(entry.out);
+            if ctx.router_has_rules[downstream.index()]
+                && !ctx.key_set.contains(&(entry.out, out_top))
+            {
+                findings.push(LintFinding::new(
+                    LintRule::Blackhole,
+                    loc,
+                    format!(
+                        "forwards label {} over {} but {} has no rule for it",
+                        ctx.net.labels.name(out_top),
+                        ctx.net.topology.link_name(entry.out),
+                        ctx.net.topology.router(downstream).name
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
 /// Blackholes (`DP010`) and partition violations (`DP013`), one
 /// abstract pass per rule entry.
 fn flow_checks(ctx: &Ctx, report: &mut LintReport) {
     for &(in_link, label) in &ctx.keys {
-        for (gi, group) in ctx.net.groups(in_link, label).iter().enumerate() {
-            for entry in group {
-                if !ctx.entry_sane(in_link, label, entry) {
-                    continue;
-                }
-                let loc = format!("rule {} prio {}", ctx.key_loc(in_link, label), gi + 1);
-                let result = interpret(ctx.net, label, &entry.ops);
-                for (severity, message) in result.violations {
-                    let mut finding =
-                        LintFinding::new(LintRule::PartitionViolation, loc.clone(), message);
-                    finding.severity = severity;
-                    report.push(finding);
-                }
-                let Some(out_top) = result.out_top else {
-                    continue;
-                };
-                if ctx.net.labels.kind(out_top) == LabelKind::Ip {
-                    // Bare IP headers leave the MPLS lint's scope (IP
-                    // routing may deliver them anywhere).
-                    continue;
-                }
-                let downstream = ctx.net.topology.dst(entry.out);
-                if ctx.router_has_rules[downstream.index()]
-                    && !ctx.key_set.contains(&(entry.out, out_top))
-                {
-                    report.push(LintFinding::new(
-                        LintRule::Blackhole,
-                        loc,
-                        format!(
-                            "forwards label {} over {} but {} has no rule for it",
-                            ctx.net.labels.name(out_top),
-                            ctx.net.topology.link_name(entry.out),
-                            ctx.net.topology.router(downstream).name
-                        ),
-                    ));
-                }
-            }
+        for finding in flow_key(ctx, in_link, label) {
+            report.push(finding);
         }
     }
+}
+
+/// Shadowed rules (`DP011`) and shared-fate protection (`DP014`) for
+/// one routing key, under TE-group priority dominance. Shared verbatim
+/// by [`priority_checks`] and [`crate::incremental`].
+pub(crate) fn prio_key(ctx: &Ctx, in_link: LinkId, label: LabelId) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    let groups = ctx.net.groups(in_link, label);
+    let non_empty = groups.iter().filter(|g| !g.is_empty()).count();
+
+    // Shared fate: ≥ 2 priority levels that all forward over one
+    // single link — protection that one failure defeats.
+    let outs: HashSet<LinkId> = groups
+        .iter()
+        .flatten()
+        .map(|e| e.out)
+        .filter(|&o| ctx.link_ok(o))
+        .collect();
+    if non_empty >= 2 && outs.len() == 1 {
+        let out = *outs.iter().next().unwrap_or(&LinkId(0));
+        findings.push(LintFinding::new(
+            LintRule::SharedFate,
+            format!("rule {}", ctx.key_loc(in_link, label)),
+            format!(
+                "all {non_empty} priority levels forward over {}; one failure defeats the protection",
+                ctx.net.topology.link_name(out)
+            ),
+        ));
+        // The backups are also shadowed by definition; the
+        // shared-fate finding subsumes those, so skip DP011 here.
+        return findings;
+    }
+
+    let mut earlier: HashSet<LinkId> = HashSet::new();
+    for (gi, group) in groups.iter().enumerate() {
+        for entry in group {
+            if gi > 0 && ctx.link_ok(entry.out) && earlier.contains(&entry.out) {
+                findings.push(LintFinding::new(
+                    LintRule::ShadowedRule,
+                    format!("rule {} prio {}", ctx.key_loc(in_link, label), gi + 1),
+                    format!(
+                        "forwards over {} which a higher-priority group already uses; \
+                         this group is only consulted once that link failed",
+                        ctx.net.topology.link_name(entry.out)
+                    ),
+                ));
+            }
+        }
+        earlier.extend(group.iter().map(|e| e.out).filter(|&o| ctx.link_ok(o)));
+    }
+    findings
 }
 
 /// Shadowed rules (`DP011`) and shared-fate protection (`DP014`) under
 /// TE-group priority dominance.
 fn priority_checks(ctx: &Ctx, report: &mut LintReport) {
     for &(in_link, label) in &ctx.keys {
-        let groups = ctx.net.groups(in_link, label);
-        let non_empty = groups.iter().filter(|g| !g.is_empty()).count();
-
-        // Shared fate: ≥ 2 priority levels that all forward over one
-        // single link — protection that one failure defeats.
-        let outs: HashSet<LinkId> = groups
-            .iter()
-            .flatten()
-            .map(|e| e.out)
-            .filter(|&o| ctx.link_ok(o))
-            .collect();
-        if non_empty >= 2 && outs.len() == 1 {
-            let out = *outs.iter().next().unwrap_or(&LinkId(0));
-            report.push(LintFinding::new(
-                LintRule::SharedFate,
-                format!("rule {}", ctx.key_loc(in_link, label)),
-                format!(
-                    "all {non_empty} priority levels forward over {}; one failure defeats the protection",
-                    ctx.net.topology.link_name(out)
-                ),
-            ));
-            // The backups are also shadowed by definition; the
-            // shared-fate finding subsumes those, so skip DP011 here.
-            continue;
-        }
-
-        let mut earlier: HashSet<LinkId> = HashSet::new();
-        for (gi, group) in groups.iter().enumerate() {
-            for entry in group {
-                if gi > 0 && ctx.link_ok(entry.out) && earlier.contains(&entry.out) {
-                    report.push(LintFinding::new(
-                        LintRule::ShadowedRule,
-                        format!("rule {} prio {}", ctx.key_loc(in_link, label), gi + 1),
-                        format!(
-                            "forwards over {} which a higher-priority group already uses; \
-                             this group is only consulted once that link failed",
-                            ctx.net.topology.link_name(entry.out)
-                        ),
-                    ));
-                }
-            }
-            earlier.extend(group.iter().map(|e| e.out).filter(|&o| ctx.link_ok(o)));
+        for finding in prio_key(ctx, in_link, label) {
+            report.push(finding);
         }
     }
 }
@@ -350,26 +382,48 @@ fn loop_check(ctx: &Ctx, report: &mut LintReport) {
         ctx.keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); ctx.keys.len()];
     for (i, &(in_link, label)) in ctx.keys.iter().enumerate() {
-        let Some(first) = ctx
-            .net
-            .groups(in_link, label)
-            .iter()
-            .find(|g| !g.is_empty())
-        else {
-            continue;
-        };
-        for entry in first {
-            if !ctx.entry_sane(in_link, label, entry) {
-                continue;
-            }
-            if let Some(out_top) = interpret(ctx.net, label, &entry.ops).out_top {
-                if let Some(&j) = index_of.get(&(entry.out, out_top)) {
-                    adj[i].push(j);
-                }
+        for (out, out_top) in loop_edges_key(ctx, in_link, label) {
+            if let Some(&j) = index_of.get(&(out, out_top)) {
+                adj[i].push(j);
             }
         }
     }
+    loop_findings_from_adj(ctx, &adj, report);
+}
 
+/// Raw loop-graph successors of one routing key: `(out_link, out_top)`
+/// of every sane entry of the highest-priority non-empty group whose
+/// out-label is statically known — *without* the key-set membership
+/// filter. The filter (drop targets that are not current routing keys)
+/// is applied at assembly time against the current key index, so
+/// [`crate::incremental`] can cache these raw pairs per key and still
+/// match the cold pass exactly after the key set shifts under deltas.
+pub(crate) fn loop_edges_key(ctx: &Ctx, in_link: LinkId, label: LabelId) -> Vec<(LinkId, LabelId)> {
+    let mut edges = Vec::new();
+    let Some(first) = ctx
+        .net
+        .groups(in_link, label)
+        .iter()
+        .find(|g| !g.is_empty())
+    else {
+        return edges;
+    };
+    for entry in first {
+        if !ctx.entry_sane(in_link, label, entry) {
+            continue;
+        }
+        if let Some(out_top) = interpret(ctx.net, label, &entry.ops).out_top {
+            edges.push((entry.out, out_top));
+        }
+    }
+    edges
+}
+
+/// The global half of the loop pass: Tarjan SCC over the assembled
+/// key-index adjacency, reporting every non-trivial component as a
+/// `DP012`. Shared verbatim by [`loop_check`] and
+/// [`crate::incremental`].
+pub(crate) fn loop_findings_from_adj(ctx: &Ctx, adj: &[Vec<usize>], report: &mut LintReport) {
     // Iterative Tarjan SCC (the keys of big tables overflow a recursive
     // walk).
     let n = ctx.keys.len();

@@ -53,18 +53,31 @@
 //! final-automaton accepts the empty language (`QL003`) — the same
 //! emptiness check the engine's quick-decide pre-pass uses to answer
 //! vacuous queries without building a pushdown system.
+//!
+//! ## Incremental re-linting
+//!
+//! [`incremental::LintState`] keeps the per-key analysis artifacts
+//! resident behind link-granular footprints, so a dataplane delta
+//! re-lints only the keys it can affect while staying byte-identical
+//! to a cold [`lint_network`] run (see the module docs for the
+//! footprint model). It also powers three delta-native lints batch
+//! analysis cannot express: `DP016` (delta-induced blackhole), `DP017`
+//! (stale-restore shadow), and `QL004` (watched query start-dead after
+//! a delta).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod dataplane;
+pub mod incremental;
 mod querylint;
 mod report;
 
 pub use dataplane::lint_network;
+pub use incremental::{LintDelta, LintDeltaOutcome, LintState, RestoredRule};
 pub use querylint::{lint_queries, lint_query};
-pub use report::{LintFinding, LintReport, LintRule};
+pub use report::{registry_markdown, LintFinding, LintReport, LintRule, RegistryEntry, REGISTRY};
 
 pub use netmodel::Severity;
 

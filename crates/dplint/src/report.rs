@@ -1,6 +1,6 @@
 //! Typed lint findings and the report container.
 
-use aalwines::telemetry::JsonObject;
+use formats::json::JsonObject;
 use netmodel::Severity;
 use std::fmt;
 
@@ -42,9 +42,43 @@ pub enum LintRule {
     /// `QL003` — a query automaton accepts the empty language, so the
     /// query is vacuously unsatisfiable.
     VacuousQuery,
+    /// `DP016` — a dataplane delta turned a previously clean out-label
+    /// into a blackhole (delta-native: only the incremental analyzer
+    /// can tell a pre-existing blackhole from one a delta introduced).
+    DeltaBlackhole,
+    /// `DP017` — a `LinkUp` restored stashed rules that are now
+    /// shadowed by higher-priority rules added while the link was down.
+    StaleRestoreShadow,
+    /// `QL004` — a watched query that previously could start a trace
+    /// became dead after a delta: every accepted path needs a
+    /// forwarding step, and no first-edge link has any routing key
+    /// left.
+    DeadAfterDelta,
 }
 
 impl LintRule {
+    /// Every rule, in code order. Keep in sync with the enum (the
+    /// `code` match below is exhaustive, so adding a variant forces an
+    /// edit here too; the registry self-test then asserts agreement).
+    pub const ALL: &'static [LintRule] = &[
+        LintRule::UnknownLabel,
+        LintRule::LinkOutOfRange,
+        LintRule::NonAdjacentRule,
+        LintRule::EmptyGroup,
+        LintRule::Blackhole,
+        LintRule::ShadowedRule,
+        LintRule::ForwardingLoop,
+        LintRule::PartitionViolation,
+        LintRule::SharedFate,
+        LintRule::EmptyTable,
+        LintRule::DeltaBlackhole,
+        LintRule::StaleRestoreShadow,
+        LintRule::EmptyLabelAtom,
+        LintRule::EmptyLinkAtom,
+        LintRule::VacuousQuery,
+        LintRule::DeadAfterDelta,
+    ];
+
     /// The stable code (`DP010`, `QL003`, …) used in reports and CI
     /// baselines.
     pub fn code(self) -> &'static str {
@@ -62,6 +96,9 @@ impl LintRule {
             LintRule::EmptyLabelAtom => "QL001",
             LintRule::EmptyLinkAtom => "QL002",
             LintRule::VacuousQuery => "QL003",
+            LintRule::DeltaBlackhole => "DP016",
+            LintRule::StaleRestoreShadow => "DP017",
+            LintRule::DeadAfterDelta => "QL004",
         }
     }
 
@@ -81,6 +118,9 @@ impl LintRule {
             LintRule::EmptyLabelAtom => "empty-label-atom",
             LintRule::EmptyLinkAtom => "empty-link-atom",
             LintRule::VacuousQuery => "vacuous-query",
+            LintRule::DeltaBlackhole => "delta-blackhole",
+            LintRule::StaleRestoreShadow => "stale-restore-shadow",
+            LintRule::DeadAfterDelta => "dead-after-delta",
         }
     }
 
@@ -92,16 +132,159 @@ impl LintRule {
             | LintRule::NonAdjacentRule
             | LintRule::Blackhole
             | LintRule::ForwardingLoop
-            | LintRule::PartitionViolation => Severity::Error,
+            | LintRule::PartitionViolation
+            | LintRule::DeltaBlackhole => Severity::Error,
             LintRule::EmptyGroup
             | LintRule::ShadowedRule
             | LintRule::SharedFate
             | LintRule::EmptyTable
             | LintRule::EmptyLabelAtom
             | LintRule::EmptyLinkAtom
-            | LintRule::VacuousQuery => Severity::Warning,
+            | LintRule::VacuousQuery
+            | LintRule::StaleRestoreShadow
+            | LintRule::DeadAfterDelta => Severity::Warning,
         }
     }
+}
+
+/// One row of the lint-code registry: the rule, its stable code and
+/// severity, and the PR that introduced it.
+#[derive(Clone, Copy, Debug)]
+pub struct RegistryEntry {
+    /// The rule.
+    pub rule: LintRule,
+    /// Its stable code (must equal [`LintRule::code`]).
+    pub code: &'static str,
+    /// Its default severity (must equal [`LintRule::severity`]).
+    pub severity: Severity,
+    /// The PR that introduced the rule (provenance for the docs).
+    pub since_pr: u32,
+}
+
+/// The registry of every lint rule ever shipped: one `{code, severity,
+/// since-PR}` row per [`LintRule`] constructor. The self-test in this
+/// module asserts it is complete and consistent with
+/// [`LintRule::code`]/[`LintRule::severity`], and the README lint-code
+/// table is generated from it (see [`registry_markdown`]), so codes and
+/// severities can never silently drift.
+pub const REGISTRY: &[RegistryEntry] = &[
+    RegistryEntry {
+        rule: LintRule::UnknownLabel,
+        code: "DP001",
+        severity: Severity::Error,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::LinkOutOfRange,
+        code: "DP002",
+        severity: Severity::Error,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::NonAdjacentRule,
+        code: "DP003",
+        severity: Severity::Error,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::EmptyGroup,
+        code: "DP004",
+        severity: Severity::Warning,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::Blackhole,
+        code: "DP010",
+        severity: Severity::Error,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::ShadowedRule,
+        code: "DP011",
+        severity: Severity::Warning,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::ForwardingLoop,
+        code: "DP012",
+        severity: Severity::Error,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::PartitionViolation,
+        code: "DP013",
+        severity: Severity::Error,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::SharedFate,
+        code: "DP014",
+        severity: Severity::Warning,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::EmptyTable,
+        code: "DP015",
+        severity: Severity::Warning,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::DeltaBlackhole,
+        code: "DP016",
+        severity: Severity::Error,
+        since_pr: 8,
+    },
+    RegistryEntry {
+        rule: LintRule::StaleRestoreShadow,
+        code: "DP017",
+        severity: Severity::Warning,
+        since_pr: 8,
+    },
+    RegistryEntry {
+        rule: LintRule::EmptyLabelAtom,
+        code: "QL001",
+        severity: Severity::Warning,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::EmptyLinkAtom,
+        code: "QL002",
+        severity: Severity::Warning,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::VacuousQuery,
+        code: "QL003",
+        severity: Severity::Warning,
+        since_pr: 3,
+    },
+    RegistryEntry {
+        rule: LintRule::DeadAfterDelta,
+        code: "QL004",
+        severity: Severity::Warning,
+        since_pr: 8,
+    },
+];
+
+/// Render the registry as the markdown table embedded in the README
+/// ("generated from the registry": the docs test asserts the README
+/// contains exactly this text).
+pub fn registry_markdown() -> String {
+    let mut out = String::from("| Code | Name | Severity | Since |\n|---|---|---|---|\n");
+    for e in REGISTRY {
+        let sev = match e.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} | PR {} |\n",
+            e.code,
+            e.rule.name(),
+            sev,
+            e.since_pr
+        ));
+    }
+    out
 }
 
 /// One finding: which rule fired, how serious it is, where, and why.
@@ -130,6 +313,27 @@ impl LintFinding {
             location: location.into(),
             explanation: explanation.into(),
         }
+    }
+}
+
+impl LintFinding {
+    /// Serialize this one finding as a JSON object (the element shape
+    /// of [`LintReport::to_json`]'s `findings` array, also used by the
+    /// daemon's `lint-update` pushes).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.string("code", self.rule.code());
+        o.string("rule", self.rule.name());
+        o.string(
+            "severity",
+            match self.severity {
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            },
+        );
+        o.string("location", &self.location);
+        o.string("explanation", &self.explanation);
+        o.finish()
     }
 }
 
@@ -236,19 +440,7 @@ impl LintReport {
             if i > 0 {
                 arr.push(',');
             }
-            let mut o = JsonObject::new();
-            o.string("code", f.rule.code());
-            o.string("rule", f.rule.name());
-            o.string(
-                "severity",
-                match f.severity {
-                    Severity::Warning => "warning",
-                    Severity::Error => "error",
-                },
-            );
-            o.string("location", &f.location);
-            o.string("explanation", &f.explanation);
-            arr.push_str(&o.finish());
+            arr.push_str(&f.to_json());
         }
         arr.push(']');
         let mut o = JsonObject::new();
@@ -278,29 +470,52 @@ mod tests {
     use super::*;
 
     #[test]
-    fn codes_names_and_severities_are_stable() {
-        let rules = [
-            (LintRule::UnknownLabel, "DP001", Severity::Error),
-            (LintRule::LinkOutOfRange, "DP002", Severity::Error),
-            (LintRule::NonAdjacentRule, "DP003", Severity::Error),
-            (LintRule::EmptyGroup, "DP004", Severity::Warning),
-            (LintRule::Blackhole, "DP010", Severity::Error),
-            (LintRule::ShadowedRule, "DP011", Severity::Warning),
-            (LintRule::ForwardingLoop, "DP012", Severity::Error),
-            (LintRule::PartitionViolation, "DP013", Severity::Error),
-            (LintRule::SharedFate, "DP014", Severity::Warning),
-            (LintRule::EmptyTable, "DP015", Severity::Warning),
-            (LintRule::EmptyLabelAtom, "QL001", Severity::Warning),
-            (LintRule::EmptyLinkAtom, "QL002", Severity::Warning),
-            (LintRule::VacuousQuery, "QL003", Severity::Warning),
-        ];
-        let mut seen = std::collections::HashSet::new();
-        for (rule, code, sev) in rules {
-            assert_eq!(rule.code(), code);
-            assert_eq!(rule.severity(), sev);
-            assert!(seen.insert(code), "duplicate code {code}");
-            assert!(!rule.name().is_empty());
+    fn registry_covers_every_rule_and_never_drifts() {
+        // One registry row per rule, no more, no less.
+        assert_eq!(REGISTRY.len(), LintRule::ALL.len());
+        let mut seen_rules = std::collections::HashSet::new();
+        let mut seen_codes = std::collections::HashSet::new();
+        for e in REGISTRY {
+            // The registry row must agree with the constructors in
+            // dataplane.rs/querylint.rs (which call `LintFinding::new`,
+            // which uses `LintRule::severity`).
+            assert_eq!(e.rule.code(), e.code, "code drift for {:?}", e.rule);
+            assert_eq!(
+                e.rule.severity(),
+                e.severity,
+                "severity drift for {}",
+                e.code
+            );
+            assert!(!e.rule.name().is_empty());
+            assert!(e.since_pr >= 3, "dplint itself shipped in PR 3");
+            assert!(seen_rules.insert(e.rule), "duplicate rule {:?}", e.rule);
+            assert!(seen_codes.insert(e.code), "duplicate code {}", e.code);
         }
+        for rule in LintRule::ALL {
+            assert!(seen_rules.contains(rule), "{rule:?} missing from REGISTRY");
+        }
+        // Codes are unique and the table renders one row per rule.
+        let md = registry_markdown();
+        assert_eq!(md.lines().count(), REGISTRY.len() + 2);
+        for e in REGISTRY {
+            assert!(md.contains(&format!("| `{}` |", e.code)));
+        }
+    }
+
+    #[test]
+    fn codes_names_and_severities_are_stable() {
+        // Spot-check the stable codes the golden files and CI baselines
+        // rely on (full coverage lives in the registry self-test).
+        assert_eq!(LintRule::UnknownLabel.code(), "DP001");
+        assert_eq!(LintRule::Blackhole.code(), "DP010");
+        assert_eq!(LintRule::EmptyTable.code(), "DP015");
+        assert_eq!(LintRule::DeltaBlackhole.code(), "DP016");
+        assert_eq!(LintRule::StaleRestoreShadow.code(), "DP017");
+        assert_eq!(LintRule::VacuousQuery.code(), "QL003");
+        assert_eq!(LintRule::DeadAfterDelta.code(), "QL004");
+        assert_eq!(LintRule::DeltaBlackhole.severity(), Severity::Error);
+        assert_eq!(LintRule::StaleRestoreShadow.severity(), Severity::Warning);
+        assert_eq!(LintRule::DeadAfterDelta.severity(), Severity::Warning);
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! The README's lint-code table is generated from `dplint::REGISTRY`;
+//! this test fails whenever a rule is added or changed without
+//! regenerating the table (run `dplint::registry_markdown()` and paste
+//! its output between the README's `registry-table` markers).
+
+#[test]
+fn readme_registry_table_matches_the_generated_one() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+        .expect("workspace README");
+    let begin = readme
+        .find("<!-- registry-table:begin")
+        .expect("README lacks the registry-table:begin marker");
+    let end = readme
+        .find("<!-- registry-table:end -->")
+        .expect("README lacks the registry-table:end marker");
+    let section = &readme[begin..end];
+    // The marker line itself ends at the first newline; everything
+    // between it and the end marker must be exactly the generated
+    // table.
+    let table = section
+        .split_once('\n')
+        .map(|(_, rest)| rest)
+        .unwrap_or_default();
+    assert_eq!(
+        table,
+        dplint::registry_markdown(),
+        "README registry table is stale; regenerate it from dplint::registry_markdown()"
+    );
+}

@@ -1,8 +1,10 @@
-//! A minimal JSON parser/writer for the location-mapping file
-//! (objects, arrays, strings, numbers, booleans, null).
+//! A minimal JSON parser/writer (objects, arrays, strings, numbers,
+//! booleans, null), plus the incremental [`JsonObject`] writer shared
+//! by every serde-free telemetry emitter in the workspace.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -301,9 +303,122 @@ pub fn parse(doc: &str) -> Result<Value, JsonError> {
     Ok(v)
 }
 
+/// Escape a string for inclusion in a JSON document (quotes included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a JSON number: integers without a fraction, non-finite values
+/// as `null` (JSON has no NaN/Infinity).
+pub fn json_number(x: f64) -> String {
+    if !x.is_finite() {
+        "null".to_string()
+    } else if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{:.3}", x)
+    }
+}
+
+/// An incremental writer for one flat JSON object. Keys are emitted in
+/// insertion order; values are numbers, strings, nulls, or raw
+/// pre-serialized JSON fragments (for nesting).
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&json_escape(k));
+        self.buf.push(':');
+    }
+
+    /// Add a numeric field.
+    pub fn number(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.buf.push_str(&json_number(v));
+    }
+
+    /// Add a string field.
+    pub fn string(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push_str(&json_escape(v));
+    }
+
+    /// Add a boolean field.
+    pub fn boolean(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Add a `null` field.
+    pub fn null(&mut self, k: &str) {
+        self.key(k);
+        self.buf.push_str("null");
+    }
+
+    /// Add a field whose value is already-serialized JSON.
+    pub fn raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push_str(v);
+    }
+
+    /// Close the object and return the JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_object_builds_flat_objects() {
+        let mut o = JsonObject::new();
+        o.number("a", 1.0);
+        o.string("b", "x\"y");
+        o.boolean("c", true);
+        o.null("d");
+        o.raw("e", "[1,2]");
+        assert_eq!(
+            o.finish(),
+            r#"{"a":1,"b":"x\"y","c":true,"d":null,"e":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn json_numbers_are_valid_json() {
+        assert_eq!(json_number(3.0), "3");
+        assert_eq!(json_number(0.125), "0.125");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
 
     #[test]
     fn parses_location_shape() {
