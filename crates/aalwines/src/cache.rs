@@ -197,6 +197,28 @@ impl ConstructionCache {
         A: Send + Sync + 'static,
         F: FnOnce() -> (A, Option<Footprint>, usize),
     {
+        match self
+            .try_get_or_build_tracked(fingerprint, || Ok::<_, std::convert::Infallible>(build()))
+        {
+            Ok(out) => out,
+            Err(never) => match never {},
+        }
+    }
+
+    /// Like [`ConstructionCache::get_or_build_tracked`], but `build` may
+    /// fail (e.g. a budgeted construction hitting its deadline): on
+    /// `Err` nothing is inserted and the error is returned — the cache
+    /// never holds a partial artifact, and a later retry of the same
+    /// fingerprint rebuilds from scratch.
+    pub fn try_get_or_build_tracked<A, F, E>(
+        &self,
+        fingerprint: &str,
+        build: F,
+    ) -> Result<(Arc<A>, bool), E>
+    where
+        A: Send + Sync + 'static,
+        F: FnOnce() -> Result<(A, Option<Footprint>, usize), E>,
+    {
         let key = (fingerprint.to_string(), TypeId::of::<A>());
         {
             let mut inner = self.lock();
@@ -205,13 +227,13 @@ impl ConstructionCache {
             if let Some(slot) = inner.map.get_mut(&key) {
                 slot.last_used = tick;
                 if let Ok(v) = slot.value.clone().downcast::<A>() {
-                    return (v, true);
+                    return Ok((v, true));
                 }
                 // TypeId is part of the key, so a failed downcast is
                 // unreachable; fall through to a rebuild defensively.
             }
         }
-        let (value, footprint, bytes) = build();
+        let (value, footprint, bytes) = build()?;
         let value = Arc::new(value);
         let mut inner = self.lock();
         inner.tick += 1;
@@ -243,7 +265,7 @@ impl ConstructionCache {
                 None => break,
             }
         }
-        (value, false)
+        Ok((value, false))
     }
 
     /// Drop exactly the artifacts whose footprint intersects `touched`

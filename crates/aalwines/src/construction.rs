@@ -37,6 +37,7 @@
 
 use crate::quantities::StepMeasure;
 use netmodel::{LabelId, LabelKind, LinkId, Network, Op};
+use pdaal::budget::{AbortReason, Budget};
 use pdaal::{PAutomaton, Pds, RuleOp, StateId, SymbolId, TLabel, Weight};
 use query::{CompiledQuery, LinkNfa};
 use std::collections::HashMap;
@@ -447,6 +448,27 @@ pub fn build_with<W: Weight>(
     mode: ApproxMode,
     weigh: &dyn Fn(&StepMeasure) -> W,
 ) -> Construction<W> {
+    match build_with_budget(pre, cq, mode, weigh, &Budget::unlimited()) {
+        Ok(cons) => cons,
+        Err(reason) => unreachable!("unlimited budget aborted construction: {reason:?}"),
+    }
+}
+
+/// Like [`build_with`], but polls `budget` once per worklist state so a
+/// deadline or cancellation aborts mid-construction instead of after it.
+///
+/// The construction's own work is never counted against a transition
+/// budget (the polls pass `0` transitions); only the wall clock and
+/// cancellation tokens can abort here, so an unlimited budget makes this
+/// infallible and [`build_with`] relies on that.
+pub fn build_with_budget<W: Weight>(
+    pre: &NetworkPrecomp,
+    cq: &CompiledQuery,
+    mode: ApproxMode,
+    weigh: &dyn Fn(&StepMeasure) -> W,
+    budget: &Budget,
+) -> Result<Construction<W>, AbortReason> {
+    let mut checker = budget.checker();
     let n_symbols = pre.num_symbols();
     let k = cq.max_failures;
     let path: &LinkNfa = &cq.path;
@@ -497,6 +519,7 @@ pub fn build_with<W: Weight>(
     }
 
     while let Some(state) = worklist.pop() {
+        checker.tick(0)?;
         let StateMeta::Real {
             link: e,
             qb,
@@ -598,12 +621,12 @@ pub fn build_with<W: Weight>(
         }
     }
 
-    Construction {
+    Ok(Construction {
         pds,
         initial,
         finals,
         meta,
-    }
+    })
 }
 
 /// Cheap syntactic pre-check that an op sequence can be defined on *some*

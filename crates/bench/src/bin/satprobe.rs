@@ -1,0 +1,176 @@
+//! Internal parallel-saturation probe used while tuning (kept out of the docs).
+use pdaal::budget::Budget;
+use pdaal::poststar::post_star_with_stats;
+use pdaal::prestar::pre_star_with_stats;
+use pdaal::{
+    post_star_threaded, pre_star_threaded, AutState, MinTotal, PAutomaton, Pds, RuleOp, StateId,
+    SymbolId,
+};
+use std::time::Instant;
+
+fn wide_pds(states: u32, syms: u32, fanout: u32) -> Pds<MinTotal> {
+    let mut pds = Pds::new(states, syms);
+    let mut tag = 0;
+    for p in 0..states {
+        for g in 0..syms {
+            for k in 0..fanout {
+                let q = (p + g + 1 + k * 7) % states;
+                match (p + g + k) % 3 {
+                    0 => pds.add_rule(
+                        StateId(p),
+                        SymbolId(g),
+                        StateId(q),
+                        RuleOp::Pop,
+                        MinTotal(1 + g as u64),
+                        tag,
+                    ),
+                    1 => pds.add_rule(
+                        StateId(p),
+                        SymbolId(g),
+                        StateId(q),
+                        RuleOp::Swap(SymbolId((g + 1 + k) % syms)),
+                        MinTotal(2 + k as u64),
+                        tag,
+                    ),
+                    _ => pds.add_rule(
+                        StateId(p),
+                        SymbolId(g),
+                        StateId(q),
+                        RuleOp::Push(SymbolId((g + 2 + k) % syms), SymbolId(g)),
+                        MinTotal(3),
+                        tag,
+                    ),
+                };
+                tag += 1;
+            }
+        }
+    }
+    pds
+}
+
+/// Layered (acyclic) wide PDS: rules only move forward one layer, so
+/// saturation is linear in the rule count instead of blowing up near
+/// the random-PDS density cliff.
+fn layered_pds(states: u32, syms: u32, fanout: u32) -> Pds<MinTotal> {
+    let mut pds = Pds::new(states, syms);
+    let mut tag = 0;
+    for p in 0..states - 1 {
+        for g in 0..syms {
+            for k in 0..fanout {
+                let q = p + 1;
+                match (p + g + k) % 3 {
+                    0 => pds.add_rule(
+                        StateId(p),
+                        SymbolId(g),
+                        StateId(q),
+                        RuleOp::Pop,
+                        MinTotal(1 + g as u64),
+                        tag,
+                    ),
+                    1 => pds.add_rule(
+                        StateId(p),
+                        SymbolId(g),
+                        StateId(q),
+                        RuleOp::Swap(SymbolId((g + 1 + k) % syms)),
+                        MinTotal(2 + k as u64),
+                        tag,
+                    ),
+                    _ => pds.add_rule(
+                        StateId(p),
+                        SymbolId(g),
+                        StateId(q),
+                        RuleOp::Push(SymbolId((g + 2 + k) % syms), SymbolId(g)),
+                        MinTotal(3),
+                        tag,
+                    ),
+                };
+                tag += 1;
+            }
+        }
+    }
+    pds
+}
+
+fn init_config(pds: &Pds<MinTotal>, len: usize, width: u32) -> PAutomaton<MinTotal> {
+    let mut a = PAutomaton::new(pds);
+    let mut prev = AutState(0);
+    for i in 0..len {
+        let next = a.add_state();
+        if i == 0 {
+            // A wide first position seeds many (state, symbol) heads at
+            // once, so the frontier is wide from round one.
+            let step = (pds.num_symbols() / width.max(1)).max(1);
+            for g in (0..pds.num_symbols()).step_by(step as usize) {
+                a.add_edge(prev, SymbolId(g), next, MinTotal(0));
+            }
+        } else {
+            a.add_edge(
+                prev,
+                SymbolId(i as u32 % pds.num_symbols()),
+                next,
+                MinTotal(0),
+            );
+        }
+        prev = next;
+    }
+    a.set_final(prev);
+    a
+}
+
+fn main() {
+    let args: Vec<u32> = std::env::args()
+        .skip(1)
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let (states, syms, fanout) = (args[0], args[1], args[2]);
+    let layered = std::env::args().any(|a| a == "layered");
+    let pds = if layered {
+        layered_pds(states, syms, fanout)
+    } else {
+        wide_pds(states, syms, fanout)
+    };
+    eprintln!("rules = {}", pds.num_rules());
+
+    let init = init_config(&pds, 3, args.get(3).copied().unwrap_or(1));
+    let t = Instant::now();
+    let (seq, stats) = post_star_with_stats(&pds, &init);
+    let seq_t = t.elapsed();
+    eprintln!(
+        "post* seq: {seq_t:?}  transitions={} pops={}",
+        stats.transitions, stats.worklist_pops
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let (par, _) = post_star_threaded(&pds, &init, &Budget::unlimited(), threads).unwrap();
+        let e = t.elapsed();
+        assert_eq!(par.transitions(), seq.transitions());
+        eprintln!(
+            "post* threads={threads}: {e:?}  speedup {:.2}x",
+            seq_t.as_secs_f64() / e.as_secs_f64()
+        );
+    }
+
+    let mut target = PAutomaton::new(&pds);
+    let f = target.add_state();
+    target.set_final(f);
+    for g in 0..8.min(syms) {
+        target.add_edge(AutState(1), SymbolId(g), f, MinTotal(0));
+    }
+    let t = Instant::now();
+    let (seq, stats) = pre_star_with_stats(&pds, &target);
+    let seq_t = t.elapsed();
+    eprintln!(
+        "pre* seq: {seq_t:?}  transitions={} pops={}",
+        stats.transitions, stats.worklist_pops
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        let (par, _) = pre_star_threaded(&pds, &target, &Budget::unlimited(), threads).unwrap();
+        let e = t.elapsed();
+        assert_eq!(par.transitions(), seq.transitions());
+        eprintln!(
+            "pre* threads={threads}: {e:?}  speedup {:.2}x",
+            seq_t.as_secs_f64() / e.as_secs_f64()
+        );
+    }
+}

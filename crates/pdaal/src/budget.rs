@@ -126,7 +126,7 @@ impl fmt::Display for SaturationAbort {
 pub struct Budget {
     deadline: Option<Instant>,
     max_transitions: Option<usize>,
-    cancel: Option<CancelToken>,
+    cancels: Vec<CancelToken>,
 }
 
 impl Budget {
@@ -167,8 +167,11 @@ impl Budget {
     }
 
     /// Stop (with [`AbortReason::Cancelled`]) once `cancel` is cancelled.
+    /// May be called several times; the budget aborts as soon as *any*
+    /// registered token fires (the engine composes a caller-supplied
+    /// token with its own internal phase-cancellation token this way).
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
-        self.cancel = Some(cancel);
+        self.cancels.push(cancel);
         self
     }
 
@@ -184,7 +187,7 @@ impl Budget {
 
     /// True iff no limit of any kind is configured.
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.max_transitions.is_none() && self.cancel.is_none()
+        self.deadline.is_none() && self.max_transitions.is_none() && self.cancels.is_empty()
     }
 
     /// A checker to be ticked inside a worklist loop.
@@ -192,7 +195,7 @@ impl Budget {
         BudgetChecker {
             deadline: self.deadline,
             max_transitions: self.max_transitions,
-            cancel: self.cancel.clone(),
+            cancels: self.cancels.clone(),
             ticks: 0,
         }
     }
@@ -204,7 +207,7 @@ impl Budget {
 pub struct BudgetChecker {
     deadline: Option<Instant>,
     max_transitions: Option<usize>,
-    cancel: Option<CancelToken>,
+    cancels: Vec<CancelToken>,
     ticks: u32,
 }
 
@@ -234,10 +237,8 @@ impl BudgetChecker {
                     return Err(AbortReason::DeadlineExceeded);
                 }
             }
-            if let Some(c) = &self.cancel {
-                if c.is_cancelled() {
-                    return Err(AbortReason::Cancelled);
-                }
+            if self.cancels.iter().any(|c| c.is_cancelled()) {
+                return Err(AbortReason::Cancelled);
             }
         }
         Ok(())

@@ -1,0 +1,1514 @@
+//! Intra-query parallel saturation: speculative planning with a
+//! deterministic, in-order commit.
+//!
+//! The sequential kernels in [`crate::poststar`] / [`crate::prestar`]
+//! process one worklist item at a time; the expensive part of an item is
+//! *reading* — rule-index lookups, filter matching, composition scans over
+//! `out_of` / `eps_into` / head indexes, weight extends, and the hashed
+//! `(from, label, to)` lookups inside `insert_or_combine`. The cheap part
+//! is *writing*: bumping a weight, appending a transition, pushing a
+//! worklist id.
+//!
+//! This module exploits that split. Saturation proceeds in **rounds**:
+//! each round freezes the current worklist as a batch, a crew of worker
+//! threads speculatively *plans* every item of the batch against the
+//! frozen automaton (read-only, shard-affine claiming with work-stealing,
+//! see below), and the coordinator then *commits* the plans serially **in
+//! exact batch order**. A plan records the weight the item was read at
+//! plus a read-guard; at commit time a plan is applied only if its reads
+//! are provably still what the sequential kernel would have read at that
+//! point (the popped weight is unchanged and no earlier commit of the
+//! same round dirtied a guarded state). Invalidated items fall back to
+//! re-processing with the exact sequential loop body. New work discovered
+//! during the commit becomes the next round's batch, preserving FIFO
+//! order.
+//!
+//! Because the commit replays the sequential update sequence — same pops
+//! in the same order, same `insert_or_combine` outcomes, same mid-state
+//! allocation order, same provenance replacement points, same budget tick
+//! sequence — the resulting automaton is **byte-identical** to the
+//! sequential kernels for every thread count, including
+//! [`SaturationStats`] and any witness reconstructed from provenance.
+//! `threads <= 1` short-circuits to the sequential entry points.
+//!
+//! ## Sharded claiming and work-stealing
+//!
+//! The batch is partitioned by source control state (`shard = from-state
+//! mod threads`) so a worker repeatedly touches the same per-state rule
+//! and transition indexes (cache affinity). Claiming within a shard is a
+//! chunked `fetch_add` on the shard's cursor; a worker whose shard runs
+//! dry steals chunks from the other shards round-robin. Termination of a
+//! round is a plain barrier — the mailbox/epoch scheme sketched for a
+//! fully sharded committer is unnecessary here precisely because commits
+//! are centralized (see DESIGN.md "Sharded saturation" for the
+//! trade-off).
+//!
+//! ## Why plans validate cheaply
+//!
+//! Three observations keep guards tiny:
+//!
+//! * post\* items that fire rules read only their own weight — their plans
+//!   need no guard at all;
+//! * ε-composition reads `out_of(q)` for exactly one state `q`, and
+//!   reader items read `eps_into(q)` for one state — one dirty-state
+//!   lookup each;
+//! * pre\* push composition reads head lists of a small, known set of
+//!   states recorded with the plan.
+//!
+//! Dirty sets are epoch-stamped per state and reset by bumping the epoch,
+//! so validation is O(guarded states) with no per-round clearing.
+
+use crate::budget::{Budget, SaturationAbort};
+use crate::fxhash::FxHashMap;
+use crate::pautomaton::{AutState, PAutomaton, Provenance, TLabel, TransId};
+use crate::pds::{Pds, RuleId, RuleOp, StateId, SymbolId};
+use crate::poststar::SaturationStats;
+use crate::prestar::HeadIndex;
+use crate::semiring::Weight;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, RwLock};
+
+/// Items claimed per `fetch_add` on a shard cursor.
+const CHUNK: usize = 16;
+/// Batches smaller than this are committed inline by the coordinator
+/// without waking the crew — the barrier handshake would cost more than
+/// the speculation saves. Correctness is unaffected: the inline path *is*
+/// the sequential loop body.
+const SMALL_BATCH: usize = 128;
+
+/// How a planned update should locate its target transition at commit.
+#[derive(Clone, Copy, Debug)]
+enum Hint {
+    /// `(from, label, to)` was absent at freeze time: insert directly
+    /// unless an earlier commit of this round inserted from the same
+    /// state (then fall back to the full lookup).
+    New,
+    /// `(from, label, to)` existed at freeze time with this id. The
+    /// mapping is append-only, so a direct combine is always valid.
+    Known(TransId),
+    /// No information (recompute/fallback paths): do the full
+    /// `insert_or_combine`.
+    Unknown,
+}
+
+/// What must still be true at commit time for a plan's reads to equal the
+/// sequential kernel's reads (beyond the popped weight, always checked).
+#[derive(Clone, Copy, Debug)]
+enum Guard {
+    /// Plan read nothing but the popped transition.
+    None,
+    /// Plan read the out-transitions (list and weights) of this state.
+    OutClean(AutState),
+    /// Plan read the ε-transitions (list and weights) into this state.
+    EpsClean(AutState),
+    /// Plan read the head lists of the states in
+    /// `PlanOut::guards[start..start + len]`.
+    Many { start: u32, len: u32 },
+    /// The plan's own writes may feed back into its own reads (pre\*
+    /// push rules whose target state also fires rules): always replay
+    /// sequentially.
+    Recompute,
+}
+
+/// One planned update.
+enum Op<W> {
+    /// `insert_or_combine(from, label, to, w, prov)` with a lookup hint.
+    Upd {
+        from: AutState,
+        label: TLabel,
+        to: AutState,
+        w: W,
+        prov: Provenance,
+        hint: Hint,
+    },
+    /// A post\* push rule whose mid-state did not exist at freeze time;
+    /// resolved (and possibly allocated) at commit so mid-state numbering
+    /// matches the sequential kernel.
+    PushNew {
+        rule: RuleId,
+        src: TransId,
+        to: AutState,
+        w: W,
+    },
+}
+
+/// The plan for one batch item.
+struct PlanRec<W> {
+    /// Index of the item within the batch.
+    idx: u32,
+    /// The item's weight at freeze time; commit requires it unchanged.
+    d_read: W,
+    guard: Guard,
+    ops_start: u32,
+    ops_len: u32,
+}
+
+/// Per-thread plan arena, recycled across rounds.
+struct PlanOut<W> {
+    recs: Vec<PlanRec<W>>,
+    ops: Vec<Op<W>>,
+    guards: Vec<AutState>,
+}
+
+impl<W: Weight> PlanOut<W> {
+    fn new() -> Self {
+        PlanOut {
+            recs: Vec::new(),
+            ops: Vec::new(),
+            guards: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.recs.clear();
+        self.ops.clear();
+        self.guards.clear();
+    }
+
+    /// Plan an `insert_or_combine`, resolving the lookup against the
+    /// frozen automaton into a [`Hint`].
+    #[inline]
+    fn push_upd(
+        &mut self,
+        aut: &PAutomaton<W>,
+        from: AutState,
+        label: TLabel,
+        to: AutState,
+        w: W,
+        prov: Provenance,
+    ) {
+        let hint = match aut.find(from, label, to) {
+            Some(t) => Hint::Known(t),
+            None => Hint::New,
+        };
+        self.ops.push(Op::Upd {
+            from,
+            label,
+            to,
+            w,
+            prov,
+            hint,
+        });
+    }
+}
+
+/// An epoch-stamped per-state dirty set: `mark` stamps a state with the
+/// current epoch, `next_epoch` clears the whole set in O(1).
+struct Dirty {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Dirty {
+    fn new() -> Self {
+        Dirty {
+            stamp: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    fn next_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, s: AutState) {
+        let i = s.index();
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+        }
+        self.stamp[i] = self.epoch;
+    }
+
+    #[inline]
+    fn is_dirty(&self, s: AutState) -> bool {
+        self.stamp.get(s.index()).copied() == Some(self.epoch)
+    }
+}
+
+/// Coordinator-side worklist state threaded through commit helpers.
+struct Wl<'a> {
+    /// Work discovered during this round, in discovery order — becomes
+    /// the next round's batch (FIFO-equivalent to the sequential queue).
+    pending: &'a mut Vec<TransId>,
+    on_worklist: &'a mut Vec<bool>,
+    stats: &'a mut SaturationStats,
+    /// States with a transition inserted from them or a weight improved
+    /// on a transition from them, this round.
+    out_dirty: &'a mut Dirty,
+    /// States with an ε-transition into them inserted or improved, this
+    /// round (post\* only).
+    eps_dirty: &'a mut Dirty,
+}
+
+impl Wl<'_> {
+    /// Exactly the worklist-maintenance tail of the sequential `upd!`
+    /// macros: dedup via the on-worklist flag, count avoided re-queues.
+    #[inline]
+    fn enqueue(&mut self, tid: TransId) {
+        let ti = tid.index();
+        if ti >= self.on_worklist.len() {
+            self.on_worklist.resize(ti + 1, false);
+        }
+        if !self.on_worklist[ti] {
+            self.on_worklist[ti] = true;
+            self.pending.push(tid);
+        } else {
+            self.stats.worklist_requeues_avoided += 1;
+        }
+    }
+}
+
+/// A saturation kernel drivable by [`drive`]: read-only speculative
+/// planning plus sequential-equivalent commit/recompute.
+trait Kernel: Send + Sync {
+    /// Weight domain.
+    type W: Weight + Send + Sync;
+    /// Transitions currently materialized (budget tick argument).
+    fn num_transitions(&self) -> usize;
+    /// Shard key of an item: its source state.
+    fn shard_state(&self, tid: TransId) -> AutState;
+    /// Whether `tid` still carries weight `w`.
+    fn weight_is(&self, tid: TransId, w: &Self::W) -> bool;
+    /// Plan one item against the frozen core (read-only).
+    fn plan(&self, tid: TransId, idx: u32, out: &mut PlanOut<Self::W>);
+    /// Apply one validated planned op.
+    fn commit_op(&mut self, op: &Op<Self::W>, wl: &mut Wl<'_>);
+    /// Process one item exactly like the sequential kernel (inline
+    /// rounds and invalidated plans).
+    fn recompute(&mut self, tid: TransId, wl: &mut Wl<'_>);
+}
+
+/// Shard-affine chunked claiming with round-robin stealing: a worker
+/// drains its own shard first, then sweeps the other shards' leftovers.
+fn compute_shards<K: Kernel>(
+    core: &K,
+    batch: &[TransId],
+    shards: &[Vec<u32>],
+    cursors: &[AtomicUsize],
+    me: usize,
+    out: &mut PlanOut<K::W>,
+) {
+    let n = shards.len();
+    for off in 0..n {
+        let s = (me + off) % n;
+        let items = &shards[s];
+        loop {
+            let i = cursors[s].fetch_add(CHUNK, Ordering::Relaxed);
+            if i >= items.len() {
+                break;
+            }
+            let hi = (i + CHUNK).min(items.len());
+            for &idx in &items[i..hi] {
+                core.plan(batch[idx as usize], idx, out);
+            }
+        }
+    }
+}
+
+/// Is this plan's read set provably what the sequential kernel would
+/// read right now?
+#[inline]
+fn plan_valid<K: Kernel>(
+    core: &K,
+    tid: TransId,
+    rec: &PlanRec<K::W>,
+    po: &PlanOut<K::W>,
+    out_dirty: &Dirty,
+    eps_dirty: &Dirty,
+) -> bool {
+    if !core.weight_is(tid, &rec.d_read) {
+        return false;
+    }
+    match rec.guard {
+        Guard::None => true,
+        Guard::OutClean(s) => !out_dirty.is_dirty(s),
+        Guard::EpsClean(s) => !eps_dirty.is_dirty(s),
+        Guard::Many { start, len } => po.guards[start as usize..(start + len) as usize]
+            .iter()
+            .all(|&s| !out_dirty.is_dirty(s)),
+        Guard::Recompute => false,
+    }
+}
+
+/// Run batched speculate-and-commit rounds to fixpoint (or budget
+/// abort). `threads >= 2`; the crew is `threads - 1` workers plus the
+/// coordinator, which also plans during the compute phase.
+fn drive<K: Kernel>(
+    core: K,
+    batch0: Vec<TransId>,
+    on_worklist0: Vec<bool>,
+    budget: &Budget,
+    threads: usize,
+    stats0: SaturationStats,
+) -> Result<(K, SaturationStats), SaturationAbort> {
+    debug_assert!(threads >= 2);
+    let mut checker = budget.checker();
+    let mut stats = stats0;
+    let mut pending: Vec<TransId> = Vec::new();
+    let mut on_worklist = on_worklist0;
+    let mut out_dirty = Dirty::new();
+    let mut eps_dirty = Dirty::new();
+
+    let core_lock = RwLock::new(core);
+    let batch_lock = RwLock::new(batch0);
+    let shards_lock: RwLock<Vec<Vec<u32>>> = RwLock::new(Vec::new());
+    let cursors: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
+    let outs: Vec<Mutex<PlanOut<K::W>>> =
+        (0..threads).map(|_| Mutex::new(PlanOut::new())).collect();
+    let start = Barrier::new(threads);
+    let end = Barrier::new(threads);
+    let done = AtomicBool::new(false);
+
+    let run: Result<(), SaturationAbort> = std::thread::scope(|scope| {
+        for k in 0..threads - 1 {
+            let (core_lock, batch_lock, shards_lock) = (&core_lock, &batch_lock, &shards_lock);
+            let (cursors, outs) = (&cursors[..], &outs[..]);
+            let (start, end, done) = (&start, &end, &done);
+            scope.spawn(move || loop {
+                start.wait();
+                if done.load(Ordering::SeqCst) {
+                    return;
+                }
+                {
+                    let core = core_lock.read().unwrap();
+                    let batch = batch_lock.read().unwrap();
+                    let shards = shards_lock.read().unwrap();
+                    let mut out = outs[k].lock().unwrap();
+                    compute_shards(&*core, &batch, &shards, cursors, k, &mut out);
+                }
+                end.wait();
+            });
+        }
+
+        let res = loop {
+            let blen = batch_lock.read().unwrap().len();
+            if blen == 0 {
+                break Ok(());
+            }
+            let speculate = blen >= SMALL_BATCH;
+            if speculate {
+                {
+                    let core = core_lock.read().unwrap();
+                    let batch = batch_lock.read().unwrap();
+                    let mut shards = shards_lock.write().unwrap();
+                    shards.clear();
+                    shards.resize_with(threads, Vec::new);
+                    for (i, &tid) in batch.iter().enumerate() {
+                        shards[core.shard_state(tid).0 as usize % threads].push(i as u32);
+                    }
+                }
+                for c in &cursors {
+                    c.store(0, Ordering::Relaxed);
+                }
+                for o in &outs {
+                    o.lock().unwrap().clear();
+                }
+                start.wait();
+                {
+                    let core = core_lock.read().unwrap();
+                    let batch = batch_lock.read().unwrap();
+                    let shards = shards_lock.read().unwrap();
+                    let mut out = outs[threads - 1].lock().unwrap();
+                    compute_shards(&*core, &batch, &shards, &cursors, threads - 1, &mut out);
+                }
+                end.wait();
+            }
+
+            // ---- serial in-order commit ----
+            let mut core = core_lock.write().unwrap();
+            let batch = batch_lock.read().unwrap();
+            out_dirty.next_epoch();
+            eps_dirty.next_epoch();
+            let plans: Vec<MutexGuard<'_, PlanOut<K::W>>> = if speculate {
+                outs.iter().map(|m| m.lock().unwrap()).collect()
+            } else {
+                Vec::new()
+            };
+            let mut slots: Vec<(u32, u32)> = Vec::new();
+            if speculate {
+                slots = vec![(u32::MAX, 0); batch.len()];
+                for (tn, po) in plans.iter().enumerate() {
+                    for (ri, rec) in po.recs.iter().enumerate() {
+                        slots[rec.idx as usize] = (tn as u32, ri as u32);
+                    }
+                }
+            }
+            let mut abort = None;
+            for (i, &tid) in batch.iter().enumerate() {
+                on_worklist[tid.index()] = false;
+                stats.worklist_pops += 1;
+                stats.sample_worklist(batch.len() - i - 1 + pending.len(), on_worklist.len());
+                if let Err(reason) = checker.tick(core.num_transitions()) {
+                    abort = Some(reason);
+                    break;
+                }
+                let mut applied = false;
+                if speculate {
+                    let (tn, ri) = slots[i];
+                    if tn != u32::MAX {
+                        let po = &*plans[tn as usize];
+                        let rec = &po.recs[ri as usize];
+                        if plan_valid(&*core, tid, rec, po, &out_dirty, &eps_dirty) {
+                            let mut wl = Wl {
+                                pending: &mut pending,
+                                on_worklist: &mut on_worklist,
+                                stats: &mut stats,
+                                out_dirty: &mut out_dirty,
+                                eps_dirty: &mut eps_dirty,
+                            };
+                            let lo = rec.ops_start as usize;
+                            let hi = lo + rec.ops_len as usize;
+                            for op in &po.ops[lo..hi] {
+                                core.commit_op(op, &mut wl);
+                            }
+                            applied = true;
+                        }
+                    }
+                }
+                if !applied {
+                    let mut wl = Wl {
+                        pending: &mut pending,
+                        on_worklist: &mut on_worklist,
+                        stats: &mut stats,
+                        out_dirty: &mut out_dirty,
+                        eps_dirty: &mut eps_dirty,
+                    };
+                    core.recompute(tid, &mut wl);
+                }
+            }
+            drop(plans);
+            drop(batch);
+            if let Some(reason) = abort {
+                stats.transitions = core.num_transitions();
+                break Err(SaturationAbort { reason, stats });
+            }
+            drop(core);
+            let mut batch = batch_lock.write().unwrap();
+            batch.clear();
+            batch.append(&mut pending);
+        };
+        done.store(true, Ordering::SeqCst);
+        start.wait();
+        res
+    });
+    run?;
+    let core = core_lock.into_inner().unwrap();
+    stats.transitions = core.num_transitions();
+    Ok((core, stats))
+}
+
+// ---------------------------------------------------------------------
+// post*
+// ---------------------------------------------------------------------
+
+struct PostKernel<'a, W: Weight> {
+    pds: &'a Pds<W>,
+    aut: PAutomaton<W>,
+    mid: FxHashMap<u64, AutState>,
+    eps_into: Vec<Vec<TransId>>,
+    succ_scratch: Vec<TransId>,
+    eps_scratch: Vec<TransId>,
+}
+
+impl<W: Weight> PostKernel<'_, W> {
+    fn plan_fire(&self, rid: RuleId, src: TransId, to: AutState, d: &W, out: &mut PlanOut<W>) {
+        let rule = self.pds.rule(rid);
+        let w = rule.weight.extend(d);
+        match rule.op {
+            RuleOp::Pop => out.push_upd(
+                &self.aut,
+                AutState(rule.to.0),
+                TLabel::Eps,
+                to,
+                w,
+                Provenance::Pop {
+                    rule: rid,
+                    from: src,
+                },
+            ),
+            RuleOp::Swap(g2) => out.push_upd(
+                &self.aut,
+                AutState(rule.to.0),
+                TLabel::Sym(g2),
+                to,
+                w,
+                Provenance::Swap {
+                    rule: rid,
+                    from: src,
+                },
+            ),
+            RuleOp::Push(g1, g2) => {
+                let mkey = ((rule.to.0 as u64) << 32) | g1.0 as u64;
+                match self.mid.get(&mkey) {
+                    Some(&m) => {
+                        out.push_upd(
+                            &self.aut,
+                            AutState(rule.to.0),
+                            TLabel::Sym(g1),
+                            m,
+                            W::one(),
+                            Provenance::PushEntry { rule: rid },
+                        );
+                        out.push_upd(
+                            &self.aut,
+                            m,
+                            TLabel::Sym(g2),
+                            to,
+                            w,
+                            Provenance::PushRest {
+                                rule: rid,
+                                from: src,
+                            },
+                        );
+                    }
+                    None => out.ops.push(Op::PushNew {
+                        rule: rid,
+                        src,
+                        to,
+                        w,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// The sequential `upd!` macro with a lookup hint and dirty-set
+    /// maintenance.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_upd(
+        &mut self,
+        from: AutState,
+        label: TLabel,
+        to: AutState,
+        w: W,
+        prov: Provenance,
+        hint: Hint,
+        wl: &mut Wl<'_>,
+    ) {
+        match hint {
+            Hint::Known(tid) => {
+                if self.aut.combine_at(tid, w, prov) {
+                    wl.out_dirty.mark(from);
+                    if !label.reads() {
+                        wl.eps_dirty.mark(to);
+                    }
+                    wl.enqueue(tid);
+                }
+            }
+            Hint::New if !wl.out_dirty.is_dirty(from) => {
+                let tid = self.aut.insert_new_trans(from, label, to, w, prov);
+                wl.out_dirty.mark(from);
+                if !label.reads() {
+                    self.eps_into[to.index()].push(tid);
+                    wl.eps_dirty.mark(to);
+                }
+                wl.enqueue(tid);
+            }
+            _ => {
+                let before = self.aut.transitions().len();
+                let (tid, improved) = self.aut.insert_or_combine(from, label, to, w, prov);
+                if improved {
+                    wl.out_dirty.mark(from);
+                    if !label.reads() {
+                        if self.aut.transitions().len() > before {
+                            self.eps_into[to.index()].push(tid);
+                        }
+                        wl.eps_dirty.mark(to);
+                    }
+                    wl.enqueue(tid);
+                }
+            }
+        }
+    }
+
+    /// Resolve (allocating if needed) the mid-state of a push rule, in
+    /// commit order so numbering matches the sequential kernel.
+    fn resolve_mid(&mut self, to_state: StateId, g1: SymbolId, wl: &mut Wl<'_>) -> AutState {
+        let mkey = ((to_state.0 as u64) << 32) | g1.0 as u64;
+        let m = match self.mid.get(&mkey) {
+            Some(&m) => m,
+            None => {
+                wl.stats.mid_states += 1;
+                let m = self.aut.add_state();
+                self.mid.insert(mkey, m);
+                m
+            }
+        };
+        if m.index() >= self.eps_into.len() {
+            self.eps_into.resize(m.index() + 1, Vec::new());
+        }
+        m
+    }
+
+    /// The sequential `fire!` macro.
+    fn recompute_fire(&mut self, rid: RuleId, src: TransId, to: AutState, d: &W, wl: &mut Wl<'_>) {
+        let pds = self.pds;
+        let rule = pds.rule(rid);
+        let w = rule.weight.extend(d);
+        match rule.op {
+            RuleOp::Pop => self.commit_upd(
+                AutState(rule.to.0),
+                TLabel::Eps,
+                to,
+                w,
+                Provenance::Pop {
+                    rule: rid,
+                    from: src,
+                },
+                Hint::Unknown,
+                wl,
+            ),
+            RuleOp::Swap(g2) => self.commit_upd(
+                AutState(rule.to.0),
+                TLabel::Sym(g2),
+                to,
+                w,
+                Provenance::Swap {
+                    rule: rid,
+                    from: src,
+                },
+                Hint::Unknown,
+                wl,
+            ),
+            RuleOp::Push(g1, g2) => {
+                let m = self.resolve_mid(rule.to, g1, wl);
+                self.commit_upd(
+                    AutState(rule.to.0),
+                    TLabel::Sym(g1),
+                    m,
+                    W::one(),
+                    Provenance::PushEntry { rule: rid },
+                    Hint::Unknown,
+                    wl,
+                );
+                self.commit_upd(
+                    m,
+                    TLabel::Sym(g2),
+                    to,
+                    w,
+                    Provenance::PushRest {
+                        rule: rid,
+                        from: src,
+                    },
+                    Hint::Unknown,
+                    wl,
+                );
+            }
+        }
+    }
+}
+
+impl<W: Weight + Send + Sync> Kernel for PostKernel<'_, W> {
+    type W = W;
+
+    fn num_transitions(&self) -> usize {
+        self.aut.transitions().len()
+    }
+
+    fn shard_state(&self, tid: TransId) -> AutState {
+        self.aut.transition(tid).from
+    }
+
+    fn weight_is(&self, tid: TransId, w: &W) -> bool {
+        self.aut.transition(tid).weight == *w
+    }
+
+    fn plan(&self, tid: TransId, idx: u32, out: &mut PlanOut<W>) {
+        let t = self.aut.transition(tid);
+        let (from, label, to) = (t.from, t.label, t.to);
+        let d = t.weight.clone();
+        let ops_start = out.ops.len() as u32;
+        let guard;
+        match label {
+            TLabel::Eps => {
+                // Reads the out-list (and weights) of `to`; writes go out
+                // of control states, and `to` never is one, so the item
+                // cannot invalidate itself.
+                guard = Guard::OutClean(to);
+                for &t2id in self.aut.out_of(to) {
+                    let t2 = self.aut.transition(t2id);
+                    if !t2.label.reads() {
+                        continue;
+                    }
+                    let w = d.extend(&t2.weight);
+                    out.push_upd(
+                        &self.aut,
+                        from,
+                        t2.label,
+                        t2.to,
+                        w,
+                        Provenance::Combine {
+                            eps: tid,
+                            next: t2id,
+                        },
+                    );
+                }
+            }
+            _ if self.aut.is_pds_state(from) => {
+                // Rule firing reads nothing but the popped weight.
+                guard = Guard::None;
+                let p = StateId(from.0);
+                match label {
+                    TLabel::Sym(g) => {
+                        for &rid in self.pds.rules_for(p, g) {
+                            self.plan_fire(rid, tid, to, &d, out);
+                        }
+                    }
+                    TLabel::Filter(f) => {
+                        for &rid in self.pds.rules_of_state(p) {
+                            if self.aut.filter(f).matches(self.pds.rule(rid).sym) {
+                                self.plan_fire(rid, tid, to, &d, out);
+                            }
+                        }
+                    }
+                    TLabel::Eps => unreachable!("handled above"),
+                }
+            }
+            _ => {
+                // Reads the ε-list into `from`; writes are never ε, so no
+                // self-invalidation here either.
+                guard = Guard::EpsClean(from);
+                for &e in &self.eps_into[from.index()] {
+                    let et = self.aut.transition(e);
+                    let w = et.weight.extend(&d);
+                    out.push_upd(
+                        &self.aut,
+                        et.from,
+                        label,
+                        to,
+                        w,
+                        Provenance::Combine { eps: e, next: tid },
+                    );
+                }
+            }
+        }
+        out.recs.push(PlanRec {
+            idx,
+            d_read: d,
+            guard,
+            ops_start,
+            ops_len: out.ops.len() as u32 - ops_start,
+        });
+    }
+
+    fn commit_op(&mut self, op: &Op<W>, wl: &mut Wl<'_>) {
+        match op {
+            Op::Upd {
+                from,
+                label,
+                to,
+                w,
+                prov,
+                hint,
+            } => self.commit_upd(*from, *label, *to, w.clone(), *prov, *hint, wl),
+            Op::PushNew { rule, src, to, w } => {
+                let r = self.pds.rule(*rule);
+                let RuleOp::Push(g1, g2) = r.op else {
+                    unreachable!("PushNew only planned for push rules")
+                };
+                let rto = r.to;
+                let m = self.resolve_mid(rto, g1, wl);
+                self.commit_upd(
+                    AutState(rto.0),
+                    TLabel::Sym(g1),
+                    m,
+                    W::one(),
+                    Provenance::PushEntry { rule: *rule },
+                    Hint::Unknown,
+                    wl,
+                );
+                self.commit_upd(
+                    m,
+                    TLabel::Sym(g2),
+                    *to,
+                    w.clone(),
+                    Provenance::PushRest {
+                        rule: *rule,
+                        from: *src,
+                    },
+                    Hint::Unknown,
+                    wl,
+                );
+            }
+        }
+    }
+
+    fn recompute(&mut self, tid: TransId, wl: &mut Wl<'_>) {
+        let (from, label, to, d) = {
+            let t = self.aut.transition(tid);
+            (t.from, t.label, t.to, t.weight.clone())
+        };
+        match label {
+            TLabel::Eps => {
+                let mut scratch = std::mem::take(&mut self.succ_scratch);
+                scratch.clear();
+                scratch.extend_from_slice(self.aut.out_of(to));
+                for &t2id in &scratch {
+                    let (l2, to2, d2) = {
+                        let t2 = self.aut.transition(t2id);
+                        (t2.label, t2.to, t2.weight.clone())
+                    };
+                    if !l2.reads() {
+                        continue;
+                    }
+                    let w = d.extend(&d2);
+                    self.commit_upd(
+                        from,
+                        l2,
+                        to2,
+                        w,
+                        Provenance::Combine {
+                            eps: tid,
+                            next: t2id,
+                        },
+                        Hint::Unknown,
+                        wl,
+                    );
+                }
+                self.succ_scratch = scratch;
+            }
+            _ if self.aut.is_pds_state(from) => {
+                let p = StateId(from.0);
+                let pds = self.pds;
+                match label {
+                    TLabel::Sym(g) => {
+                        for &rid in pds.rules_for(p, g) {
+                            self.recompute_fire(rid, tid, to, &d, wl);
+                        }
+                    }
+                    TLabel::Filter(f) => {
+                        for &rid in pds.rules_of_state(p) {
+                            let fires = self.aut.filter(f).matches(pds.rule(rid).sym);
+                            if fires {
+                                self.recompute_fire(rid, tid, to, &d, wl);
+                            }
+                        }
+                    }
+                    TLabel::Eps => unreachable!("handled above"),
+                }
+            }
+            _ => {
+                let mut scratch = std::mem::take(&mut self.eps_scratch);
+                scratch.clear();
+                scratch.extend_from_slice(&self.eps_into[from.index()]);
+                for &e in &scratch {
+                    let (esrc, ew) = {
+                        let et = self.aut.transition(e);
+                        (et.from, et.weight.clone())
+                    };
+                    let w = ew.extend(&d);
+                    self.commit_upd(
+                        esrc,
+                        label,
+                        to,
+                        w,
+                        Provenance::Combine { eps: e, next: tid },
+                        Hint::Unknown,
+                        wl,
+                    );
+                }
+                self.eps_scratch = scratch;
+            }
+        }
+    }
+}
+
+/// As [`post_star_budgeted`](crate::poststar::post_star_budgeted) but
+/// planning worklist items on `threads` threads. The result — automaton
+/// bytes, provenance, and [`SaturationStats`] — is byte-identical to the
+/// sequential kernel for every thread count; `threads <= 1` *is* the
+/// sequential kernel.
+pub fn post_star_threaded<W: Weight + Send + Sync>(
+    pds: &Pds<W>,
+    initial: &PAutomaton<W>,
+    budget: &Budget,
+    threads: usize,
+) -> Result<(PAutomaton<W>, SaturationStats), SaturationAbort> {
+    if threads <= 1 {
+        return crate::poststar::post_star_budgeted(pds, initial, budget);
+    }
+    for t in initial.transitions() {
+        assert!(t.label.reads(), "post*: input automaton must be ε-free");
+        assert!(
+            !initial.is_pds_state(t.to),
+            "post*: input automaton must not have transitions into PDS states"
+        );
+    }
+    let aut = initial.clone();
+    let eps_into = vec![Vec::new(); aut.num_states() as usize];
+    let batch0: Vec<TransId> = (0..aut.transitions().len() as u32).map(TransId).collect();
+    let on_worklist0 = vec![true; aut.transitions().len()];
+    let kernel = PostKernel {
+        pds,
+        aut,
+        mid: FxHashMap::default(),
+        eps_into,
+        succ_scratch: Vec::new(),
+        eps_scratch: Vec::new(),
+    };
+    let (kernel, stats) = drive(
+        kernel,
+        batch0,
+        on_worklist0,
+        budget,
+        threads,
+        SaturationStats::default(),
+    )?;
+    Ok((kernel.aut, stats))
+}
+
+// ---------------------------------------------------------------------
+// pre*
+// ---------------------------------------------------------------------
+
+struct PreKernel<'a, W: Weight> {
+    pds: &'a Pds<W>,
+    aut: PAutomaton<W>,
+    by_head: Vec<HeadIndex>,
+    followers_scratch: Vec<TransId>,
+    firsts_scratch: Vec<TransId>,
+}
+
+impl<W: Weight> PreKernel<'_, W> {
+    /// The sequential pre\* `upd!` macro with a lookup hint and dirty-set
+    /// maintenance.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_upd(
+        &mut self,
+        from: AutState,
+        sym: SymbolId,
+        to: AutState,
+        w: W,
+        prov: Provenance,
+        hint: Hint,
+        wl: &mut Wl<'_>,
+    ) {
+        match hint {
+            Hint::Known(tid) => {
+                if self.aut.combine_at(tid, w, prov) {
+                    wl.out_dirty.mark(from);
+                    wl.enqueue(tid);
+                }
+            }
+            Hint::New if !wl.out_dirty.is_dirty(from) => {
+                let tid = self
+                    .aut
+                    .insert_new_trans(from, TLabel::Sym(sym), to, w, prov);
+                self.by_head[from.index()].push(sym, tid);
+                wl.out_dirty.mark(from);
+                wl.enqueue(tid);
+            }
+            _ => {
+                let before = self.aut.transitions().len();
+                let (tid, improved) =
+                    self.aut
+                        .insert_or_combine(from, TLabel::Sym(sym), to, w, prov);
+                if self.aut.transitions().len() > before {
+                    self.by_head[from.index()].push(sym, tid);
+                }
+                if improved {
+                    wl.out_dirty.mark(from);
+                    wl.enqueue(tid);
+                }
+            }
+        }
+    }
+}
+
+impl<W: Weight + Send + Sync> Kernel for PreKernel<'_, W> {
+    type W = W;
+
+    fn num_transitions(&self) -> usize {
+        self.aut.transitions().len()
+    }
+
+    fn shard_state(&self, tid: TransId) -> AutState {
+        self.aut.transition(tid).from
+    }
+
+    fn weight_is(&self, tid: TransId, w: &W) -> bool {
+        self.aut.transition(tid).weight == *w
+    }
+
+    fn plan(&self, tid: TransId, idx: u32, out: &mut PlanOut<W>) {
+        let t = self.aut.transition(tid);
+        let TLabel::Sym(label) = t.label else {
+            unreachable!("pre* only creates symbol transitions")
+        };
+        let (from, to) = (t.from, t.to);
+        let d = t.weight.clone();
+        let ops_start = out.ops.len() as u32;
+        let guards_start = out.guards.len() as u32;
+        if from.0 < self.pds.num_states() {
+            let p_prime = StateId(from.0);
+            for &rid in self.pds.swap_rules_into(p_prime, label) {
+                let r = self.pds.rule(rid);
+                let w = r.weight.extend(&d);
+                out.push_upd(
+                    &self.aut,
+                    AutState(r.from.0),
+                    TLabel::Sym(r.sym),
+                    to,
+                    w,
+                    Provenance::PreSwap {
+                        rule: rid,
+                        next: tid,
+                    },
+                );
+            }
+            let by_first = self.pds.push_rules_by_first(p_prime, label);
+            if !by_first.is_empty() {
+                out.guards.push(to);
+            }
+            for &rid in by_first {
+                let r = self.pds.rule(rid);
+                let RuleOp::Push(_, g2) = r.op else {
+                    unreachable!()
+                };
+                for &t2 in self.by_head[to.index()].get(g2) {
+                    let tt = self.aut.transition(t2);
+                    let w = r.weight.extend(&d).extend(&tt.weight);
+                    out.push_upd(
+                        &self.aut,
+                        AutState(r.from.0),
+                        TLabel::Sym(r.sym),
+                        tt.to,
+                        w,
+                        Provenance::PrePush {
+                            rule: rid,
+                            next1: tid,
+                            next2: t2,
+                        },
+                    );
+                }
+            }
+        }
+        for &rid in self.pds.push_rules_by_second(label) {
+            let r = self.pds.rule(rid);
+            let RuleOp::Push(g1, _) = r.op else {
+                unreachable!()
+            };
+            out.guards.push(AutState(r.to.0));
+            for &t1 in self.by_head[AutState(r.to.0).index()].get(g1) {
+                let tt = self.aut.transition(t1);
+                if tt.to != from {
+                    continue;
+                }
+                let w = r.weight.extend(&tt.weight).extend(&d);
+                out.push_upd(
+                    &self.aut,
+                    AutState(r.from.0),
+                    TLabel::Sym(r.sym),
+                    to,
+                    w,
+                    Provenance::PrePush {
+                        rule: rid,
+                        next1: t1,
+                        next2: tid,
+                    },
+                );
+            }
+        }
+        let glen = out.guards.len() as u32 - guards_start;
+        let mut guard = if glen == 0 {
+            Guard::None
+        } else {
+            Guard::Many {
+                start: guards_start,
+                len: glen,
+            }
+        };
+        if glen > 0 {
+            // Unlike post*, a pre* item can invalidate its own reads: its
+            // writes go out of rule source states, and push-composition
+            // reads head lists of rule *target* states — which may
+            // coincide. The frozen snapshot cannot see those own writes,
+            // so such items always replay sequentially.
+            let gs = &out.guards[guards_start as usize..];
+            let self_dirty = out.ops[ops_start as usize..].iter().any(|op| match op {
+                Op::Upd { from, .. } => gs.contains(from),
+                Op::PushNew { .. } => false,
+            });
+            if self_dirty {
+                guard = Guard::Recompute;
+            }
+        }
+        out.recs.push(PlanRec {
+            idx,
+            d_read: d,
+            guard,
+            ops_start,
+            ops_len: out.ops.len() as u32 - ops_start,
+        });
+    }
+
+    fn commit_op(&mut self, op: &Op<W>, wl: &mut Wl<'_>) {
+        match op {
+            Op::Upd {
+                from,
+                label,
+                to,
+                w,
+                prov,
+                hint,
+            } => {
+                let TLabel::Sym(sym) = *label else {
+                    unreachable!("pre* plans only symbol transitions")
+                };
+                self.commit_upd(*from, sym, *to, w.clone(), *prov, *hint, wl);
+            }
+            Op::PushNew { .. } => unreachable!("pre* never plans PushNew"),
+        }
+    }
+
+    fn recompute(&mut self, tid: TransId, wl: &mut Wl<'_>) {
+        let (from, label, to, d) = {
+            let t = self.aut.transition(tid);
+            let TLabel::Sym(sym) = t.label else {
+                unreachable!("pre* only creates symbol transitions")
+            };
+            (t.from, sym, t.to, t.weight.clone())
+        };
+        let pds = self.pds;
+        if from.0 < pds.num_states() {
+            let p_prime = StateId(from.0);
+            for &rid in pds.swap_rules_into(p_prime, label) {
+                let r = pds.rule(rid);
+                let w = r.weight.extend(&d);
+                self.commit_upd(
+                    AutState(r.from.0),
+                    r.sym,
+                    to,
+                    w,
+                    Provenance::PreSwap {
+                        rule: rid,
+                        next: tid,
+                    },
+                    Hint::Unknown,
+                    wl,
+                );
+            }
+            for &rid in pds.push_rules_by_first(p_prime, label) {
+                let r = pds.rule(rid);
+                let RuleOp::Push(_, g2) = r.op else {
+                    unreachable!()
+                };
+                let mut followers = std::mem::take(&mut self.followers_scratch);
+                followers.clear();
+                followers.extend_from_slice(self.by_head[to.index()].get(g2));
+                for &t2 in &followers {
+                    let (to2, d2) = {
+                        let tt = self.aut.transition(t2);
+                        (tt.to, tt.weight.clone())
+                    };
+                    let w = r.weight.extend(&d).extend(&d2);
+                    self.commit_upd(
+                        AutState(r.from.0),
+                        r.sym,
+                        to2,
+                        w,
+                        Provenance::PrePush {
+                            rule: rid,
+                            next1: tid,
+                            next2: t2,
+                        },
+                        Hint::Unknown,
+                        wl,
+                    );
+                }
+                self.followers_scratch = followers;
+            }
+        }
+        for &rid in pds.push_rules_by_second(label) {
+            let r = pds.rule(rid);
+            let RuleOp::Push(g1, _) = r.op else {
+                unreachable!()
+            };
+            let mut firsts = std::mem::take(&mut self.firsts_scratch);
+            firsts.clear();
+            firsts.extend_from_slice(self.by_head[AutState(r.to.0).index()].get(g1));
+            for &t1 in &firsts {
+                let (to1, d1) = {
+                    let tt = self.aut.transition(t1);
+                    (tt.to, tt.weight.clone())
+                };
+                if to1 != from {
+                    continue;
+                }
+                let w = r.weight.extend(&d1).extend(&d);
+                self.commit_upd(
+                    AutState(r.from.0),
+                    r.sym,
+                    to,
+                    w,
+                    Provenance::PrePush {
+                        rule: rid,
+                        next1: t1,
+                        next2: tid,
+                    },
+                    Hint::Unknown,
+                    wl,
+                );
+            }
+            self.firsts_scratch = firsts;
+        }
+    }
+}
+
+/// As [`pre_star_budgeted`](crate::prestar::pre_star_budgeted) but
+/// planning worklist items on `threads` threads. Byte-identical to the
+/// sequential kernel for every thread count; `threads <= 1` *is* the
+/// sequential kernel.
+pub fn pre_star_threaded<W: Weight + Send + Sync>(
+    pds: &Pds<W>,
+    target: &PAutomaton<W>,
+    budget: &Budget,
+    threads: usize,
+) -> Result<(PAutomaton<W>, SaturationStats), SaturationAbort> {
+    if threads <= 1 {
+        return crate::prestar::pre_star_budgeted(pds, target, budget);
+    }
+    let mut stats = SaturationStats::default();
+    for t in target.transitions() {
+        assert!(
+            matches!(t.label, TLabel::Sym(_)),
+            "pre*: input automaton must be ε-free and symbol-concrete"
+        );
+        assert!(
+            !target.is_pds_state(t.to),
+            "pre*: input automaton must not have transitions into PDS states"
+        );
+    }
+    let aut = target.clone();
+    let n_states = aut.num_states() as usize;
+    let mut kernel = PreKernel {
+        pds,
+        aut,
+        by_head: vec![HeadIndex::default(); n_states],
+        followers_scratch: Vec::new(),
+        firsts_scratch: Vec::new(),
+    };
+
+    // Seeding, exactly as in the sequential kernel: index and queue the
+    // target transitions, then apply pop rules.
+    let mut pending: Vec<TransId> = Vec::new();
+    let mut on_worklist: Vec<bool> = Vec::new();
+    for i in 0..kernel.aut.transitions().len() {
+        let tid = TransId(i as u32);
+        let (from, sym) = {
+            let t = kernel.aut.transition(tid);
+            let TLabel::Sym(sym) = t.label else {
+                unreachable!("checked above")
+            };
+            (t.from, sym)
+        };
+        kernel.by_head[from.index()].push(sym, tid);
+        pending.push(tid);
+        on_worklist.push(true);
+    }
+    {
+        let mut out_dirty = Dirty::new();
+        let mut eps_dirty = Dirty::new();
+        let mut wl = Wl {
+            pending: &mut pending,
+            on_worklist: &mut on_worklist,
+            stats: &mut stats,
+            out_dirty: &mut out_dirty,
+            eps_dirty: &mut eps_dirty,
+        };
+        for (i, r) in pds.rules().iter().enumerate() {
+            if let RuleOp::Pop = r.op {
+                let rid = RuleId(i as u32);
+                kernel.commit_upd(
+                    AutState(r.from.0),
+                    r.sym,
+                    AutState(r.to.0),
+                    r.weight.clone(),
+                    Provenance::PrePop { rule: rid },
+                    Hint::Unknown,
+                    &mut wl,
+                );
+            }
+        }
+    }
+
+    let (kernel, stats) = drive(kernel, pending, on_worklist, budget, threads, stats)?;
+    Ok((kernel.aut, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pautomaton::PAutomaton;
+    use crate::semiring::{MinTotal, Unweighted};
+
+    fn sym(i: u32) -> SymbolId {
+        SymbolId(i)
+    }
+    fn st(i: u32) -> StateId {
+        StateId(i)
+    }
+
+    fn initial_config<W: Weight>(
+        pds: &Pds<W>,
+        p: StateId,
+        word: &[SymbolId],
+        w: W,
+    ) -> PAutomaton<W> {
+        let mut a = PAutomaton::new(pds);
+        if word.is_empty() {
+            a.set_final(AutState(p.0));
+            return a;
+        }
+        let mut prev = AutState(p.0);
+        for &s in word {
+            let next = a.add_state();
+            a.add_edge(prev, s, next, w.clone());
+            prev = next;
+        }
+        a.set_final(prev);
+        a
+    }
+
+    /// A weighted PDS with several rules per `(state, symbol)` head so
+    /// the post* frontier branches wide enough to exceed `SMALL_BATCH`
+    /// and the speculative path actually runs.
+    fn wide_pds(states: u32, syms: u32) -> Pds<MinTotal> {
+        let mut pds = Pds::new(states, syms);
+        let mut tag = 0;
+        for p in 0..states {
+            for g in 0..syms {
+                for k in 0..3u32 {
+                    let q = (p + g + 1 + k * 7) % states;
+                    let _ = match (p + g + k) % 3 {
+                        0 => pds.add_rule(
+                            st(p),
+                            sym(g),
+                            st(q),
+                            RuleOp::Pop,
+                            MinTotal(1 + (g as u64)),
+                            tag,
+                        ),
+                        1 => pds.add_rule(
+                            st(p),
+                            sym(g),
+                            st(q),
+                            RuleOp::Swap(sym((g + 1 + k) % syms)),
+                            MinTotal(2 + (k as u64)),
+                            tag,
+                        ),
+                        _ => pds.add_rule(
+                            st(p),
+                            sym(g),
+                            st(q),
+                            RuleOp::Push(sym((g + 2 + k) % syms), sym(g)),
+                            MinTotal(3),
+                            tag,
+                        ),
+                    };
+                    tag += 1;
+                }
+            }
+        }
+        pds
+    }
+
+    #[test]
+    fn poststar_threaded_matches_sequential_bytes() {
+        let pds = wide_pds(20, 14);
+        let init = initial_config(&pds, st(0), &[sym(0), sym(1)], MinTotal(0));
+        let (seq, seq_stats) = crate::poststar::post_star_with_stats(&pds, &init);
+        for threads in [2usize, 3, 4, 8] {
+            let (par, par_stats) =
+                post_star_threaded(&pds, &init, &Budget::unlimited(), threads).unwrap();
+            assert_eq!(par.transitions(), seq.transitions(), "threads={threads}");
+            assert_eq!(par.num_states(), seq.num_states());
+            assert_eq!(par_stats.worklist_pops, seq_stats.worklist_pops);
+            assert_eq!(par_stats.mid_states, seq_stats.mid_states);
+            assert_eq!(
+                par_stats.worklist_requeues_avoided,
+                seq_stats.worklist_requeues_avoided
+            );
+            assert_eq!(par_stats.peak_worklist_bytes, seq_stats.peak_worklist_bytes);
+        }
+    }
+
+    #[test]
+    fn prestar_threaded_matches_sequential_bytes() {
+        let pds = wide_pds(20, 14);
+        let mut target = PAutomaton::new(&pds);
+        let f = target.add_state();
+        target.set_final(f);
+        for g in 0..8 {
+            target.add_edge(AutState(1), sym(g), f, MinTotal(0));
+        }
+        let (seq, seq_stats) = crate::prestar::pre_star_with_stats(&pds, &target);
+        for threads in [2usize, 4, 8] {
+            let (par, par_stats) =
+                pre_star_threaded(&pds, &target, &Budget::unlimited(), threads).unwrap();
+            assert_eq!(par.transitions(), seq.transitions(), "threads={threads}");
+            assert_eq!(par_stats.worklist_pops, seq_stats.worklist_pops);
+            assert_eq!(
+                par_stats.worklist_requeues_avoided,
+                seq_stats.worklist_requeues_avoided
+            );
+            assert_eq!(par_stats.peak_worklist_bytes, seq_stats.peak_worklist_bytes);
+        }
+    }
+
+    #[test]
+    fn threaded_poststar_unweighted_small_input() {
+        // Small inputs never reach the speculative path but must still
+        // drive the crew machinery (spawn + immediate shutdown).
+        let mut pds = Pds::<Unweighted>::new(3, 3);
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        pds.add_rule(st(0), a, st(1), RuleOp::Push(b, a), Unweighted, 0);
+        pds.add_rule(st(1), b, st(2), RuleOp::Swap(c), Unweighted, 1);
+        pds.add_rule(st(2), c, st(0), RuleOp::Pop, Unweighted, 2);
+        pds.add_rule(st(0), a, st(0), RuleOp::Pop, Unweighted, 3);
+        let init = initial_config(&pds, st(0), &[a], Unweighted);
+        let (par, _) = post_star_threaded(&pds, &init, &Budget::unlimited(), 4).unwrap();
+        let seq = crate::poststar::post_star(&pds, &init);
+        assert_eq!(par.transitions(), seq.transitions());
+        assert!(par.accepts(st(1), &[b, a]));
+        assert!(par.accepts(st(0), &[]));
+    }
+
+    #[test]
+    fn threaded_poststar_respects_budget_abort() {
+        use crate::budget::AbortReason;
+        let pds = wide_pds(24, 16);
+        let init = initial_config(&pds, st(0), &[sym(0)], MinTotal(0));
+        let err = post_star_threaded(&pds, &init, &Budget::new().with_max_transitions(0), 4)
+            .expect_err("cap of 0 must abort");
+        assert_eq!(err.reason, AbortReason::TransitionBudgetExceeded);
+        // Abort point must match the sequential kernel.
+        let seq_err = crate::poststar::post_star_budgeted(
+            &pds,
+            &init,
+            &Budget::new().with_max_transitions(0),
+        )
+        .expect_err("cap of 0 must abort");
+        assert_eq!(err.stats.worklist_pops, seq_err.stats.worklist_pops);
+    }
+
+    #[test]
+    fn threaded_prestar_respects_cancellation() {
+        use crate::budget::{AbortReason, CancelToken};
+        let pds = wide_pds(8, 4);
+        let mut target = PAutomaton::new(&pds);
+        let f = target.add_state();
+        target.set_final(f);
+        target.add_edge(AutState(0), sym(0), f, MinTotal(0));
+        let token = CancelToken::new();
+        token.cancel();
+        let err = pre_star_threaded(&pds, &target, &Budget::new().with_cancel(token), 2)
+            .expect_err("pre-cancelled");
+        assert_eq!(err.reason, AbortReason::Cancelled);
+    }
+}

@@ -146,7 +146,7 @@ pub enum Provenance {
 }
 
 /// A weighted transition `(from, label, to)`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Transition<W> {
     /// Source state.
     pub from: AutState,
@@ -419,6 +419,52 @@ impl<W: Weight> PAutomaton<W> {
                 (id, true)
             }
         }
+    }
+
+    /// Combine `weight` into the existing transition `id`: the strict-
+    /// improvement half of [`insert_or_combine`](Self::insert_or_combine)
+    /// with the index lookup already done. The parallel committer uses
+    /// this when a speculatively computed plan pins the target id.
+    pub(crate) fn combine_at(&mut self, id: TransId, weight: W, prov: Provenance) -> bool {
+        let t = &mut self.transitions[id.index()];
+        if weight < t.weight {
+            t.weight = weight;
+            t.prov = prov;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert a transition known to be absent: the insertion half of
+    /// [`insert_or_combine`](Self::insert_or_combine) without the lookup.
+    /// Callers must guarantee `(from, label, to)` does not exist yet
+    /// (checked in debug builds).
+    pub(crate) fn insert_new_trans(
+        &mut self,
+        from: AutState,
+        label: TLabel,
+        to: AutState,
+        weight: W,
+        prov: Provenance,
+    ) -> TransId {
+        debug_assert!(from.0 < self.n_states && to.0 < self.n_states);
+        debug_assert!(
+            self.find(from, label, to).is_none(),
+            "insert_new_trans: transition already exists"
+        );
+        let key = pack_key(label, to);
+        let id = TransId(self.transitions.len() as u32);
+        self.transitions.push(Transition {
+            from,
+            label,
+            to,
+            weight,
+            prov,
+        });
+        self.index[from.index()].insert_new(key, id);
+        self.out[from.index()].push(id);
+        id
     }
 
     /// The transition with the given id.

@@ -56,6 +56,24 @@ pub struct SaturationStats {
     /// queued (the on-worklist dedup flag). Each skip is one avoided
     /// future pop with all its rule lookups.
     pub worklist_requeues_avoided: usize,
+    /// Peak bytes of the *logical* worklist: queued transition ids plus
+    /// the on-worklist flag array, sampled at every pop. Defined over
+    /// lengths (not capacities) so the value is identical for every
+    /// thread count and machine — it measures the algorithm's frontier,
+    /// not the allocator.
+    pub peak_worklist_bytes: usize,
+}
+
+impl SaturationStats {
+    /// Fold one pop-time worklist sample (`queued` ids pending, `flags`
+    /// slots in the on-worklist array) into the peak counter.
+    #[inline]
+    pub(crate) fn sample_worklist(&mut self, queued: usize, flags: usize) {
+        let bytes = queued * std::mem::size_of::<TransId>() + flags;
+        if bytes > self.peak_worklist_bytes {
+            self.peak_worklist_bytes = bytes;
+        }
+    }
 }
 
 /// Compute `post*` of the configurations accepted by `initial`.
@@ -202,6 +220,7 @@ pub fn post_star_budgeted<W: Weight>(
     while let Some(tid) = worklist.pop_front() {
         on_worklist[tid.index()] = false;
         stats.worklist_pops += 1;
+        stats.sample_worklist(worklist.len(), on_worklist.len());
         if let Err(reason) = checker.tick(aut.transitions().len()) {
             stats.transitions = aut.transitions().len();
             return Err(SaturationAbort { reason, stats });

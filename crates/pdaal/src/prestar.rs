@@ -28,8 +28,9 @@ use std::collections::VecDeque;
 
 /// A per-state multimap from head symbol to the transitions reading it,
 /// kept sorted by symbol (same layout as the rule indexes of [`Pds`]).
+/// Shared with the parallel committer in [`crate::parallel`].
 #[derive(Clone, Default)]
-struct HeadIndex {
+pub(crate) struct HeadIndex {
     syms: Vec<SymbolId>,
     lists: Vec<Vec<TransId>>,
 }
@@ -38,7 +39,7 @@ const NO_TRANS: &[TransId] = &[];
 
 impl HeadIndex {
     #[inline]
-    fn push(&mut self, g: SymbolId, t: TransId) {
+    pub(crate) fn push(&mut self, g: SymbolId, t: TransId) {
         match self.syms.binary_search(&g) {
             Ok(i) => self.lists[i].push(t),
             Err(i) => {
@@ -49,7 +50,7 @@ impl HeadIndex {
     }
 
     #[inline]
-    fn get(&self, g: SymbolId) -> &[TransId] {
+    pub(crate) fn get(&self, g: SymbolId) -> &[TransId] {
         match self.syms.binary_search(&g) {
             Ok(i) => &self.lists[i],
             Err(_) => NO_TRANS,
@@ -162,6 +163,7 @@ pub fn pre_star_budgeted<W: Weight>(
     while let Some(tid) = worklist.pop_front() {
         on_worklist[tid.index()] = false;
         stats.worklist_pops += 1;
+        stats.sample_worklist(worklist.len(), on_worklist.len());
         if let Err(reason) = checker.tick(aut.transitions().len()) {
             stats.transitions = aut.transitions().len();
             return Err(SaturationAbort { reason, stats });

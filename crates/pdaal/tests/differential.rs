@@ -22,13 +22,15 @@
 //! the campaign size.
 
 use detrand::DetRng;
+use pdaal::budget::Budget;
 use pdaal::poststar::post_star_with_stats;
 use pdaal::prestar::pre_star_with_stats;
 use pdaal::reference::{post_star_ref, pre_star_ref};
 use pdaal::shortest::shortest_accepted;
 use pdaal::witness::{reconstruct_run, reconstruct_run_pre, Run};
 use pdaal::{
-    AutState, MinTotal, PAutomaton, Pds, RuleOp, StackNfa, StateId, SymbolId, TLabel, Weight,
+    post_star_threaded, pre_star_threaded, AutState, MinTotal, PAutomaton, Pds, RuleOp,
+    SaturationStats, StackNfa, StateId, SymbolId, TLabel, Weight,
 };
 
 fn cases(base: u64) -> u64 {
@@ -267,6 +269,70 @@ fn prestar_differential_vs_reference() {
     }
 }
 
+/// Assert every non-timing saturation counter matches between a
+/// threaded run and its sequential twin.
+fn assert_same_stats(par: &SaturationStats, seq: &SaturationStats, what: &str) {
+    assert_eq!(par.transitions, seq.transitions, "{what}: transitions");
+    assert_eq!(par.worklist_pops, seq.worklist_pops, "{what}: pops");
+    assert_eq!(par.mid_states, seq.mid_states, "{what}: mid states");
+    assert_eq!(
+        par.worklist_requeues_avoided, seq.worklist_requeues_avoided,
+        "{what}: requeues avoided"
+    );
+    assert_eq!(
+        par.peak_worklist_bytes, seq.peak_worklist_bytes,
+        "{what}: peak worklist bytes"
+    );
+}
+
+/// Intra-query parallel saturation is **byte-identical** to sequential
+/// on the whole differential corpus: the full transition vector (order,
+/// weights, provenance — not just the canonical set), the state count,
+/// and every non-timing counter must match at every thread count, for
+/// both `post*` and `pre*`, across repeated runs.
+#[test]
+fn threaded_saturation_is_byte_identical_on_corpus() {
+    let budget = Budget::unlimited();
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0001);
+    for case in 0..cases(120) {
+        let (n_states, n_syms) = (4, 4);
+        let pds = gen_pds(&mut rng, n_states, n_syms, 14);
+        let stack = gen_stack(&mut rng, n_syms, 4);
+        let init = single_config(&pds, StateId(0), &stack);
+        let (seq, sstats) = post_star_with_stats(&pds, &init);
+        for threads in [2usize, 4, 8] {
+            for run in 0..2 {
+                let (par, pstats) = post_star_threaded(&pds, &init, &budget, threads)
+                    .expect("unlimited budget cannot abort");
+                let what = format!("post* case {case} threads {threads} run {run}");
+                assert_eq!(par.transitions(), seq.transitions(), "{what}: bytes");
+                assert_eq!(par.num_states(), seq.num_states(), "{what}: states");
+                assert_same_stats(&pstats, &sstats, &what);
+            }
+        }
+    }
+
+    let mut rng = DetRng::seed_from_u64(0xD1FF_0002);
+    for case in 0..cases(120) {
+        let (n_states, n_syms) = (4, 4);
+        let pds = gen_pds(&mut rng, n_states, n_syms, 14);
+        let stack = gen_stack(&mut rng, n_syms, 4);
+        let tstate = StateId(rng.gen_range(0..n_states));
+        let target = single_config(&pds, tstate, &stack);
+        let (seq, sstats) = pre_star_with_stats(&pds, &target);
+        for threads in [2usize, 4, 8] {
+            for run in 0..2 {
+                let (par, pstats) = pre_star_threaded(&pds, &target, &budget, threads)
+                    .expect("unlimited budget cannot abort");
+                let what = format!("pre* case {case} threads {threads} run {run}");
+                assert_eq!(par.transitions(), seq.transitions(), "{what}: bytes");
+                assert_eq!(par.num_states(), seq.num_states(), "{what}: states");
+                assert_same_stats(&pstats, &sstats, &what);
+            }
+        }
+    }
+}
+
 /// The requeues-avoided counter actually fires, and dedup never costs
 /// pops. Purely random rules rarely improve a transition that is still
 /// queued, so each generated rule is doubled with a heavier twin: the
@@ -302,6 +368,16 @@ fn requeues_avoided_fires_and_never_adds_pops() {
         let (refr, rstats) = post_star_ref(&pds, &init);
         let refr = refr.into_pautomaton();
         assert_eq!(canon(&dense), canon(&refr), "case {case}");
+        // The dedup-heavy corpus is exactly where parallel speculation
+        // sees stale weights most often; the committer must still land
+        // byte-identical to sequential.
+        for threads in [2usize, 4] {
+            let (par, pstats) = post_star_threaded(&pds, &init, &Budget::unlimited(), threads)
+                .expect("unlimited budget cannot abort");
+            let what = format!("dedup case {case} threads {threads}");
+            assert_eq!(par.transitions(), dense.transitions(), "{what}: bytes");
+            assert_same_stats(&pstats, &dstats, &what);
+        }
         assert!(
             dstats.worklist_pops <= rstats.worklist_pops,
             "case {case}: dedup increased pops ({} > {})",

@@ -68,10 +68,11 @@ fn deadline_aborts_explosive_query_promptly() {
         bounded.outcome
     );
     assert_eq!(bounded.stats.aborted, Some(AbortReason::DeadlineExceeded));
-    // Abort latency: within 2x the deadline, except that an abort can be
-    // delayed by the one un-instrumented phase (construction/reduction)
-    // straddling it — relevant only in slow unoptimized builds, hence
-    // the alternative bound of half the unbounded runtime.
+    // Abort latency: within 2x the deadline, except that an abort can
+    // be delayed by the one un-instrumented step (a reduction pass —
+    // construction polls its budget per worklist state) straddling it —
+    // relevant only in slow unoptimized builds, hence the alternative
+    // bound of half the unbounded runtime.
     let bound = (2 * deadline).max(unbounded_elapsed / 2);
     assert!(
         elapsed < bound,
