@@ -24,7 +24,7 @@ use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Best-effort extraction of a human-readable panic message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     payload
         .downcast_ref::<&str>()
         .map(|s| s.to_string())
@@ -111,7 +111,7 @@ impl BatchOptions {
     }
 
     /// Why the batch budget is spent right now, if it is.
-    fn exhausted(&self) -> Option<AbortReason> {
+    pub(crate) fn exhausted(&self) -> Option<AbortReason> {
         if let Some(c) = &self.cancel {
             if c.is_cancelled() {
                 return Some(AbortReason::Cancelled);
@@ -126,7 +126,7 @@ impl BatchOptions {
     }
 
     /// Per-query options with the batch budget folded in.
-    fn fold_into(&self, opts: &VerifyOptions) -> VerifyOptions {
+    pub(crate) fn fold_into(&self, opts: &VerifyOptions) -> VerifyOptions {
         let mut opts = opts.clone();
         if let Some(d) = self.deadline {
             opts = opts.with_deadline(d);

@@ -981,7 +981,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: LinkId(0),
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         net.add_rule_unchecked(
@@ -990,7 +990,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: LinkId(9999),
-                ops: vec![Op::Swap(LabelId(9999))],
+                ops: vec![Op::Swap(LabelId(9999))].into(),
             },
         );
         let pre = NetworkPrecomp::new(&net);

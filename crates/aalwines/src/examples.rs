@@ -57,7 +57,10 @@ pub fn paper_network_with_map() -> (Network, PaperNetworkMap) {
     let ip1 = labels.ip("ip1");
 
     let mut net = Network::new(t, labels);
-    let rule = |out: LinkId, ops: Vec<Op>| RoutingEntry { out, ops };
+    let rule = |out: LinkId, ops: Vec<Op>| RoutingEntry {
+        out,
+        ops: ops.into(),
+    };
 
     // v0
     net.add_rule(e0, ip1, 1, rule(e1, vec![Op::Push(s20)]));

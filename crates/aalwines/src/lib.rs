@@ -84,6 +84,7 @@ pub mod lift;
 pub mod moped;
 pub mod quantities;
 pub mod session;
+pub mod stream;
 pub mod telemetry;
 
 pub use batch::BatchOptions;
@@ -99,4 +100,5 @@ pub use moped::MopedEngine;
 pub use pdaal::budget::{AbortReason, Budget, CancelToken};
 pub use quantities::{AtomicQuantity, LinearExpr, WeightSpec, WeightSpecError};
 pub use session::{Backend, Delta, DeltaReport, Session, SessionBuilder, SessionStats};
-pub use telemetry::{BatchSummary, PressureState};
+pub use stream::{StreamEvent, StreamOptions, StreamProgress, StreamSummary};
+pub use telemetry::{BatchSummary, PressureState, SummaryBuilder};

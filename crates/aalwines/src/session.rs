@@ -40,6 +40,7 @@ use crate::cache::{ConstructionCache, Footprint};
 use crate::construction::NetworkPrecomp;
 use crate::engine::{Answer, Engine, EngineStats, Verifier, VerifyOptions};
 use crate::moped::MopedEngine;
+use crate::stream::{run_stream, StreamEvent, StreamOptions, StreamSummary};
 use crate::telemetry::JsonObject;
 use dplint::{LintDelta, LintFinding, LintReport, LintState, RestoredRule};
 use netmodel::{LabelId, LinkId, Network, RoutingEntry};
@@ -610,6 +611,44 @@ impl Session {
         self.with_engine(|e| run_batch(e, queries, &self.opts, &batch))
     }
 
+    /// Stream query texts through parse → verify → emit with bounded
+    /// in-flight memory.
+    ///
+    /// Unlike [`Session::verify_batch`], neither the input nor the
+    /// answers are ever materialized as a whole: at most
+    /// [`StreamOptions::window`] queries are in flight, and each answer
+    /// is handed to `emit` **in input order** as soon as it (and every
+    /// earlier answer) completes. A line that fails to parse produces a
+    /// per-query error answer (flagged `parse_error`) instead of
+    /// aborting the run. When a progress interval is configured,
+    /// [`StreamEvent::Progress`] events are interleaved with live
+    /// throughput, latency-so-far percentiles, and a resident-bytes
+    /// estimate. Uses the session's worker threads, per-query options,
+    /// batch timeout, and cancel token, exactly like `verify_batch`.
+    pub fn verify_stream<I>(
+        &self,
+        lines: I,
+        stream: &StreamOptions,
+        emit: &mut dyn FnMut(StreamEvent<'_>),
+    ) -> StreamSummary
+    where
+        I: Iterator<Item = String> + Send,
+    {
+        let mut batch = BatchOptions::new().with_threads(self.threads);
+        if let Some(timeout) = self.batch_timeout {
+            batch = batch.with_timeout(timeout);
+        }
+        if let Some(cancel) = &self.opts.cancel {
+            batch = batch.with_cancel(cancel.clone());
+        }
+        let bytes = || self.net.bytes_resident() + self.bytes_resident();
+        let summary =
+            self.with_engine(|e| run_stream(e, lines, &self.opts, &batch, stream, &bytes, emit));
+        self.queries
+            .fetch_add(summary.batch.total, Ordering::Relaxed);
+        summary
+    }
+
     /// Register a query for re-verification after every delta. Verifies
     /// it immediately (priming the cache) and returns the watch index
     /// plus the current answer.
@@ -961,7 +1000,7 @@ mod tests {
             priority: 99,
             entry: RoutingEntry {
                 out: LinkId(0),
-                ops: vec![Op::Pop],
+                ops: vec![Op::Pop].into(),
             },
         });
         assert!(!report.applied);
@@ -1059,7 +1098,7 @@ mod tests {
             priority: 1,
             entry: RoutingEntry {
                 out: LinkId(3),
-                ops: vec![Op::Pop, Op::Swap(LabelId(4)), Op::Push(LabelId(5))],
+                ops: vec![Op::Pop, Op::Swap(LabelId(4)), Op::Push(LabelId(5))].into(),
             },
         };
         assert_eq!(

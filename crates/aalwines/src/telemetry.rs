@@ -174,44 +174,83 @@ pub struct BatchSummary {
     pub t_total: Percentiles,
 }
 
+/// Incremental [`BatchSummary`] accumulation: feed answers one at a
+/// time (the streaming driver never materializes the full answer
+/// vector) and [`finish`](SummaryBuilder::finish) when done. Per-answer
+/// state is four `f64` timing samples — the answers themselves,
+/// witness traces included, are dropped after [`add`](SummaryBuilder::add).
+#[derive(Clone, Debug, Default)]
+pub struct SummaryBuilder {
+    summary: BatchSummary,
+    construct: Vec<f64>,
+    reduce: Vec<f64>,
+    solve: Vec<f64>,
+    total: Vec<f64>,
+}
+
+impl SummaryBuilder {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one answer into the summary.
+    pub fn add(&mut self, a: &Answer) {
+        use crate::engine::Outcome;
+        let s = &mut self.summary;
+        s.total += 1;
+        match &a.outcome {
+            Outcome::Satisfied(_) => s.satisfied += 1,
+            Outcome::Unsatisfied => s.unsatisfied += 1,
+            Outcome::Inconclusive => s.inconclusive += 1,
+            Outcome::Aborted(_) => s.aborted += 1,
+            Outcome::Error(_) => s.errors += 1,
+        }
+        s.under_runs += a.stats.under_runs;
+        if a.stats.quick_decided.is_some() {
+            s.quick_decided += 1;
+        }
+        s.cache_hits += a.stats.cache_hits;
+        s.cache_misses += a.stats.cache_misses;
+        s.precomp_millis = s.precomp_millis.max(millis(a.stats.t_precomp));
+        s.validation_issues = s.validation_issues.max(a.stats.validation_issues);
+        self.construct.push(millis(a.stats.t_construct));
+        self.reduce.push(millis(a.stats.t_reduce));
+        self.solve.push(millis(a.stats.t_solve));
+        self.total.push(millis(a.stats.t_total));
+    }
+
+    /// Answers folded in so far.
+    pub fn count(&self) -> usize {
+        self.summary.total
+    }
+
+    /// End-to-end-time percentiles of what has been folded in so far —
+    /// the "p50/p95 so far" of streaming progress telemetry. O(n log n)
+    /// in the answers so far; call it on a time-gated tick, not per
+    /// answer.
+    pub fn total_percentiles_so_far(&self) -> Percentiles {
+        Percentiles::of(&self.total)
+    }
+
+    /// The finished summary.
+    pub fn finish(mut self) -> BatchSummary {
+        self.summary.t_construct = Percentiles::of(&self.construct);
+        self.summary.t_reduce = Percentiles::of(&self.reduce);
+        self.summary.t_solve = Percentiles::of(&self.solve);
+        self.summary.t_total = Percentiles::of(&self.total);
+        self.summary
+    }
+}
+
 impl BatchSummary {
     /// Aggregate a slice of per-query answers.
     pub fn summarize(answers: &[Answer]) -> Self {
-        use crate::engine::Outcome;
-        let mut s = BatchSummary {
-            total: answers.len(),
-            ..BatchSummary::default()
-        };
-        let mut construct = Vec::with_capacity(answers.len());
-        let mut reduce = Vec::with_capacity(answers.len());
-        let mut solve = Vec::with_capacity(answers.len());
-        let mut total = Vec::with_capacity(answers.len());
+        let mut b = SummaryBuilder::new();
         for a in answers {
-            match &a.outcome {
-                Outcome::Satisfied(_) => s.satisfied += 1,
-                Outcome::Unsatisfied => s.unsatisfied += 1,
-                Outcome::Inconclusive => s.inconclusive += 1,
-                Outcome::Aborted(_) => s.aborted += 1,
-                Outcome::Error(_) => s.errors += 1,
-            }
-            s.under_runs += a.stats.under_runs;
-            if a.stats.quick_decided.is_some() {
-                s.quick_decided += 1;
-            }
-            s.cache_hits += a.stats.cache_hits;
-            s.cache_misses += a.stats.cache_misses;
-            s.precomp_millis = s.precomp_millis.max(millis(a.stats.t_precomp));
-            s.validation_issues = s.validation_issues.max(a.stats.validation_issues);
-            construct.push(millis(a.stats.t_construct));
-            reduce.push(millis(a.stats.t_reduce));
-            solve.push(millis(a.stats.t_solve));
-            total.push(millis(a.stats.t_total));
+            b.add(a);
         }
-        s.t_construct = Percentiles::of(&construct);
-        s.t_reduce = Percentiles::of(&reduce);
-        s.t_solve = Percentiles::of(&solve);
-        s.t_total = Percentiles::of(&total);
-        s
+        b.finish()
     }
 
     /// Serialize the bare payload as one JSON object (hand-rolled,

@@ -42,7 +42,7 @@ fn deep_rewrite_network() -> Network {
         1,
         RoutingEntry {
             out: e1,
-            ops: vec![Op::Pop, Op::Swap(s21)],
+            ops: vec![Op::Pop, Op::Swap(s21)].into(),
         },
     );
     // r2 forwards the rewritten service label out.
@@ -52,7 +52,7 @@ fn deep_rewrite_network() -> Network {
         1,
         RoutingEntry {
             out: e2,
-            ops: vec![],
+            ops: vec![].into(),
         },
     );
     // A decoy: had the swap targeted s20 the packet would be dropped.
@@ -62,7 +62,7 @@ fn deep_rewrite_network() -> Network {
         1,
         RoutingEntry {
             out: e2,
-            ops: vec![Op::Pop],
+            ops: vec![Op::Pop].into(),
         },
     );
     net
@@ -145,7 +145,7 @@ fn multi_level_failover_counts_failures() {
             prio,
             RoutingEntry {
                 out,
-                ops: vec![Op::Swap(lab)],
+                ops: vec![Op::Swap(lab)].into(),
             },
         );
     }
@@ -157,7 +157,7 @@ fn multi_level_failover_counts_failures() {
                 1,
                 RoutingEntry {
                     out: e2,
-                    ops: vec![],
+                    ops: vec![].into(),
                 },
             );
         }
@@ -230,14 +230,22 @@ fn distance_weight_uses_link_distances() {
     let ip = labels.ip("ip1");
     let mut net = Network::new(t, labels);
     for out in [short, long] {
-        net.add_rule(e0, ip, 1, RoutingEntry { out, ops: vec![] });
+        net.add_rule(
+            e0,
+            ip,
+            1,
+            RoutingEntry {
+                out,
+                ops: vec![].into(),
+            },
+        );
         net.add_rule(
             out,
             ip,
             1,
             RoutingEntry {
                 out: e2,
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
     }
@@ -276,7 +284,7 @@ fn links_vs_hops_on_self_loops() {
         1,
         RoutingEntry {
             out: loopy,
-            ops: vec![Op::Push(s)],
+            ops: vec![Op::Push(s)].into(),
         },
     );
     net.add_rule(
@@ -285,7 +293,7 @@ fn links_vs_hops_on_self_loops() {
         1,
         RoutingEntry {
             out: e2,
-            ops: vec![Op::Pop],
+            ops: vec![Op::Pop].into(),
         },
     );
     let q = parse_query("<ip> [.#r1] . . <ip> 0").unwrap();

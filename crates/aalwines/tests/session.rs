@@ -37,7 +37,10 @@ fn two_islands() -> (Network, [LinkId; 3], [LinkId; 3]) {
     let ip = labels.ip("ip1");
 
     let mut net = Network::new(t, labels);
-    let rule = |out: LinkId, ops: Vec<Op>| RoutingEntry { out, ops };
+    let rule = |out: LinkId, ops: Vec<Op>| RoutingEntry {
+        out,
+        ops: ops.into(),
+    };
     net.add_rule(f0, ip, 1, rule(f1, vec![Op::Push(sa)]));
     net.add_rule(f1, sa, 1, rule(f2, vec![Op::Pop]));
     net.add_rule(g0, ip, 1, rule(g1, vec![Op::Push(sb)]));
@@ -75,7 +78,7 @@ fn footprint_disjoint_deltas_keep_cached_answers_byte_identical() {
             priority: 2,
             entry: RoutingEntry {
                 out: g1,
-                ops: vec![Op::Push(sb)],
+                ops: vec![Op::Push(sb)].into(),
             },
         },
         Delta::SetPriority {
@@ -92,7 +95,7 @@ fn footprint_disjoint_deltas_keep_cached_answers_byte_identical() {
             priority: 3,
             entry: RoutingEntry {
                 out: g1,
-                ops: vec![Op::Push(sb)],
+                ops: vec![Op::Push(sb)].into(),
             },
         },
     ];
@@ -293,7 +296,7 @@ fn island_a_delta_relints_zero_island_b_footprints() {
             priority: 2,
             entry: RoutingEntry {
                 out: f1,
-                ops: vec![Op::Push(sa)],
+                ops: vec![Op::Push(sa)].into(),
             },
         },
         Delta::LinkDown(f1),
@@ -304,7 +307,7 @@ fn island_a_delta_relints_zero_island_b_footprints() {
             priority: 2,
             entry: RoutingEntry {
                 out: f1,
-                ops: vec![Op::Push(sa)],
+                ops: vec![Op::Push(sa)].into(),
             },
         },
     ];

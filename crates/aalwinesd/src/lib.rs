@@ -18,7 +18,7 @@
 //! |------------|-------------------------------------------------|-----------------|
 //! | `load`     | `demo:true` \| `topology`,`routing`[,`locations`,`repair`] | `loaded` |
 //! | `query`    | `query` (text)                                  | `answer`        |
-//! | `batch`    | `queries` (array of texts)                      | `batch-result`  |
+//! | `batch`    | `queries` (array of texts)[,`window`,`progressMillis`] | `batch-answer`×N, then `batch-result` |
 //! | `stats`    | —                                               | `session-stats` |
 //! | `health`   | —                                               | `health`        |
 //! | `subscribe`| `query` (text)                                  | `subscribed`    |
@@ -76,7 +76,7 @@ pub mod journal;
 pub use journal::{Journal, JournalOp, Replay};
 
 use aalwines::telemetry::{envelope, JsonObject, PressureState};
-use aalwines::{Delta, Session, SessionBuilder};
+use aalwines::{Delta, Session, SessionBuilder, StreamEvent, StreamOptions};
 use aalwines_suite::gui;
 use formats::json::{parse as parse_json, Value};
 use netmodel::{LabelId, LinkId, Network, Op, RoutingEntry};
@@ -352,7 +352,7 @@ pub fn parse_delta(net: &Network, v: &Value) -> Result<Delta, String> {
             let priority = number("priority")?;
             let entry = RoutingEntry {
                 out: resolve_link(net, field("out")?)?,
-                ops: parse_ops(net, v.get("ops"))?,
+                ops: parse_ops(net, v.get("ops"))?.into(),
             };
             Ok(if kind == "add-rule" {
                 Delta::AddRule {
@@ -589,7 +589,7 @@ impl Daemon {
         match verb {
             "load" => self.handle_load(&request),
             "query" => self.handle_query(&request),
-            "batch" => self.handle_batch(&request),
+            "batch" => self.handle_batch(&request, peer),
             "stats" => self.handle_stats(),
             "health" => self.handle_health(),
             "subscribe" => self.handle_subscribe(&request, peer),
@@ -663,36 +663,55 @@ impl Daemon {
         })
     }
 
-    fn handle_batch(&self, request: &Value) -> String {
+    fn handle_batch(&self, request: &Value, peer: &Peer) -> String {
         let Some(Value::Array(items)) = request.get("queries") else {
             return error_envelope("batch needs an array 'queries'");
         };
         let mut texts = Vec::with_capacity(items.len());
         for (i, item) in items.iter().enumerate() {
             match item.as_str() {
-                Some(t) => texts.push(t),
+                Some(t) => texts.push(t.to_string()),
                 None => return error_envelope(&format!("queries[{i}] is not a string")),
             }
         }
-        let mut parsed = Vec::with_capacity(texts.len());
-        for (i, t) in texts.iter().enumerate() {
-            match query::parse_query(t) {
-                Ok(q) => parsed.push(q),
-                Err(e) => return error_envelope(&format!("queries[{i}]: {e}")),
-            }
+        let mut stream = StreamOptions::new();
+        if let Some(w) = request.get("window").and_then(Value::as_f64) {
+            stream = stream.with_window(w as usize);
+        }
+        if let Some(ms) = request.get("progressMillis").and_then(Value::as_f64) {
+            stream = stream.with_progress_interval(Duration::from_millis(ms as u64));
         }
         self.with_session(|session| {
-            let answers = session.verify_batch(&parsed);
-            let summary = aalwines::BatchSummary::summarize(&answers);
-            let rendered: Vec<String> = answers
-                .iter()
-                .zip(&texts)
-                .map(|(a, t)| gui::answer_to_json(session.network(), t, a).to_json())
-                .collect();
-            let mut o = JsonObject::new();
-            o.raw("answers", &format!("[{}]", rendered.join(",")));
-            o.raw("summary", &summary.to_json());
-            envelope("batch-result", &o.finish())
+            // Answers stream to the requesting peer as `batch-answer`
+            // envelopes in input order (plus `batch-progress` ticks when
+            // requested); only the aggregate summary is held — and
+            // returned as the final `batch-result`. A malformed query
+            // becomes a per-answer parse error instead of rejecting the
+            // whole batch.
+            let summary = session.verify_stream(texts.into_iter(), &stream, &mut |ev| {
+                let line = match ev {
+                    StreamEvent::Answer {
+                        index,
+                        text,
+                        answer,
+                        parse_error,
+                    } => {
+                        let mut o = JsonObject::new();
+                        o.number("index", index as f64);
+                        o.boolean("parseError", parse_error);
+                        o.raw(
+                            "answer",
+                            &gui::answer_to_json(session.network(), text, answer).to_json(),
+                        );
+                        envelope("batch-answer", &o.finish())
+                    }
+                    StreamEvent::Progress(p) => envelope("batch-progress", &p.to_json()),
+                };
+                let mut w = lock(peer);
+                let _ = writeln!(w, "{line}");
+                let _ = w.flush();
+            });
+            envelope("batch-result", &summary.to_json())
         })
     }
 
@@ -1238,6 +1257,53 @@ mod tests {
         ] {
             assert_eq!(kind_of(&d.handle(req, &sink())), "error", "{req}");
         }
+    }
+
+    #[test]
+    fn batch_streams_per_answer_envelopes() {
+        let d = demo_daemon();
+        let capture = Capture::default();
+        let peer: Peer = peer_of(capture.clone());
+        let resp = d.handle(
+            r#"{"verb":"batch","queries":["<ip> [.#v0] .* [v3#.] <ip> 0","definitely not a query","<ip> [.#v3] .* [v0#.] <ip> 2"],"progressMillis":0}"#,
+            &peer,
+        );
+        // The final response is the summary only; answers arrived as
+        // pushed `batch-answer` envelopes in input order.
+        let v = parse_json(&resp).unwrap();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("batch-result"));
+        let payload = v.get("payload").unwrap();
+        assert_eq!(
+            payload.get("parseErrors").and_then(Value::as_f64),
+            Some(1.0)
+        );
+        assert!(payload.get("batch").is_some());
+        assert!(payload
+            .get("peakInFlight")
+            .and_then(Value::as_f64)
+            .is_some());
+
+        let pushed = capture.text();
+        let mut indices = Vec::new();
+        let mut progress_seen = false;
+        for line in pushed.lines() {
+            let v = parse_json(line).unwrap();
+            match v.get("kind").and_then(Value::as_str) {
+                Some("batch-answer") => {
+                    let p = v.get("payload").unwrap();
+                    indices.push(p.get("index").and_then(Value::as_f64).unwrap() as usize);
+                    if indices.len() == 2 {
+                        // The malformed middle query came back as a
+                        // per-answer parse error, not a batch abort.
+                        assert_eq!(p.get("parseError"), Some(&Value::Bool(true)));
+                    }
+                }
+                Some("batch-progress") => progress_seen = true,
+                other => panic!("unexpected pushed kind {other:?}"),
+            }
+        }
+        assert_eq!(indices, [0, 1, 2], "answers must arrive in input order");
+        assert!(progress_seen, "progressMillis:0 must tick at least once");
     }
 
     #[test]

@@ -189,10 +189,14 @@ fn write_json(results: &[(String, f64)]) {
                     // Seed baselines are 10-iter means (the harness at
                     // that commit had no median), so the ratio is an
                     // approximate regression signal, not a gate.
+                    o.string("baseline", "seed");
                     o.number("beforeMeanMs", *before_ms);
                     o.number("ratio", after_ms / before_ms);
                 }
-                None => o.null("beforeMeanMs"),
+                // Cases that postdate the seed commit have nothing to
+                // regress against; say so explicitly instead of leaving
+                // a bare null that reads like a measurement failure.
+                None => o.string("baseline", "none"),
             }
             o.finish()
         })

@@ -1,0 +1,205 @@
+//! The internet-scale benchmark: build the 1000+-router scale tier
+//! (millions of interned rules), then push a query stream through the
+//! bounded-window streaming driver, and report
+//!
+//! * **rules/sec ingested** — dataplane synthesis + rule-table
+//!   construction throughput,
+//! * **queries/sec verified** — streaming throughput over the resident
+//!   session,
+//! * **peak resident bytes** — network + precomputation + construction
+//!   cache, sampled on every progress tick.
+//!
+//! With `--json` (after `--`), writes `BENCH_scale.json` at the
+//! workspace root (`BENCH_COMMIT` env var supplies the commit field).
+//! `--smoke` runs the same shape on the small smoke tier as a CI
+//! tripwire: it asserts the stream's in-flight bound and answer
+//! accounting instead of recording numbers. `--queries N` overrides the
+//! stream length.
+
+use aalwines::telemetry::JsonObject;
+use aalwines::{SessionBuilder, StreamEvent, StreamOptions, VerifyOptions};
+use std::time::{Duration, Instant};
+use topogen::{scale_tier, ScaleConfig};
+
+struct ScaleRun {
+    routers: usize,
+    links: usize,
+    rules: usize,
+    build_secs: f64,
+    precomp_secs: f64,
+    stream_secs: f64,
+    queries: usize,
+    conclusive: usize,
+    aborted: usize,
+    peak_resident_bytes: usize,
+    peak_in_flight: usize,
+    window: usize,
+}
+
+impl ScaleRun {
+    fn rules_per_sec(&self) -> f64 {
+        self.rules as f64 / self.build_secs.max(1e-9)
+    }
+
+    fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / self.stream_secs.max(1e-9)
+    }
+}
+
+/// Build `cfg`, open a resident session, stream `n_queries` generated
+/// policy queries through the bounded-window driver.
+fn run(cfg: &ScaleConfig, n_queries: usize, window: usize) -> ScaleRun {
+    let t0 = Instant::now();
+    let dp = scale_tier(cfg);
+    let build_secs = t0.elapsed().as_secs_f64();
+    let rules = dp.net.num_rules();
+    let routers = dp.net.topology.num_routers() as usize;
+    let links = dp.net.topology.num_links() as usize;
+    let net_bytes = dp.net.bytes_resident();
+    println!(
+        "built scale tier: {routers} routers / {links} links / {rules} rules \
+         in {build_secs:.2}s ({:.0} rules/s, {:.1} MiB resident)",
+        rules as f64 / build_secs.max(1e-9),
+        net_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    let texts = topogen::queries::figure4_queries(&dp, n_queries, 0x5CA1E9);
+
+    // A per-query deadline keeps one pathological query from owning the
+    // whole benchmark; aborts are reported, not hidden.
+    let t1 = Instant::now();
+    let session = SessionBuilder::new()
+        .threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+        .verify_options(VerifyOptions::new().with_timeout(Duration::from_secs(10)))
+        .open(dp.net.clone());
+    let precomp_secs = t1.elapsed().as_secs_f64();
+    println!("session opened (validation + precomp) in {precomp_secs:.2}s");
+
+    let stream = StreamOptions::new()
+        .with_window(window)
+        .with_progress_interval(Duration::from_secs(2));
+    let mut peak_resident = net_bytes + session.bytes_resident();
+    let t2 = Instant::now();
+    let summary = session.verify_stream(texts.into_iter(), &stream, &mut |ev| {
+        if let StreamEvent::Progress(p) = ev {
+            peak_resident = peak_resident.max(p.bytes_resident);
+            println!(
+                "  … {} answered, {:.1} queries/s, p95 {:.1} ms, {:.1} MiB resident",
+                p.emitted,
+                p.queries_per_sec,
+                p.p95_millis,
+                p.bytes_resident as f64 / (1024.0 * 1024.0)
+            );
+        }
+    });
+    let stream_secs = t2.elapsed().as_secs_f64();
+    peak_resident = peak_resident.max(net_bytes + session.bytes_resident());
+    assert_eq!(summary.parse_errors, 0, "generated queries must parse");
+    assert_eq!(summary.batch.total, n_queries);
+
+    let conclusive = summary.batch.satisfied + summary.batch.unsatisfied;
+    println!(
+        "streamed {} queries in {stream_secs:.2}s ({:.1} queries/s): \
+         {} satisfied, {} unsatisfied, {} inconclusive, {} aborted; \
+         peak {} of {} in flight, {:.1} MiB peak resident",
+        summary.batch.total,
+        summary.batch.total as f64 / stream_secs.max(1e-9),
+        summary.batch.satisfied,
+        summary.batch.unsatisfied,
+        summary.batch.inconclusive,
+        summary.batch.aborted,
+        summary.peak_in_flight,
+        summary.window,
+        peak_resident as f64 / (1024.0 * 1024.0)
+    );
+
+    ScaleRun {
+        routers,
+        links,
+        rules,
+        build_secs,
+        precomp_secs,
+        stream_secs,
+        queries: summary.batch.total,
+        conclusive,
+        aborted: summary.batch.aborted,
+        peak_resident_bytes: peak_resident,
+        peak_in_flight: summary.peak_in_flight,
+        window: summary.window,
+    }
+}
+
+fn write_json(r: &ScaleRun) {
+    let mut root = JsonObject::new();
+    root.string("schema", "aalwines-bench/scale/v1");
+    root.string(
+        "commit",
+        &std::env::var("BENCH_COMMIT").unwrap_or_else(|_| "unknown".into()),
+    );
+    root.number("routers", r.routers as f64);
+    root.number("links", r.links as f64);
+    root.number("rules", r.rules as f64);
+    root.number("buildSecs", r.build_secs);
+    root.number("rulesPerSec", r.rules_per_sec());
+    root.number("precompSecs", r.precomp_secs);
+    root.number("queries", r.queries as f64);
+    root.number("streamSecs", r.stream_secs);
+    root.number("queriesPerSec", r.queries_per_sec());
+    root.number("conclusive", r.conclusive as f64);
+    root.number("aborted", r.aborted as f64);
+    root.number("peakResidentBytes", r.peak_resident_bytes as f64);
+    root.number("peakInFlight", r.peak_in_flight as f64);
+    root.number("window", r.window as f64);
+    let json = root.finish();
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(out, format!("{json}\n")).expect("write BENCH_scale.json");
+    println!("wrote {out}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_mode = args.iter().any(|a| a == "--json");
+    let arg_value = |key: &str| {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+
+    if args.iter().any(|a| a == "--smoke") {
+        // CI tripwire on the small tier: the full build→stream shape
+        // must hold its invariants inside a CI time budget. Numbers are
+        // printed but not recorded.
+        let r = run(
+            &ScaleConfig::smoke(),
+            arg_value("--queries").unwrap_or(200),
+            32,
+        );
+        assert!(
+            r.peak_in_flight <= r.window,
+            "in-flight {} exceeded window {}",
+            r.peak_in_flight,
+            r.window
+        );
+        assert!(r.rules > 10_000, "smoke tier unexpectedly small");
+        assert_eq!(r.aborted, 0, "smoke queries must finish within deadline");
+        println!("scale smoke OK");
+        return;
+    }
+
+    // Scale-tier queries run for seconds each: the default stream
+    // length trades statistical depth for a sub-15-minute run. Raise
+    // `--queries` for a longer campaign.
+    let r = run(
+        &ScaleConfig::tier(),
+        arg_value("--queries").unwrap_or(100),
+        256,
+    );
+    if json_mode {
+        write_json(&r);
+    }
+}

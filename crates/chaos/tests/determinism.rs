@@ -152,7 +152,10 @@ fn failover_loop() -> (Network, Vec<Query>) {
     labels.ip("ip9"); // headers must bottom out in an IP label
 
     let mut net = Network::new(t, labels);
-    let rule = |out, ops| RoutingEntry { out, ops };
+    let rule = |out, ops: Vec<Op>| RoutingEntry {
+        out,
+        ops: ops.into(),
+    };
     // f0: primary straight to f1, backup detours via f2.
     net.add_rule(li, s, 1, rule(lp, vec![Op::Swap(u)]));
     net.add_rule(li, s, 2, rule(lb, vec![Op::Swap(s)]));

@@ -548,7 +548,10 @@ mod tests {
     }
 
     fn entry(out: LinkId, ops: Vec<Op>) -> RoutingEntry {
-        RoutingEntry { out, ops }
+        RoutingEntry {
+            out,
+            ops: ops.into(),
+        }
     }
 
     #[test]

@@ -531,7 +531,10 @@ mod tests {
     }
 
     fn entry(out: LinkId, ops: Vec<Op>) -> RoutingEntry {
-        RoutingEntry { out, ops }
+        RoutingEntry {
+            out,
+            ops: ops.into(),
+        }
     }
 
     fn assert_matches_cold(state: &LintState, net: &Network) {

@@ -75,7 +75,7 @@ fn paper_network_defects_golden() {
         1,
         RoutingEntry {
             out: LinkId(99),
-            ops: vec![],
+            ops: vec![].into(),
         },
     );
     // DP001: a key label outside the label table (spliced bogus label).
@@ -85,7 +85,7 @@ fn paper_network_defects_golden() {
         1,
         RoutingEntry {
             out: e5,
-            ops: vec![],
+            ops: vec![].into(),
         },
     );
     // DP010: a definite out-label v3 has no rule for.
@@ -95,7 +95,7 @@ fn paper_network_defects_golden() {
         1,
         RoutingEntry {
             out: e6,
-            ops: vec![Op::Swap(s40)],
+            ops: vec![Op::Swap(s40)].into(),
         },
     );
     // DP011: a backup for (e0, ip1) that reuses e1, which the primary
@@ -106,7 +106,7 @@ fn paper_network_defects_golden() {
         2,
         RoutingEntry {
             out: e1,
-            ops: vec![Op::Push(s20)],
+            ops: vec![Op::Push(s20)].into(),
         },
     );
     // DP013: popping a bare IP header.
@@ -116,7 +116,7 @@ fn paper_network_defects_golden() {
         1,
         RoutingEntry {
             out: e7,
-            ops: vec![Op::Pop],
+            ops: vec![Op::Pop].into(),
         },
     );
 
@@ -158,7 +158,7 @@ fn zoo_network_defects_golden() {
         1,
         RoutingEntry {
             out: back,
-            ops: vec![Op::Swap(lb)],
+            ops: vec![Op::Swap(lb)].into(),
         },
     );
     net.add_rule(
@@ -167,7 +167,7 @@ fn zoo_network_defects_golden() {
         1,
         RoutingEntry {
             out: fwd,
-            ops: vec![Op::Swap(la)],
+            ops: vec![Op::Swap(la)].into(),
         },
     );
 

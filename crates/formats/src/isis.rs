@@ -366,7 +366,7 @@ pub fn network_from_isis(
                             prio,
                             RoutingEntry {
                                 out,
-                                ops: ops.clone(),
+                                ops: ops.clone().into(),
                             },
                         ));
                     }
@@ -586,7 +586,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: l12,
-                ops: vec![Op::Swap(s2)],
+                ops: vec![Op::Swap(s2)].into(),
             },
         );
         net.add_rule(
@@ -595,7 +595,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: l23,
-                ops: vec![Op::Pop],
+                ops: vec![Op::Pop].into(),
             },
         );
         // Plain IP forwarding at R2 so the IP label survives the export.
@@ -605,7 +605,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: l23,
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
 

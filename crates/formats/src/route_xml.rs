@@ -205,7 +205,15 @@ pub fn parse_routes(doc: &str, topo: Topology) -> Result<Network, FormatError> {
                     // Defer adding until labels table is attached below;
                     // Network owns its table, so splice it in each time.
                     net.labels = labels.clone();
-                    net.add_rule(in_link, label, prio, RoutingEntry { out, ops });
+                    net.add_rule(
+                        in_link,
+                        label,
+                        prio,
+                        RoutingEntry {
+                            out,
+                            ops: ops.into(),
+                        },
+                    );
                 }
             }
         }

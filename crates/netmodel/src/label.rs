@@ -88,6 +88,23 @@ impl LabelTable {
         self.by_name.get(name).copied()
     }
 
+    /// Estimated heap bytes held by the label universe: kind and name
+    /// vectors plus the interning index (name strings counted on both
+    /// sides, since both own a copy).
+    pub fn bytes_resident(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.kinds.capacity() * size_of::<LabelKind>()
+            + self.names.capacity() * size_of::<String>()
+            + self.by_name.capacity() * (size_of::<String>() + size_of::<LabelId>() + 1);
+        for name in &self.names {
+            bytes += name.capacity();
+        }
+        for name in self.by_name.keys() {
+            bytes += name.capacity();
+        }
+        bytes
+    }
+
     /// The kind of a label.
     pub fn kind(&self, id: LabelId) -> LabelKind {
         self.kinds[id.index()]

@@ -32,7 +32,7 @@ pub mod trace;
 pub use header::Header;
 pub use label::{LabelId, LabelKind, LabelTable};
 pub use routing::{
-    IssueKind, Network, Op, RepairReport, RoutingEntry, Severity, TeGroup, ValidationIssue,
+    IssueKind, Network, Op, OpSeq, RepairReport, RoutingEntry, Severity, TeGroup, ValidationIssue,
 };
 pub use sim::{feasible_failures, successors};
 pub use topology::{LinkId, RouterId, Topology};

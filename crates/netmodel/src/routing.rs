@@ -10,8 +10,9 @@
 
 use crate::label::{LabelId, LabelTable};
 use crate::topology::{LinkId, Topology};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// A single MPLS stack operation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -24,13 +25,183 @@ pub enum Op {
     Pop,
 }
 
+/// Sequences of up to this many operations are stored inline in the
+/// [`RoutingEntry`] itself, with no heap allocation at all.
+pub const OPSEQ_INLINE: usize = 3;
+
+#[derive(Clone)]
+enum OpSeqRepr {
+    /// The common case: MPLS dataplanes overwhelmingly use 0–2
+    /// operations per rule (swap, pop, swap+push for protection), so
+    /// they fit in the entry without touching the allocator.
+    Inline { len: u8, ops: [Op; OPSEQ_INLINE] },
+    /// Longer sequences spill to a shared, immutable allocation.
+    /// [`Network`] interns these so identical sequences across a
+    /// million-rule table share one block.
+    Heap(Arc<[Op]>),
+}
+
+/// A compact, immutable-by-default operation sequence.
+///
+/// Behaves like `&[Op]` (it derefs to a slice and iterates), compares
+/// and hashes by content regardless of representation, and clones in
+/// O(1) for heap-resident sequences (an `Arc` bump). Build one with
+/// `vec![…].into()`, `.collect()`, or [`OpSeq::new`] + [`OpSeq::push`].
+#[derive(Clone)]
+pub struct OpSeq(OpSeqRepr);
+
+impl OpSeq {
+    /// The empty sequence (no allocation).
+    pub const fn new() -> Self {
+        OpSeq(OpSeqRepr::Inline {
+            len: 0,
+            ops: [Op::Pop; OPSEQ_INLINE],
+        })
+    }
+
+    /// The operations as a slice.
+    pub fn as_slice(&self) -> &[Op] {
+        match &self.0 {
+            OpSeqRepr::Inline { len, ops } => &ops[..*len as usize],
+            OpSeqRepr::Heap(arc) => arc,
+        }
+    }
+
+    /// Append one operation, spilling from the inline representation to
+    /// a fresh heap block when it grows past [`OPSEQ_INLINE`]. A spilled
+    /// (or shared) sequence is copied first, so pushing never mutates
+    /// other clones.
+    pub fn push(&mut self, op: Op) {
+        match &mut self.0 {
+            OpSeqRepr::Inline { len, ops } if (*len as usize) < OPSEQ_INLINE => {
+                ops[*len as usize] = op;
+                *len += 1;
+            }
+            _ => {
+                let mut v = self.as_slice().to_vec();
+                v.push(op);
+                self.0 = OpSeqRepr::Heap(v.into());
+            }
+        }
+    }
+
+    /// Whether the sequence lives in a shared heap block, and if so its
+    /// allocation identity and length — used to count shared blocks
+    /// once in [`Network::bytes_resident`].
+    fn heap_block(&self) -> Option<(*const Op, usize)> {
+        match &self.0 {
+            OpSeqRepr::Inline { .. } => None,
+            OpSeqRepr::Heap(arc) => Some((arc.as_ptr(), arc.len())),
+        }
+    }
+
+    /// Replace a heap-resident sequence with the pooled copy of the
+    /// same content (inserting it if new), so duplicates share one
+    /// allocation. Inline sequences are already allocation-free.
+    fn intern(&mut self, pool: &mut HashSet<Arc<[Op]>>) {
+        if let OpSeqRepr::Heap(arc) = &mut self.0 {
+            match pool.get(&arc[..]) {
+                Some(existing) => *arc = Arc::clone(existing),
+                None => {
+                    pool.insert(Arc::clone(arc));
+                }
+            }
+        }
+    }
+}
+
+impl Default for OpSeq {
+    fn default() -> Self {
+        OpSeq::new()
+    }
+}
+
+impl std::ops::Deref for OpSeq {
+    type Target = [Op];
+    fn deref(&self) -> &[Op] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for OpSeq {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for OpSeq {}
+
+impl std::hash::Hash for OpSeq {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for OpSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl From<Vec<Op>> for OpSeq {
+    fn from(v: Vec<Op>) -> Self {
+        OpSeq::from(v.as_slice())
+    }
+}
+
+impl From<&[Op]> for OpSeq {
+    fn from(s: &[Op]) -> Self {
+        if s.len() <= OPSEQ_INLINE {
+            let mut ops = [Op::Pop; OPSEQ_INLINE];
+            ops[..s.len()].copy_from_slice(s);
+            OpSeq(OpSeqRepr::Inline {
+                len: s.len() as u8,
+                ops,
+            })
+        } else {
+            OpSeq(OpSeqRepr::Heap(s.into()))
+        }
+    }
+}
+
+impl<const N: usize> From<[Op; N]> for OpSeq {
+    fn from(a: [Op; N]) -> Self {
+        OpSeq::from(a.as_slice())
+    }
+}
+
+impl FromIterator<Op> for OpSeq {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        iter.into_iter().collect::<Vec<_>>().into()
+    }
+}
+
+impl<'a> IntoIterator for &'a OpSeq {
+    type Item = &'a Op;
+    type IntoIter = std::slice::Iter<'a, Op>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One forwarding alternative: send over `out` applying `ops`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct RoutingEntry {
     /// Outgoing link (must leave the router the incoming link enters).
     pub out: LinkId,
     /// Header operations applied while forwarding.
-    pub ops: Vec<Op>,
+    pub ops: OpSeq,
+}
+
+impl RoutingEntry {
+    /// Convenience constructor accepting anything convertible to an
+    /// [`OpSeq`] (a `Vec<Op>`, a slice, an array).
+    pub fn new(out: LinkId, ops: impl Into<OpSeq>) -> Self {
+        RoutingEntry {
+            out,
+            ops: ops.into(),
+        }
+    }
 }
 
 /// A traffic-engineering group: a set of equally preferred alternatives.
@@ -127,6 +298,15 @@ pub struct Network {
     /// The label universe.
     pub labels: LabelTable,
     table: HashMap<(LinkId, LabelId), Vec<TeGroup>>,
+    /// Interning pool for heap-resident op sequences: every sequence
+    /// longer than [`OPSEQ_INLINE`] inserted through the `add_rule`
+    /// family is deduplicated here so a million-rule table with a few
+    /// thousand distinct tunnel programs allocates each once. Entries
+    /// removed from the table may linger in the pool (one small block
+    /// each) until the network is dropped; that slack is invisible to
+    /// equality and accounted for by [`Network::bytes_resident`] only
+    /// while still referenced from the table.
+    ops_pool: HashSet<Arc<[Op]>>,
 }
 
 impl Network {
@@ -137,7 +317,26 @@ impl Network {
             topology,
             labels,
             table: HashMap::new(),
+            ops_pool: HashSet::new(),
         }
+    }
+
+    /// Insert an entry at `priority`, interning any heap-resident op
+    /// sequence through the pool first. All `add_rule` variants funnel
+    /// through here.
+    fn insert_entry(
+        &mut self,
+        in_link: LinkId,
+        label: LabelId,
+        priority: usize,
+        mut entry: RoutingEntry,
+    ) {
+        entry.ops.intern(&mut self.ops_pool);
+        let groups = self.table.entry((in_link, label)).or_default();
+        if groups.len() < priority {
+            groups.resize(priority, TeGroup::new());
+        }
+        groups[priority - 1].push(entry);
     }
 
     /// Add a forwarding rule: packets arriving on `in_link` with top
@@ -161,11 +360,7 @@ impl Network {
             self.topology.src(entry.out),
             "outgoing link must leave the router the incoming link enters"
         );
-        let groups = self.table.entry((in_link, label)).or_default();
-        if groups.len() < priority {
-            groups.resize(priority, TeGroup::new());
-        }
-        groups[priority - 1].push(entry);
+        self.insert_entry(in_link, label, priority, entry);
     }
 
     /// Fallible variant of [`Network::add_rule`]: returns a typed
@@ -247,11 +442,7 @@ impl Network {
         entry: RoutingEntry,
     ) {
         let priority = priority.max(1);
-        let groups = self.table.entry((in_link, label)).or_default();
-        if groups.len() < priority {
-            groups.resize(priority, TeGroup::new());
-        }
-        groups[priority - 1].push(entry);
+        self.insert_entry(in_link, label, priority, entry);
     }
 
     /// Remove one forwarding entry equal to `entry` from the group at
@@ -361,6 +552,36 @@ impl Network {
             .values()
             .map(|gs| gs.iter().map(|g| g.len()).sum::<usize>())
             .sum()
+    }
+
+    /// Estimated heap bytes held by the routing table: hash-map
+    /// capacity, group/entry vectors, and spilled op sequences (each
+    /// shared block counted once, however many entries reference it).
+    /// Inline op sequences cost nothing beyond the entry itself, which
+    /// is what keeps a million-rule scale-tier load in budget. The
+    /// topology and label table are accounted separately by
+    /// [`Topology::bytes_resident`] and [`LabelTable::bytes_resident`].
+    pub fn bytes_resident(&self) -> usize {
+        use std::mem::size_of;
+        // Hash-map buckets: key + value + control byte per slot.
+        let mut bytes = self.table.capacity()
+            * (size_of::<(LinkId, LabelId)>() + size_of::<Vec<TeGroup>>() + 1);
+        let mut seen_blocks: HashSet<*const Op> = HashSet::new();
+        for groups in self.table.values() {
+            bytes += groups.capacity() * size_of::<TeGroup>();
+            for group in groups {
+                bytes += group.capacity() * size_of::<RoutingEntry>();
+                for entry in group {
+                    if let Some((ptr, len)) = entry.ops.heap_block() {
+                        if seen_blocks.insert(ptr) {
+                            // Arc header (strong + weak counts) plus payload.
+                            bytes += 2 * size_of::<usize>() + len * size_of::<Op>();
+                        }
+                    }
+                }
+            }
+        }
+        bytes
     }
 
     /// A printable name for a link id that may be out of range (the
@@ -545,7 +766,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: e[1],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         net.add_rule(
@@ -554,7 +775,7 @@ mod tests {
             2,
             RoutingEntry {
                 out: e[2],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         let groups = net.groups(e[0], ip);
@@ -572,7 +793,15 @@ mod tests {
         let ip = labels.ip("ip1");
         let mut net = Network::new(t, labels);
         for out in [e[1], e[2]] {
-            net.add_rule(e[0], ip, 1, RoutingEntry { out, ops: vec![] });
+            net.add_rule(
+                e[0],
+                ip,
+                1,
+                RoutingEntry {
+                    out,
+                    ops: vec![].into(),
+                },
+            );
         }
         assert_eq!(net.groups(e[0], ip).len(), 1);
         assert_eq!(net.groups(e[0], ip)[0].len(), 2);
@@ -592,7 +821,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: e[0],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
     }
@@ -620,7 +849,7 @@ mod tests {
                 1,
                 RoutingEntry {
                     out: e[0],
-                    ops: vec![],
+                    ops: vec![].into(),
                 },
             )
             .unwrap_err();
@@ -634,7 +863,7 @@ mod tests {
                 1,
                 RoutingEntry {
                     out: e[1],
-                    ops: vec![],
+                    ops: vec![].into(),
                 },
             )
             .unwrap_err();
@@ -647,7 +876,7 @@ mod tests {
                 1,
                 RoutingEntry {
                     out: e[1],
-                    ops: vec![Op::Swap(LabelId(42))],
+                    ops: vec![Op::Swap(LabelId(42))].into(),
                 },
             )
             .unwrap_err();
@@ -660,7 +889,7 @@ mod tests {
                 1,
                 RoutingEntry {
                     out: e[1],
-                    ops: vec![],
+                    ops: vec![].into(),
                 },
             )
             .is_ok());
@@ -680,7 +909,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: e[1],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         net.add_rule_unchecked(
@@ -689,7 +918,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: e[1],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         net.add_rule_unchecked(
@@ -698,7 +927,7 @@ mod tests {
             2,
             RoutingEntry {
                 out: LinkId(88),
-                ops: vec![Op::Push(LabelId(55))],
+                ops: vec![Op::Push(LabelId(55))].into(),
             },
         );
         let issues = net.validate();
@@ -719,11 +948,11 @@ mod tests {
         let mut net = Network::new(t, labels);
         let first = RoutingEntry {
             out: e[1],
-            ops: vec![],
+            ops: vec![].into(),
         };
         let backup = RoutingEntry {
             out: e[2],
-            ops: vec![],
+            ops: vec![].into(),
         };
         net.add_rule(e[0], ip, 1, first.clone());
         net.add_rule(e[0], ip, 2, backup.clone());
@@ -752,7 +981,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: e[1],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         net.add_rule(
@@ -761,7 +990,7 @@ mod tests {
             2,
             RoutingEntry {
                 out: e[2],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         // Promote the backup group to priority 1 (merging).
@@ -787,7 +1016,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: e[1],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         net.add_rule(
@@ -796,7 +1025,7 @@ mod tests {
             2,
             RoutingEntry {
                 out: e[2],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         let over = net.entries_over(e[2]);
@@ -804,6 +1033,63 @@ mod tests {
         assert_eq!(over[0].0, e[0]);
         assert_eq!(over[0].2, 2);
         assert!(net.entries_over(e[0]).is_empty());
+    }
+
+    #[test]
+    fn opseq_inline_and_spill() {
+        let mut s = OpSeq::new();
+        assert!(s.is_empty());
+        assert!(s.heap_block().is_none());
+        for i in 0..OPSEQ_INLINE {
+            s.push(Op::Push(LabelId(i as u32)));
+            assert!(s.heap_block().is_none(), "still inline at {}", i + 1);
+        }
+        s.push(Op::Pop);
+        assert!(s.heap_block().is_some(), "spilled past OPSEQ_INLINE");
+        assert_eq!(s.len(), OPSEQ_INLINE + 1);
+        assert_eq!(s.last(), Some(&Op::Pop));
+        // Content equality and hashing are representation-independent.
+        let long: Vec<Op> = s.iter().copied().collect();
+        let heap: OpSeq = long.clone().into();
+        assert_eq!(s, heap);
+        let mut set = HashSet::new();
+        set.insert(s.clone());
+        assert!(set.contains(&heap));
+        // Pushing onto a shared heap sequence copies, not mutates.
+        let before = heap.clone();
+        let mut grown = heap.clone();
+        grown.push(Op::Pop);
+        assert_eq!(heap, before);
+        assert_ne!(grown, before);
+        // Round-trips through slices and iterators.
+        assert_eq!(OpSeq::from(&long[..]), heap);
+        assert_eq!(long.iter().copied().collect::<OpSeq>(), heap);
+        assert_eq!(OpSeq::from([Op::Pop]).as_slice(), &[Op::Pop]);
+    }
+
+    #[test]
+    fn network_interns_spilled_sequences() {
+        let (t, e) = line_topology();
+        let mut labels = LabelTable::new();
+        let ip = labels.ip("ip1");
+        let long = vec![Op::Push(ip), Op::Push(ip), Op::Push(ip), Op::Push(ip)];
+        let mut net = Network::new(t, labels);
+        for out in [e[1], e[2]] {
+            net.add_rule(e[0], ip, 1, RoutingEntry::new(out, long.clone()));
+        }
+        // Both entries share one pooled allocation.
+        let blocks: HashSet<_> = net.groups(e[0], ip)[0]
+            .iter()
+            .map(|entry| entry.ops.heap_block().expect("spilled").0)
+            .collect();
+        assert_eq!(blocks.len(), 1, "identical long sequences share a block");
+        assert_eq!(net.ops_pool.len(), 1);
+        // bytes_resident counts the shared block once and is non-trivial.
+        let with_pool = net.bytes_resident();
+        assert!(with_pool > 0);
+        let mut inline_net = net.clone();
+        inline_net.add_rule(e[0], ip, 2, RoutingEntry::new(e[1], vec![Op::Pop]));
+        assert!(inline_net.bytes_resident() >= with_pool);
     }
 
     #[test]
@@ -818,7 +1104,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: e[1],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         net.add_rule_unchecked(
@@ -827,7 +1113,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: e[1],
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         net.add_rule_unchecked(
@@ -836,7 +1122,7 @@ mod tests {
             3,
             RoutingEntry {
                 out: LinkId(88),
-                ops: vec![],
+                ops: vec![].into(),
             },
         );
         let report = net.repair();

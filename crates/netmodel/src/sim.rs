@@ -129,7 +129,7 @@ mod tests {
                 prio,
                 RoutingEntry {
                     out,
-                    ops: vec![Op::Swap(s2)],
+                    ops: vec![Op::Swap(s2)].into(),
                 },
             );
         }
@@ -240,7 +240,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: e1,
-                ops: vec![Op::Pop],
+                ops: vec![Op::Pop].into(),
             },
         );
         let succ = successors(&net, e0, &Header::single(ip), &HashSet::new());

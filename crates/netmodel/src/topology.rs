@@ -123,6 +123,31 @@ impl Topology {
         self.links.len() as u32
     }
 
+    /// Estimated heap bytes held by the topology: router and link
+    /// records (including their name strings), the name index, and the
+    /// adjacency lists.
+    pub fn bytes_resident(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = self.routers.capacity() * size_of::<Router>()
+            + self.links.capacity() * size_of::<Link>()
+            + self.by_name.capacity() * (size_of::<String>() + size_of::<RouterId>() + 1)
+            + self.out.capacity() * size_of::<Vec<LinkId>>()
+            + self.into.capacity() * size_of::<Vec<LinkId>>();
+        for r in &self.routers {
+            bytes += r.name.capacity();
+        }
+        for l in &self.links {
+            bytes += l.src_if.capacity() + l.dst_if.capacity();
+        }
+        for name in self.by_name.keys() {
+            bytes += name.capacity();
+        }
+        for adj in self.out.iter().chain(self.into.iter()) {
+            bytes += adj.capacity() * size_of::<LinkId>();
+        }
+        bytes
+    }
+
     /// The router record.
     pub fn router(&self, id: RouterId) -> &Router {
         &self.routers[id.index()]

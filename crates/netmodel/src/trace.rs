@@ -184,7 +184,7 @@ mod tests {
             1,
             RoutingEntry {
                 out: e1,
-                ops: vec![Op::Swap(s2)],
+                ops: vec![Op::Swap(s2)].into(),
             },
         );
         net.add_rule(
@@ -193,7 +193,7 @@ mod tests {
             2,
             RoutingEntry {
                 out: e2,
-                ops: vec![Op::Swap(s2)],
+                ops: vec![Op::Swap(s2)].into(),
             },
         );
         Fix {

@@ -77,7 +77,10 @@ fn random_network(seed: u64) -> Network {
             in_link,
             label,
             rng.gen_range(1..3usize),
-            RoutingEntry { out, ops },
+            RoutingEntry {
+                out,
+                ops: ops.into(),
+            },
         );
     }
     net

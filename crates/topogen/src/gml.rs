@@ -180,7 +180,13 @@ impl<'a> P<'a> {
                         break;
                     }
                 }
-                let text = std::str::from_utf8(&self.s[start..self.i]).unwrap();
+                // The lexer above only consumes ASCII bytes, but a
+                // structured error keeps the panic-free ingestion
+                // guarantee honest if that invariant ever slips (the
+                // byte-level entry points feed raw, untrusted files
+                // through here).
+                let text = std::str::from_utf8(&self.s[start..self.i])
+                    .map_err(|_| self.err("invalid UTF-8 in number"))?;
                 if is_float {
                     text.parse::<f64>()
                         .map(GmlValue::Float)
@@ -198,10 +204,19 @@ impl<'a> P<'a> {
 
 /// Parse a GML document into its top-level key/value pairs.
 pub fn parse_gml(doc: &str) -> Result<Vec<(String, GmlValue)>, GmlError> {
-    let mut p = P {
-        s: doc.as_bytes(),
-        i: 0,
-    };
+    parse_gml_bytes(doc.as_bytes())
+}
+
+/// Parse a GML document from raw bytes — e.g. a file read straight off
+/// disk without a UTF-8 validity check.
+///
+/// Topology Zoo archives occasionally carry Latin-1 city names; those
+/// (and any other invalid UTF-8) are replaced lossily inside keys and
+/// quoted strings, while structurally invalid input is rejected with a
+/// typed [`GmlError`] carrying a byte offset. This function never
+/// panics, whatever the input bytes.
+pub fn parse_gml_bytes(doc: &[u8]) -> Result<Vec<(String, GmlValue)>, GmlError> {
+    let mut p = P { s: doc, i: 0 };
     let mut entries = Vec::new();
     loop {
         p.skip_ws_and_comments();
@@ -222,7 +237,13 @@ pub fn parse_gml(doc: &str) -> Result<Vec<(String, GmlValue)>, GmlError> {
 /// kilometres where both endpoints carry `Latitude`/`Longitude`
 /// (minimum 1), else 1.
 pub fn topology_from_gml(doc: &str) -> Result<Topology, GmlError> {
-    let top = parse_gml(doc)?;
+    topology_from_gml_bytes(doc.as_bytes())
+}
+
+/// Byte-level variant of [`topology_from_gml`]: accepts raw file
+/// contents and never panics (see [`parse_gml_bytes`]).
+pub fn topology_from_gml_bytes(doc: &[u8]) -> Result<Topology, GmlError> {
+    let top = parse_gml_bytes(doc)?;
     let graph = top
         .iter()
         .find(|(k, _)| k.eq_ignore_ascii_case("graph"))
@@ -393,6 +414,26 @@ mod tests {
         assert!(topology_from_gml("nodes_only 3").is_err());
         assert!(topology_from_gml("graph [ edge [ source 0 target 9 ] ]").is_err());
         assert!(topology_from_gml("graph [ node [ id 0 label \"unterminated ] ]").is_err());
+    }
+
+    #[test]
+    fn non_utf8_bytes_never_panic() {
+        // Latin-1 city name inside a string: tolerated lossily.
+        let latin1 = b"graph [ node [ id 0 label \"K\xf8benhavn\" ] ]".to_vec();
+        let topo = topology_from_gml_bytes(&latin1).expect("latin-1 strings tolerated");
+        assert_eq!(topo.num_routers(), 1);
+        // Invalid bytes in structural positions: typed error, no panic.
+        for doc in [
+            &b"graph [ \xff\xfe ]"[..],
+            &b"\xc3graph [ node [ id 0 ] ]"[..],
+            &b"graph [ node [ id 0\xff1 ] ]"[..],
+            &b"graph [ node [ id \xf01 label \"x\" ] ]"[..],
+        ] {
+            match topology_from_gml_bytes(doc) {
+                Ok(_) => {}
+                Err(e) => assert!(e.pos <= doc.len(), "offset {} beyond input", e.pos),
+            }
+        }
     }
 
     #[test]

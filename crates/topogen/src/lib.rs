@@ -29,9 +29,11 @@ pub mod gml;
 pub mod lsp;
 pub mod nordunet;
 pub mod queries;
+pub mod scale;
 pub mod zoo;
 
-pub use gml::topology_from_gml;
+pub use gml::{topology_from_gml, topology_from_gml_bytes};
 pub use lsp::{build_mpls_dataplane, LspConfig};
 pub use nordunet::nordunet_like;
+pub use scale::{scale_tier, ScaleConfig};
 pub use zoo::{zoo_like, ZooConfig};

@@ -145,6 +145,13 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
     }
     let is_core_link = |l: LinkId| l.0 < n_core_links;
 
+    // Shortest paths between edge-router pairs are reused heavily —
+    // every service chain between the same endpoints walks the same
+    // route — so memoize them. At scale-tier sizes (1000+ routers,
+    // 100k+ chains) this turns 100k BFS traversals into at most
+    // edge_routers² of them.
+    let mut path_cache: HashMap<(RouterId, RouterId), Option<Vec<LinkId>>> = HashMap::new();
+
     let mut labels = LabelTable::new();
     let mut net_rules: Vec<(LinkId, LabelId, usize, RoutingEntry)> = Vec::new();
 
@@ -162,7 +169,10 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
             if pairs >= cfg.max_pairs {
                 break 'outer;
             }
-            let Some(path) = shortest_path(&core, s, t, &|l| is_core_link(l)) else {
+            let path = path_cache
+                .entry((s, t))
+                .or_insert_with(|| shortest_path(&core, s, t, &|l| is_core_link(l)));
+            let Some(path) = path.clone() else {
                 continue;
             };
             pairs += 1;
@@ -179,7 +189,7 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
                 1,
                 RoutingEntry {
                     out: ext_out[&t],
-                    ops: vec![],
+                    ops: vec![].into(),
                 },
             ));
             if m == 1 {
@@ -190,7 +200,7 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
                     1,
                     RoutingEntry {
                         out: path[0],
-                        ops: vec![],
+                        ops: vec![].into(),
                     },
                 ));
                 continue;
@@ -208,7 +218,7 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
                 1,
                 RoutingEntry {
                     out: path[0],
-                    ops: vec![Op::Push(first)],
+                    ops: vec![Op::Push(first)].into(),
                 },
             ));
             for i in 0..m - 1 {
@@ -224,7 +234,7 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
                     1,
                     RoutingEntry {
                         out: path[i + 1],
-                        ops,
+                        ops: ops.into(),
                     },
                 ));
             }
@@ -241,7 +251,10 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
             t = edge_routers
                 [(edge_routers.iter().position(|&x| x == s).unwrap() + 1) % edge_routers.len()];
         }
-        let Some(path) = shortest_path(&core, s, t, &|l| is_core_link(l)) else {
+        let path = path_cache
+            .entry((s, t))
+            .or_insert_with(|| shortest_path(&core, s, t, &|l| is_core_link(l)));
+        let Some(path) = path.clone() else {
             continue;
         };
         if path.is_empty() {
@@ -261,7 +274,7 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
             1,
             RoutingEntry {
                 out: path[0],
-                ops: vec![Op::Swap(first)],
+                ops: vec![Op::Swap(first)].into(),
             },
         ));
         for (i, &l) in path.iter().enumerate() {
@@ -278,7 +291,7 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
                 1,
                 RoutingEntry {
                     out,
-                    ops: vec![Op::Swap(next)],
+                    ops: vec![Op::Swap(next)].into(),
                 },
             ));
         }
@@ -364,7 +377,7 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
                     1,
                     RoutingEntry {
                         out: bypass[i + 1],
-                        ops,
+                        ops: ops.into(),
                     },
                 ));
             }
@@ -383,7 +396,7 @@ pub fn build_mpls_dataplane(mut core: Topology, cfg: &LspConfig) -> Dataplane {
     // Materialize, de-duplicating identical (in, label, prio, entry) rows
     // (protection of shared path segments can produce duplicates).
     let mut net = Network::new(core, labels);
-    let mut seen: HashSet<(u32, u32, usize, u32, Vec<Op>)> = HashSet::new();
+    let mut seen: HashSet<(u32, u32, usize, u32, netmodel::OpSeq)> = HashSet::new();
     for (in_link, label, prio, entry) in net_rules {
         let key = (in_link.0, label.0, prio, entry.out.0, entry.ops.clone());
         if seen.insert(key) {

@@ -59,13 +59,12 @@ pub fn zoo_like(cfg: &ZooConfig) -> Topology {
     }
 
     // Undirected edge set: spanning tree first (connectivity), then
-    // Waxman-style distance-biased extras up to the target degree.
+    // Waxman-style distance-biased extras up to the target degree. A
+    // normalized membership set keeps duplicate checks O(1) — the old
+    // linear scan made thousand-router scale-tier generation O(E²).
     let mut edges: Vec<(usize, usize)> = Vec::new();
-    let has_edge = |edges: &[(usize, usize)], a: usize, b: usize| {
-        edges
-            .iter()
-            .any(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
-    };
+    let mut edge_set: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let norm = |a: usize, b: usize| if a <= b { (a, b) } else { (b, a) };
     for i in 1..n {
         // Attach each router to a random earlier one, biased to the
         // geographically closest few — mimics incremental backbone growth.
@@ -77,6 +76,7 @@ pub fn zoo_like(cfg: &ZooConfig) -> Topology {
         });
         let pick = best[rng.gen_range(0..best.len().min(3))];
         edges.push((pick, i));
+        edge_set.insert(norm(pick, i));
     }
     let target_edges = ((cfg.avg_degree * n as f64) / 2.0).round() as usize;
     let max_d = 4000.0; // km scale for the decay
@@ -85,13 +85,14 @@ pub fn zoo_like(cfg: &ZooConfig) -> Topology {
         guard += 1;
         let a = rng.gen_range(0..n);
         let b = rng.gen_range(0..n);
-        if a == b || has_edge(&edges, a, b) {
+        if a == b || edge_set.contains(&norm(a, b)) {
             continue;
         }
         let d = dist(coords[a], coords[b]);
         let p = (-d / (0.3 * max_d)).exp();
         if rng.gen_bool(p.clamp(0.001, 1.0)) {
             edges.push((a, b));
+            edge_set.insert(norm(a, b));
         }
     }
 

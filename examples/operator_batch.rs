@@ -1,15 +1,19 @@
-//! Operator-scale batch verification: run a policy suite of hundreds of
-//! queries against a snapshot, in parallel, and print a compliance
-//! report — the workflow behind the paper's "6,000 queries, 8
-//! inconclusive" case study.
+//! Operator-scale batch verification: stream a policy suite of hundreds
+//! of queries against a snapshot through the bounded-window driver and
+//! print a compliance report — the workflow behind the paper's "6,000
+//! queries, 8 inconclusive" case study.
+//!
+//! Unlike a collect-then-report batch, the stream holds at most
+//! `window` queries in flight however long the suite is, emits each
+//! answer in input order as it completes, and ticks progress telemetry
+//! while running — the same driver `aalwines --stdin` uses.
 //!
 //! ```text
 //! cargo run --release --example operator_batch [-- <threads>]
 //! ```
 
-use aalwines::{Outcome, SessionBuilder};
-use query::parse_query;
-use std::time::Instant;
+use aalwines::{Outcome, SessionBuilder, StreamEvent, StreamOptions};
+use std::time::{Duration, Instant};
 use topogen::queries::figure4_queries;
 use topogen::{build_mpls_dataplane, zoo_like, LspConfig, ZooConfig};
 
@@ -39,53 +43,70 @@ fn main() {
         },
     );
     println!(
-        "snapshot: {} routers / {} links / {} rules / {} labels",
+        "snapshot: {} routers / {} links / {} rules / {} labels \
+         ({:.1} MiB resident)",
         dp.net.topology.num_routers(),
         dp.net.topology.num_links(),
         dp.net.num_rules(),
-        dp.net.labels.len()
+        dp.net.labels.len(),
+        dp.net.bytes_resident() as f64 / (1024.0 * 1024.0)
     );
 
     let texts = figure4_queries(&dp, 280, 0xC0FFEE);
-    let queries: Vec<query::Query> = texts
-        .iter()
-        .map(|t| parse_query(t).expect("generated queries parse"))
-        .collect();
     println!(
         "policy suite: {} queries, {} worker threads\n",
-        queries.len(),
+        texts.len(),
         threads
     );
 
     let t0 = Instant::now();
     let session = SessionBuilder::new().threads(threads).open(dp.net.clone());
-    let answers = session.verify_batch(&queries);
-    let elapsed = t0.elapsed();
+    let stream = StreamOptions::new()
+        .with_window(64)
+        .with_progress_interval(Duration::from_millis(500));
 
     let mut sat = 0;
     let mut unsat = 0;
     let mut inconclusive = Vec::new();
-    for (text, answer) in texts.iter().zip(&answers) {
-        match answer.outcome {
-            Outcome::Satisfied(_) => sat += 1,
-            Outcome::Unsatisfied => unsat += 1,
-            Outcome::Inconclusive => inconclusive.push(text.clone()),
-            Outcome::Aborted(reason) => panic!("unbudgeted batch aborted: {reason}"),
-            Outcome::Error(ref msg) => panic!("engine error: {msg}"),
+    let summary = session.verify_stream(texts.iter().cloned(), &stream, &mut |ev| match ev {
+        StreamEvent::Answer {
+            text,
+            answer,
+            parse_error,
+            ..
+        } => {
+            assert!(!parse_error, "generated queries parse");
+            match answer.outcome {
+                Outcome::Satisfied(_) => sat += 1,
+                Outcome::Unsatisfied => unsat += 1,
+                Outcome::Inconclusive => inconclusive.push(text.to_string()),
+                Outcome::Aborted(reason) => panic!("unbudgeted batch aborted: {reason}"),
+                Outcome::Error(ref msg) => panic!("engine error: {msg}"),
+            }
         }
-    }
+        StreamEvent::Progress(p) => {
+            println!(
+                "  … {} answered, {:.0} queries/s, p95 {:.2} ms, {} in flight",
+                p.emitted, p.queries_per_sec, p.p95_millis, p.in_flight
+            );
+        }
+    });
+    let elapsed = t0.elapsed();
+
     println!(
-        "verified {} queries in {:.2}s ({:.1} queries/s)",
-        answers.len(),
+        "verified {} queries in {:.2}s ({:.1} queries/s, peak {} of {} in flight)",
+        summary.batch.total,
         elapsed.as_secs_f64(),
-        answers.len() as f64 / elapsed.as_secs_f64()
+        summary.batch.total as f64 / elapsed.as_secs_f64(),
+        summary.peak_in_flight,
+        summary.window
     );
     println!("  satisfied:    {sat}");
     println!("  unsatisfied:  {unsat}");
     println!(
         "  inconclusive: {} ({:.2} %)   [paper: 8/6000 = 0.13 %]",
         inconclusive.len(),
-        100.0 * inconclusive.len() as f64 / answers.len() as f64
+        100.0 * inconclusive.len() as f64 / summary.batch.total as f64
     );
     for q in inconclusive.iter().take(5) {
         println!("    needs deeper analysis: {q}");
@@ -94,17 +115,20 @@ fn main() {
     // Sequential re-run of a sample to show the speedup honestly: both
     // runs get a fresh session (cold cache) so only the thread count
     // differs.
-    let sample = &queries[..queries.len().min(40)];
+    let sample: Vec<String> = texts.iter().take(40).cloned().collect();
+    let quiet = StreamOptions::new();
     let t1 = Instant::now();
-    let _ = SessionBuilder::new()
-        .open(dp.net.clone())
-        .verify_batch(sample);
+    SessionBuilder::new().open(dp.net.clone()).verify_stream(
+        sample.iter().cloned(),
+        &quiet,
+        &mut |_| {},
+    );
     let seq = t1.elapsed();
     let t2 = Instant::now();
-    let _ = SessionBuilder::new()
+    SessionBuilder::new()
         .threads(threads)
         .open(dp.net.clone())
-        .verify_batch(sample);
+        .verify_stream(sample.iter().cloned(), &quiet, &mut |_| {});
     let par = t2.elapsed();
     println!(
         "\nsample of {}: sequential {:.2}s vs {} threads {:.2}s ({:.1}x)",

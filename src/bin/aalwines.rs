@@ -19,11 +19,15 @@
 //! 2 warnings only, 1 at least one error.
 
 use aalwines::telemetry::envelope;
-use aalwines::{Answer, Backend, BatchSummary, Outcome, SessionBuilder, VerifyOptions, WeightSpec};
+use aalwines::{
+    Answer, Backend, BatchSummary, Outcome, SessionBuilder, StreamEvent, StreamOptions,
+    VerifyOptions, WeightSpec,
+};
 use netmodel::Network;
 use query::parse_query;
-use std::io::BufRead;
+use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 fn usage() -> ! {
@@ -33,6 +37,7 @@ fn usage() -> ! {
          \x20        [--weight 'expr, expr, ...'] [--engine dual|moped] [--no-reduction]\n\
          \x20        [--deadline-ms N] [--batch-deadline-ms N] [--max-transitions N]\n\
          \x20        [--threads N] [--sat-threads N] [--no-cache] [--cache-size N]\n\
+         \x20        [--window N] [--progress-ms N]\n\
          \x20        [--stats] [--json] [--repair]\n\
          \x20        [--write-topology out.xml] [--write-routing out.xml]\n\
          \x20        [--chaos-seed N] [--chaos-mutants M]\n\
@@ -115,6 +120,13 @@ fn main() -> ExitCode {
     };
 
     let lint_mode = has("--lint") || has("--lint-json");
+
+    // `--no-cache` and `--cache-size` used to silently resolve in
+    // argument order; a conflicting combination is a usage error now.
+    if has("--no-cache") && has("--cache-size") {
+        eprintln!("--no-cache conflicts with --cache-size (use --cache-size 0 to disable)");
+        return ExitCode::FAILURE;
+    }
 
     // ---- load the network ------------------------------------------------
     let net: Network = if has("--demo") {
@@ -467,41 +479,6 @@ fn main() -> ExitCode {
     let show_stats = has("--stats");
     let json_output = has("--json");
 
-    // ---- queries ------------------------------------------------------------
-    let mut queries = values("--query");
-    if has("--stdin") {
-        for line in std::io::stdin().lock().lines() {
-            let line = match line {
-                Ok(l) => l,
-                Err(e) => {
-                    eprintln!("cannot read stdin: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            let line = line.trim();
-            if !line.is_empty() && !line.starts_with('#') {
-                queries.push(line.to_string());
-            }
-        }
-    }
-    if queries.is_empty() {
-        if has("--demo") {
-            queries = DEMO_QUERIES.iter().map(|q| q.to_string()).collect();
-        } else {
-            usage()
-        }
-    }
-    let mut parsed = Vec::with_capacity(queries.len());
-    for text in &queries {
-        match parse_query(text) {
-            Ok(q) => parsed.push(q),
-            Err(e) => {
-                eprintln!("{text}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
-
     // Construction cache (dual engine only; Moped has no cache).
     if has("--no-cache") {
         builder = builder.cache_size(0);
@@ -521,6 +498,122 @@ fn main() -> ExitCode {
         other => {
             eprintln!("unknown engine {other:?} (use dual or moped)");
             return ExitCode::FAILURE;
+        }
+    }
+
+    // ---- streaming mode (--stdin) -----------------------------------------
+    // Queries stream straight off stdin through the bounded-window
+    // driver: nothing buffers the whole input or the whole answer set,
+    // a malformed line yields a per-query error answer instead of
+    // aborting the run, and answers print in input order as they
+    // complete. `--window` bounds in-flight queries; `--progress-ms`
+    // emits live telemetry envelopes on stderr.
+    if has("--stdin") {
+        let mut stream_opts = StreamOptions::new();
+        if let Some(v) = value("--window") {
+            match v.parse::<usize>() {
+                Ok(n) => stream_opts = stream_opts.with_window(n),
+                Err(_) => {
+                    eprintln!("--window: expected a count, got {v:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        match parse_millis("--progress-ms") {
+            Ok(Some(t)) => stream_opts = stream_opts.with_progress_interval(t),
+            Ok(None) => {}
+            Err(code) => return code,
+        }
+
+        // One resident session owns the network, precomputation, and
+        // cache; every streamed query reuses them.
+        let session = builder.verify_options(opts).open(net);
+        let net = session.network();
+
+        // A read error mid-stream ends the input; remember it so the
+        // run still exits 1 (the feeder thread owns the iterator, hence
+        // the shared slot).
+        let io_error: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let io_slot = Arc::clone(&io_error);
+        let lines = values("--query").into_iter().chain(
+            BufReader::new(std::io::stdin())
+                .lines()
+                .map_while(move |r| match r {
+                    Ok(l) => Some(l),
+                    Err(e) => {
+                        *io_slot.lock().unwrap() = Some(e.to_string());
+                        None
+                    }
+                })
+                .map(|l| l.trim().to_string())
+                .filter(|l| !l.is_empty() && !l.starts_with('#')),
+        );
+
+        let mut all_conclusive = true;
+        let summary = session.verify_stream(lines, &stream_opts, &mut |ev| match ev {
+            StreamEvent::Answer { text, answer, .. } => {
+                if json_output {
+                    println!(
+                        "{}",
+                        envelope(
+                            "answer",
+                            &aalwines_suite::gui::answer_to_json(net, text, answer).to_json()
+                        )
+                    );
+                    all_conclusive &= answer.outcome.is_conclusive();
+                } else {
+                    all_conclusive &= report(net, text, answer, show_stats);
+                }
+            }
+            StreamEvent::Progress(p) => {
+                eprintln!("{}", envelope("stream-progress", &p.to_json()));
+            }
+        });
+        if json_output {
+            println!("{}", envelope("stream-summary", &summary.to_json()));
+        } else if show_stats {
+            print_summary(&summary.batch);
+        }
+        if let Some(e) = io_error.lock().unwrap().take() {
+            eprintln!("cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        if summary.parse_errors > 0 {
+            eprintln!(
+                "{} quer{} failed to parse",
+                summary.parse_errors,
+                if summary.parse_errors == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            );
+            return ExitCode::FAILURE;
+        }
+        return if all_conclusive {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(2)
+        };
+    }
+
+    // ---- batch mode (--query ...) -----------------------------------------
+    let mut queries = values("--query");
+    if queries.is_empty() {
+        if has("--demo") {
+            queries = DEMO_QUERIES.iter().map(|q| q.to_string()).collect();
+        } else {
+            usage()
+        }
+    }
+    let mut parsed = Vec::with_capacity(queries.len());
+    for text in &queries {
+        match parse_query(text) {
+            Ok(q) => parsed.push(q),
+            Err(e) => {
+                eprintln!("{text}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
 
@@ -550,23 +643,27 @@ fn main() -> ExitCode {
     if json_output {
         println!("{}", envelope("batch-summary", &summary.to_json()));
     } else if show_stats {
-        println!(
-            "summary: {} queries — {} satisfied, {} unsatisfied, {} inconclusive, {} aborted, \
-             {} errors; solve p50 {:.3} ms, p95 {:.3} ms, max {:.3} ms",
-            summary.total,
-            summary.satisfied,
-            summary.unsatisfied,
-            summary.inconclusive,
-            summary.aborted,
-            summary.errors,
-            summary.t_solve.p50,
-            summary.t_solve.p95,
-            summary.t_solve.max
-        );
+        print_summary(&summary);
     }
     if all_conclusive {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(2)
     }
+}
+
+fn print_summary(summary: &BatchSummary) {
+    println!(
+        "summary: {} queries — {} satisfied, {} unsatisfied, {} inconclusive, {} aborted, \
+         {} errors; solve p50 {:.3} ms, p95 {:.3} ms, max {:.3} ms",
+        summary.total,
+        summary.satisfied,
+        summary.unsatisfied,
+        summary.inconclusive,
+        summary.aborted,
+        summary.errors,
+        summary.t_solve.p50,
+        summary.t_solve.p95,
+        summary.t_solve.max
+    );
 }

@@ -84,7 +84,15 @@ fn random_network(seed: u64) -> Network {
             },
         };
         let prio = rng.gen_range(1..3usize);
-        net.add_rule(in_link, label, prio, RoutingEntry { out, ops });
+        net.add_rule(
+            in_link,
+            label,
+            prio,
+            RoutingEntry {
+                out,
+                ops: ops.into(),
+            },
+        );
     }
     net
 }

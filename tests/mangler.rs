@@ -195,6 +195,79 @@ fn mangled_isis_snapshot_never_panics() {
     }
 }
 
+/// Byte-level mutations — unlike [`mangle`], no lossy UTF-8 round-trip,
+/// so the parser under test sees genuinely invalid byte sequences.
+fn mangle_bytes(rng: &mut DetRng, doc: &[u8]) -> Vec<u8> {
+    let mut bytes = doc.to_vec();
+    let n = rng.gen_range(1usize..5);
+    for _ in 0..n {
+        if bytes.is_empty() {
+            bytes.push(rng.gen_range(0usize..256) as u8);
+            continue;
+        }
+        let pos = rng.gen_range(0usize..bytes.len());
+        match rng.gen_range(0usize..5) {
+            0 => bytes[pos] = rng.gen_range(0usize..256) as u8,
+            1 => bytes.insert(pos, rng.gen_range(0usize..256) as u8),
+            2 => {
+                bytes.remove(pos);
+            }
+            3 => bytes.truncate(pos),
+            4 => {
+                let end = rng.gen_range(pos..bytes.len() + 1);
+                let slice: Vec<u8> = bytes[pos..end].to_vec();
+                let at = rng.gen_range(0usize..bytes.len() + 1);
+                for (i, b) in slice.into_iter().enumerate() {
+                    bytes.insert(at + i, b);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    bytes
+}
+
+#[test]
+fn mangled_gml_bytes_never_panic() {
+    // Raw bytes straight into the GML parser — including invalid UTF-8
+    // sequences the string-based entry point can never see. Seed corpus:
+    // a Zoo-style document plus variants with Latin-1 names and a BOM.
+    let base = br#"
+        Creator "mangler corpus"
+        graph [
+          directed 0
+          node [ id 0 label "Aalborg" Latitude 57.048 Longitude 9.9187 ]
+          node [ id 1 label "Copenhagen" Latitude 55.676 Longitude 12.568 ]
+          edge [ source 0 target 1 LinkLabel "OC-48" ]
+        ]
+    "#
+    .to_vec();
+    let mut latin1 = base.clone();
+    latin1.extend_from_slice(b"# K\xf8benhavn \xff\xfe non-utf8 trailer\n");
+    let mut bom = vec![0xEF, 0xBB, 0xBF];
+    bom.extend_from_slice(&base);
+    let corpus: Vec<Vec<u8>> = vec![base, latin1, bom];
+
+    let mut rng = DetRng::seed_from_u64(0x6713);
+    for round in 0..ROUNDS {
+        let doc = &corpus[round % corpus.len()];
+        let mangled = mangle_bytes(&mut rng, doc);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            topogen::gml::topology_from_gml_bytes(&mangled).map(|_| ())
+        }));
+        match result {
+            Err(_) => panic!("gml parser panicked on round {round}: {mangled:?}"),
+            Ok(Err(e)) => assert!(
+                e.pos <= mangled.len(),
+                "gml round {round}: offset {} beyond document ({} bytes)",
+                e.pos,
+                mangled.len()
+            ),
+            Ok(Ok(())) => {}
+        }
+    }
+}
+
 #[test]
 fn mangled_queries_never_panic() {
     let seeds = [
